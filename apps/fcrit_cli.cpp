@@ -1,0 +1,408 @@
+// fcrit — command-line front end of the fault-criticality framework.
+//
+//   fcrit list
+//   fcrit stats   <design|netlist.v|netlist.bench>
+//   fcrit export  <design> --format verilog|bench [-o FILE]
+//   fcrit sweep   <netlist.v> [-o FILE]
+//   fcrit campaign <design|file> [--cycles N] [--seed S] [--fraction F]
+//   fcrit analyze <design|file> [--top N] [--no-baselines] [--explain K]
+//   fcrit scoap   <design|file> [--top N]
+//
+// A "design" argument is a registered name (sdram_ctrl, or1200_if,
+// or1200_icfsm); anything ending in .v or .bench is parsed from disk. The
+// built-in designs carry protocol-aware stimulus; parsed netlists use a
+// generic profile (reset pulse on any input named rst*, uniform elsewhere).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/core/report.hpp"
+#include "src/explain/aggregate.hpp"
+#include "src/explain/gnn_explainer.hpp"
+#include "src/fault/collapse.hpp"
+#include "src/netlist/bench_format.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/netlist/transform.hpp"
+#include "src/fault/autopsy.hpp"
+#include "src/fault/report.hpp"
+#include "src/netlist/dot_export.hpp"
+#include "src/netlist/harden.hpp"
+#include "src/ml/serialize.hpp"
+#include "src/netlist/verilog_parser.hpp"
+#include "src/netlist/verilog_writer.hpp"
+#include "src/sim/scoap.hpp"
+#include "src/sim/vcd.hpp"
+#include "src/util/text.hpp"
+
+namespace {
+
+using namespace fcrit;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fcrit <command> [args]\n"
+               "  list                              registered designs\n"
+               "  stats <design|file>               netlist statistics\n"
+               "  export <design> --format F [-o FILE]   F: verilog|bench|dot\n"
+               "  sweep <file> [-o FILE]            remove dead logic\n"
+               "  campaign <design|file> [--cycles N] [--seed S]\n"
+               "           [--fraction F] [--threads T] [--report FILE]\n"
+               "  analyze <design|file> [--top N] [--no-baselines]\n"
+               "           [--explain K] [--save-model FILE] [--csv FILE]\n"
+               "  scoap <design|file> [--top N]     testability report\n"
+               "  wave <design|file> [--cycles N] [--lane L] [-o FILE]\n"
+               "                                    dump a VCD waveform\n"
+               "  autopsy <design|file> --node NAME [--sa 0|1] [--cycles N]\n"
+               "                                    debug one fault\n"
+               "  harden <design|file> [--top K] [-o FILE]\n"
+               "                                    TMR the predicted top-K\n");
+  return 2;
+}
+
+bool is_file_arg(const std::string& arg) {
+  return util::ends_with(arg, ".v") || util::ends_with(arg, ".bench");
+}
+
+designs::Design load_target(const std::string& arg) {
+  if (!is_file_arg(arg)) return designs::build_design(arg);
+  std::ifstream in(arg);
+  if (!in) throw std::runtime_error("cannot open " + arg);
+  designs::Design d;
+  d.name = arg;
+  d.netlist = util::ends_with(arg, ".bench") ? netlist::parse_bench(in)
+                                             : netlist::parse_verilog(in);
+  // Generic stimulus: reset pulse on rst-like ports.
+  for (const auto in_id : d.netlist.inputs()) {
+    const auto& name = d.netlist.node(in_id).name;
+    if (util::starts_with(name, "rst") || util::starts_with(name, "reset"))
+      d.stimulus.profiles[name] = {.p1 = 0.01, .hold_cycles = 2,
+                                   .hold_value = true};
+  }
+  return d;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!util::starts_with(arg, "--") && arg[0] != '-') continue;
+    std::string key = arg;
+    std::string value = "1";
+    if (i + 1 < argc && argv[i + 1][0] != '-') value = argv[++i];
+    flags[key] = value;
+  }
+  return flags;
+}
+
+int cmd_list() {
+  for (const auto& name : designs::design_names()) {
+    const auto d = designs::build_design(name);
+    std::printf("%-14s %s\n", name.c_str(),
+                netlist::compute_stats(d.netlist).to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& target) {
+  const auto d = load_target(target);
+  std::printf("%s\n", netlist::compute_stats(d.netlist).to_string().c_str());
+  const auto collapsed = fault::collapse_faults(d.netlist);
+  std::printf("fault universe: %zu stuck-at faults, %zu after collapsing "
+              "(%.1f%%)\n",
+              collapsed.original_count, collapsed.representatives.size(),
+              100.0 * collapsed.collapse_ratio());
+  return 0;
+}
+
+int cmd_export(const std::string& target,
+               const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  const auto format_it = flags.find("--format");
+  const std::string format =
+      format_it == flags.end() ? "verilog" : format_it->second;
+  std::string text;
+  if (format == "verilog")
+    text = netlist::to_verilog(d.netlist);
+  else if (format == "bench")
+    text = netlist::to_bench(d.netlist);
+  else if (format == "dot")
+    text = netlist::to_dot(d.netlist);
+  else {
+    std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  const auto out_it = flags.find("-o");
+  if (out_it == flags.end()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_it->second);
+    out << text;
+    std::printf("wrote %s\n", out_it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::string& target,
+              const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  const auto result = netlist::sweep(d.netlist);
+  std::printf("removed %zu dead nodes (%zu -> %zu)\n", result.dropped(),
+              d.netlist.num_nodes(), result.netlist.num_nodes());
+  const auto out_it = flags.find("-o");
+  if (out_it != flags.end()) {
+    std::ofstream out(out_it->second);
+    netlist::write_verilog(result.netlist, out);
+    std::printf("wrote %s\n", out_it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::string& target,
+                 const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  fault::CampaignConfig cfg;
+  cfg.dangerous_cycle_fraction = d.dangerous_cycle_fraction;
+  if (flags.contains("--cycles")) cfg.cycles = std::stoi(flags.at("--cycles"));
+  if (flags.contains("--seed")) cfg.seed = std::stoull(flags.at("--seed"));
+  if (flags.contains("--fraction"))
+    cfg.dangerous_cycle_fraction = std::stod(flags.at("--fraction"));
+  if (flags.contains("--threads"))
+    cfg.num_threads = std::stoi(flags.at("--threads"));
+
+  fault::FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+  const auto result = campaign.run_all();
+  const auto ds = fault::generate_dataset(result, 0.5);
+  std::printf("%s\n", ds.summary().c_str());
+  std::printf("golden %.3fs, %zu faults in %.3fs\n", result.golden_seconds,
+              result.faults.size(), result.fault_seconds);
+  std::printf("%s\n",
+              fault::summarize_coverage(result).to_string().c_str());
+  if (flags.contains("--report")) {
+    std::ofstream out(flags.at("--report"));
+    fault::write_fault_report(d.netlist, result, out);
+    std::printf("wrote %s\n", flags.at("--report").c_str());
+  }
+  // Score histogram.
+  int buckets[10] = {0};
+  for (const double s : ds.score)
+    ++buckets[std::min(9, static_cast<int>(s * 10))];
+  std::printf("criticality score histogram (0.0 .. 1.0):");
+  for (const int b : buckets) std::printf(" %d", b);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_analyze(const std::string& target,
+                const std::map<std::string, std::string>& flags) {
+  core::PipelineConfig cfg;
+  if (flags.contains("--no-baselines")) cfg.train_baselines = false;
+  core::FaultCriticalityAnalyzer analyzer(cfg);
+  auto r = analyzer.analyze(load_target(target));
+  std::printf("%s\n", core::summarize(r).c_str());
+
+  const int top_n =
+      flags.contains("--top") ? std::stoi(flags.at("--top")) : 10;
+  struct Entry {
+    netlist::NodeId node;
+    double score;
+  };
+  std::vector<Entry> ranking;
+  for (const auto node : r.dataset.nodes)
+    ranking.push_back({node, r.regression
+                                 ? r.regression->predicted_score[node]
+                                 : r.gcn_eval.proba[node]});
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  core::TextTable table({"Rank", "Node", "Predicted score", "FI truth",
+                         "Verdict"});
+  for (int i = 0; i < top_n && i < static_cast<int>(ranking.size()); ++i) {
+    const auto& e = ranking[static_cast<std::size_t>(i)];
+    table.add_row({std::to_string(i + 1), r.design.netlist.node(e.node).name,
+                   util::format_double(e.score, 3),
+                   util::format_double(r.scores[e.node], 3),
+                   r.labels[e.node] ? "Critical" : "Non-critical"});
+  }
+  std::printf("top %d nodes by predicted criticality\n%s", top_n,
+              table.to_string().c_str());
+
+  if (flags.contains("--save-model")) {
+    ml::save_gcn_file(*r.gcn, flags.at("--save-model"));
+    std::printf("saved GCN to %s\n", flags.at("--save-model").c_str());
+  }
+
+  if (flags.contains("--csv")) {
+    std::ofstream csv(flags.at("--csv"));
+    csv << "node,cell,predicted_class,predicted_score,fi_score,fi_label\n";
+    for (const auto node : r.dataset.nodes) {
+      csv << r.design.netlist.node(node).name << ","
+          << netlist::spec(r.design.netlist.kind(node)).name << ","
+          << r.gcn_eval.predicted[node] << ","
+          << (r.regression ? r.regression->predicted_score[node]
+                           : r.gcn_eval.proba[node])
+          << "," << r.scores[node] << "," << r.labels[node] << "\n";
+    }
+    std::printf("wrote %s (%zu rows)\n", flags.at("--csv").c_str(),
+                r.dataset.size());
+  }
+
+  if (flags.contains("--explain")) {
+    const int k = std::stoi(flags.at("--explain"));
+    explain::GnnExplainer explainer(*r.gcn, r.graph, r.features);
+    std::vector<explain::Explanation> explanations;
+    for (int i = 0; i < k && i < static_cast<int>(ranking.size()); ++i)
+      explanations.push_back(explainer.explain(
+          static_cast<int>(ranking[static_cast<std::size_t>(i)].node)));
+    const auto global = explain::aggregate_explanations(explanations);
+    std::printf("\n%s", explain::format_global_importance(
+                            global, graphir::base_feature_names())
+                            .c_str());
+  }
+  return 0;
+}
+
+int cmd_scoap(const std::string& target,
+              const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  const auto r = sim::compute_scoap(d.netlist);
+  const int top_n =
+      flags.contains("--top") ? std::stoi(flags.at("--top")) : 10;
+
+  // Rank by detection difficulty: min over polarity of (CC of the opposite
+  // value + CO) — the classical testability measure.
+  struct Entry {
+    netlist::NodeId node;
+    double difficulty;
+  };
+  std::vector<Entry> ranking;
+  for (const auto node : fault::fault_sites(d.netlist)) {
+    const double sa0 = r.cc1[node] + r.co[node];  // detect SA0: drive 1
+    const double sa1 = r.cc0[node] + r.co[node];
+    ranking.push_back({node, std::max(sa0, sa1)});
+  }
+  std::sort(ranking.begin(), ranking.end(), [](const Entry& a, const Entry& b) {
+    return a.difficulty > b.difficulty;
+  });
+  core::TextTable table({"Node", "CC0", "CC1", "CO", "Hardest fault cost"});
+  for (int i = 0; i < top_n && i < static_cast<int>(ranking.size()); ++i) {
+    const auto node = ranking[static_cast<std::size_t>(i)].node;
+    table.add_row({d.netlist.node(node).name,
+                   util::format_double(r.cc0[node], 1),
+                   util::format_double(r.cc1[node], 1),
+                   util::format_double(r.co[node], 1),
+                   util::format_double(
+                       ranking[static_cast<std::size_t>(i)].difficulty, 1)});
+  }
+  std::printf("hardest-to-test nodes (SCOAP)\n%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_wave(const std::string& target,
+             const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  const int cycles =
+      flags.contains("--cycles") ? std::stoi(flags.at("--cycles")) : 128;
+  const int lane = flags.contains("--lane") ? std::stoi(flags.at("--lane")) : 0;
+  const auto out_it = flags.find("-o");
+  if (out_it == flags.end()) {
+    sim::dump_vcd(d.netlist, d.stimulus, 1, cycles, lane, std::cout);
+  } else {
+    std::ofstream out(out_it->second);
+    sim::dump_vcd(d.netlist, d.stimulus, 1, cycles, lane, out);
+    std::printf("wrote %s (%d cycles, lane %d)\n", out_it->second.c_str(),
+                cycles, lane);
+  }
+  return 0;
+}
+
+int cmd_autopsy(const std::string& target,
+                const std::map<std::string, std::string>& flags) {
+  const auto d = load_target(target);
+  if (!flags.contains("--node")) {
+    std::fprintf(stderr, "autopsy: --node NAME is required\n");
+    return 2;
+  }
+  const auto node = d.netlist.find(flags.at("--node"));
+  if (!node) {
+    std::fprintf(stderr, "autopsy: no node named '%s'\n",
+                 flags.at("--node").c_str());
+    return 2;
+  }
+  fault::CampaignConfig cfg;
+  cfg.dangerous_cycle_fraction = d.dangerous_cycle_fraction;
+  if (flags.contains("--cycles")) cfg.cycles = std::stoi(flags.at("--cycles"));
+  const bool sa1 = flags.contains("--sa") && flags.at("--sa") == "1";
+
+  fault::FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+  campaign.run_golden();
+  const auto a = fault::run_autopsy(campaign, d.netlist, {*node, sa1});
+  std::printf("%s", a.to_string().c_str());
+  return 0;
+}
+
+int cmd_harden(const std::string& target,
+               const std::map<std::string, std::string>& flags) {
+  core::PipelineConfig cfg;
+  cfg.train_baselines = false;
+  core::FaultCriticalityAnalyzer analyzer(cfg);
+  auto r = analyzer.analyze(load_target(target));
+  std::printf("%s", core::summarize(r).c_str());
+
+  const auto k = static_cast<std::size_t>(
+      flags.contains("--top") ? std::stoi(flags.at("--top")) : 10);
+  std::vector<netlist::NodeId> ranked(r.dataset.nodes);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](netlist::NodeId a, netlist::NodeId b) {
+              return r.regression->predicted_score[a] >
+                     r.regression->predicted_score[b];
+            });
+  if (ranked.size() > k) ranked.resize(k);
+
+  const auto h = netlist::triplicate_nodes(r.design.netlist, ranked);
+  std::printf("hardened %zu nodes (+%zu gates, %.1f%% overhead):\n",
+              ranked.size(), h.added_gates,
+              100.0 * h.overhead(r.design.netlist));
+  for (const auto node : ranked)
+    std::printf("  %s (predicted %.2f)\n",
+                r.design.netlist.node(node).name.c_str(),
+                r.regression->predicted_score[node]);
+  const auto out_it = flags.find("-o");
+  if (out_it != flags.end()) {
+    std::ofstream out(out_it->second);
+    netlist::write_verilog(h.netlist, out);
+    std::printf("wrote %s\n", out_it->second.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (argc < 3) return usage();
+    const std::string target = argv[2];
+    const auto flags = parse_flags(argc, argv, 3);
+    if (command == "stats") return cmd_stats(target);
+    if (command == "export") return cmd_export(target, flags);
+    if (command == "sweep") return cmd_sweep(target, flags);
+    if (command == "campaign") return cmd_campaign(target, flags);
+    if (command == "analyze") return cmd_analyze(target, flags);
+    if (command == "scoap") return cmd_scoap(target, flags);
+    if (command == "wave") return cmd_wave(target, flags);
+    if (command == "autopsy") return cmd_autopsy(target, flags);
+    if (command == "harden") return cmd_harden(target, flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fcrit: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,91 @@
+// Figure 5 — GNNExplainer results.
+//
+// (a) feature-importance scores for one explained node per design (the
+//     paper shows an SDRAM-controller node where "Number of Connections"
+//     and "Intrinsic State Probability of 0" dominate), and
+// (b) the Eq. 3 aggregated feature ranking over many node explanations for
+//     all three designs (paper: connections and state probabilities rank
+//     top across designs).
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "src/explain/aggregate.hpp"
+#include "src/explain/gnn_explainer.hpp"
+#include "src/util/text.hpp"
+#include "src/util/timer.hpp"
+
+int main() {
+  using namespace fcrit;
+  bench::print_header("Figure 5: GNNExplainer feature importance");
+
+  core::FaultCriticalityAnalyzer analyzer([] {
+    auto cfg = bench::standard_config();
+    cfg.train_baselines = false;
+    cfg.train_regressor = false;
+    return cfg;
+  }());
+
+  const auto& feature_names = graphir::base_feature_names();
+  core::TextTable global({"Design", "Rank 1", "Rank 2", "Rank 3", "Rank 4",
+                          "Rank 5"});
+
+  for (const auto& name : designs::design_names()) {
+    auto r = analyzer.analyze_design(name);
+    explain::ExplainerConfig ec;
+    ec.epochs = 250;
+    explain::GnnExplainer explainer(*r.gcn, r.graph, r.features, ec);
+
+    // --- Fig. 5(a): one representative critical validation node -----------
+    int sample_node = r.split.val.front();
+    for (const int i : r.split.val) {
+      if (r.labels[static_cast<std::size_t>(i)] == 1) {
+        sample_node = i;
+        break;
+      }
+    }
+    const auto sample = explainer.explain(sample_node);
+    std::printf("\n%s — node %s predicted %s (Fig. 5a)\n", name.c_str(),
+                r.design.netlist.node(static_cast<netlist::NodeId>(sample_node))
+                    .name.c_str(),
+                sample.predicted_class == 1 ? "Critical" : "Non-critical");
+    for (std::size_t j = 0; j < feature_names.size(); ++j)
+      std::printf("  %-34s importance %.2f (mask %.3f)\n",
+                  feature_names[j].c_str(), sample.feature_importance[j],
+                  sample.feature_mask[j]);
+
+    // --- Fig. 5(b): aggregate over validation nodes -----------------------
+    util::Timer timer;
+    std::vector<int> nodes = r.split.val;
+    constexpr std::size_t kMaxExplained = 60;
+    if (nodes.size() > kMaxExplained) {
+      // Deterministic stride subsample keeps the bench fast on or1200_if.
+      std::vector<int> sampled;
+      const double stride =
+          static_cast<double>(nodes.size()) / kMaxExplained;
+      for (std::size_t k = 0; k < kMaxExplained; ++k)
+        sampled.push_back(nodes[static_cast<std::size_t>(k * stride)]);
+      nodes = std::move(sampled);
+    }
+    std::vector<explain::Explanation> explanations;
+    explanations.reserve(nodes.size());
+    for (const int node : nodes)
+      explanations.push_back(explainer.explain(node));
+    const auto gfi = explain::aggregate_explanations(explanations);
+    std::printf("\n%s — aggregated over %zu nodes in %s (Fig. 5b)\n%s",
+                name.c_str(), explanations.size(), timer.pretty().c_str(),
+                explain::format_global_importance(gfi, feature_names)
+                    .c_str());
+
+    std::vector<std::string> row{name};
+    for (const int j : gfi.order)
+      row.push_back(feature_names[static_cast<std::size_t>(j)]);
+    global.add_row(row);
+  }
+
+  std::printf("\nglobal feature ranking per design (best first)\n%s\n",
+              global.to_string().c_str());
+  std::printf(
+      "paper reference (Fig. 5b): 'Number of Connections' and 'Intrinsic\n"
+      "State Probability of 0/1' are consistently the top-ranked features.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Closing the loop — GCN-guided hardening.
+//
+// The paper motivates criticality prediction as a way to "prioritize
+// resources towards critical nodes". This bench spends those resources and
+// measures the return: per design,
+//   1. train the GCN and rank nodes by predicted criticality,
+//   2. TMR-harden the top-K predicted nodes (and, as the oracle reference,
+//      the top-K ground-truth nodes; as the naive reference, K random
+//      nodes),
+//   3. re-run the fault campaign on each hardened netlist and compare the
+//      residual criticality mass (sum of node scores) and critical-node
+//      count against the unhardened design.
+// Expected shape: GCN-guided hardening recovers most of the oracle's
+// criticality reduction at equal cost, and beats random selection by a
+// wide margin.
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "src/netlist/harden.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/text.hpp"
+
+namespace {
+
+using namespace fcrit;
+
+struct Residual {
+  double original_mass = 0.0;  // criticality over the original nodes
+  double added_mass = 0.0;     // criticality of inserted TMR logic
+};
+
+/// Re-run the campaign on `nl` and split the criticality mass between the
+/// original design's nodes (via `node_map`; identity for the baseline) and
+/// the logic the hardening inserted. TMR drives the former toward zero;
+/// the latter is the classic voter-single-point-of-failure cost, reported
+/// separately rather than hidden.
+Residual residual_criticality(const designs::Design& d,
+                              const netlist::Netlist& nl,
+                              const std::vector<netlist::NodeId>* node_map,
+                              int cycles) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = cycles;
+  cfg.seed = 7;
+  cfg.dangerous_cycle_fraction = d.dangerous_cycle_fraction;
+  cfg.num_threads = 0;
+  fault::FaultCampaign campaign(nl, d.stimulus, cfg);
+  const auto ds = fault::generate_dataset(campaign.run_all(), 0.5);
+
+  std::vector<char> is_original(nl.num_nodes(), node_map == nullptr);
+  if (node_map) {
+    for (const auto mapped : *node_map)
+      if (mapped != netlist::kNoNode) is_original[mapped] = 1;
+  }
+  Residual r;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    (is_original[ds.nodes[i]] ? r.original_mass : r.added_mass) +=
+        ds.score[i];
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fcrit;
+  bench::print_header("GCN-guided TMR hardening (closing the FuSa loop)");
+
+  core::FaultCriticalityAnalyzer analyzer([] {
+    auto cfg = bench::standard_config();
+    cfg.train_baselines = false;
+    return cfg;
+  }());
+
+  core::TextTable table({"Design", "K", "Overhead (%)", "Baseline mass",
+                         "GCN-guided", "Oracle", "Random",
+                         "Voter-logic mass (GCN)"});
+
+  for (const auto& name : designs::design_names()) {
+    auto r = analyzer.analyze_design(name);
+    const int cycles = analyzer.config().campaign_cycles;
+    const auto k = static_cast<std::size_t>(
+        std::max<std::size_t>(5, r.dataset.size() / 20));  // harden ~5%
+
+    // Rankings.
+    std::vector<netlist::NodeId> by_gcn(r.dataset.nodes);
+    std::sort(by_gcn.begin(), by_gcn.end(),
+              [&](netlist::NodeId a, netlist::NodeId b) {
+                return r.regression->predicted_score[a] >
+                       r.regression->predicted_score[b];
+              });
+    std::vector<netlist::NodeId> by_truth(r.dataset.nodes);
+    std::sort(by_truth.begin(), by_truth.end(),
+              [&](netlist::NodeId a, netlist::NodeId b) {
+                return r.scores[a] > r.scores[b];
+              });
+    util::Rng rng(99);
+    std::vector<netlist::NodeId> random_pick(r.dataset.nodes);
+    rng.shuffle(random_pick);
+
+    by_gcn.resize(k);
+    by_truth.resize(k);
+    random_pick.resize(k);
+
+    const Residual base =
+        residual_criticality(r.design, r.design.netlist, nullptr, cycles);
+    const auto h_gcn = netlist::triplicate_nodes(r.design.netlist, by_gcn);
+    const auto h_oracle =
+        netlist::triplicate_nodes(r.design.netlist, by_truth);
+    const auto h_rand =
+        netlist::triplicate_nodes(r.design.netlist, random_pick);
+    const Residual m_gcn = residual_criticality(
+        r.design, h_gcn.netlist, &h_gcn.node_map, cycles);
+    const Residual m_oracle = residual_criticality(
+        r.design, h_oracle.netlist, &h_oracle.node_map, cycles);
+    const Residual m_rand = residual_criticality(
+        r.design, h_rand.netlist, &h_rand.node_map, cycles);
+
+    auto cell = [&](const Residual& m) {
+      return util::format_double(m.original_mass, 1) + " (-" +
+             util::format_double(
+                 100.0 * (1.0 - m.original_mass / base.original_mass), 1) +
+             "%)";
+    };
+    table.add_row({name, std::to_string(k),
+                   util::format_double(
+                       100.0 * h_gcn.overhead(r.design.netlist), 1),
+                   util::format_double(base.original_mass, 1), cell(m_gcn),
+                   cell(m_oracle), cell(m_rand),
+                   util::format_double(m_gcn.added_mass, 1)});
+    std::printf("%s done (K=%zu)\n", name.c_str(), k);
+  }
+
+  std::printf("\ncriticality mass = sum of Algorithm-1 scores over the\n"
+              "original design's nodes after hardening\n%s\n",
+              table.to_string().c_str());
+  std::printf(
+      "expected shape: GCN-guided selection recovers most of the oracle's\n"
+      "reduction at identical cost and clearly beats random selection.\n"
+      "The inserted voters/replicas carry their own criticality (last\n"
+      "column) — the classic TMR voter single-point-of-failure, which in\n"
+      "practice is addressed with hardened voter cells.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// ISCAS-85 c17, the "hello world" of test benchmarks, run through the
+// fault-analysis substrates directly (the circuit is far too small to
+// train a GCN on — 6 gates — but it shows the .bench import path, the FI
+// campaign, SCOAP and the fault report end to end on a canonical circuit).
+//
+//   ./iscas_c17
+#include <cstdio>
+
+#include "src/fault/report.hpp"
+#include "src/netlist/bench_format.hpp"
+#include "src/netlist/stats.hpp"
+#include "src/sim/scoap.hpp"
+
+namespace {
+
+constexpr const char* kC17 = R"(
+# ISCAS-85 c17
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+)";
+
+}  // namespace
+
+int main() {
+  using namespace fcrit;
+
+  const auto nl = netlist::parse_bench(kC17, "c17");
+  std::printf("%s\n\n", netlist::compute_stats(nl).to_string().c_str());
+
+  // SCOAP: c17's classical values are small and exact on this circuit.
+  const auto scoap = sim::compute_scoap(nl);
+  std::printf("SCOAP (node: CC0 CC1 CO)\n");
+  for (netlist::NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.kind(id) == netlist::CellKind::kInput) continue;
+    std::printf("  %-4s %4.0f %4.0f %4.0f\n", nl.node(id).name.c_str(),
+                scoap.cc0[id], scoap.cc1[id], scoap.co[id]);
+  }
+
+  // Exhaustive-ish FI campaign: c17 is combinational, so short workloads
+  // with full activity saturate coverage (c17 is 100% stuck-at testable).
+  sim::StimulusSpec stimulus;
+  stimulus.default_profile.p1 = 0.5;
+  stimulus.activity_min = 1.0;
+  stimulus.activity_max = 1.0;
+  fault::CampaignConfig cfg;
+  cfg.cycles = 64;
+  cfg.dangerous_cycle_fraction = 0.0;
+  fault::FaultCampaign campaign(nl, stimulus, cfg);
+  const auto result = campaign.run_all();
+  std::printf("\n%s\n", fault::fault_report(nl, result).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "src/core/report.hpp"
+
+#include <algorithm>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto render = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    sep += std::string(width[c], '-');
+    if (c + 1 < width.size()) sep += "  ";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string summarize(const PipelineResult& r) {
+  std::string out;
+  out += "design " + r.design.name + ": " + r.dataset.summary() + "\n";
+  out += "  GCN val accuracy " +
+         util::format_double(100.0 * r.gcn_eval.val_accuracy, 2) + "%  AUC " +
+         util::format_double(r.gcn_eval.val_auc, 3) + "\n";
+  for (const ModelEval& b : r.baseline_evals) {
+    out += "  " + b.name + " val accuracy " +
+           util::format_double(100.0 * b.val_accuracy, 2) + "%  AUC " +
+           util::format_double(b.val_auc, 3) + "\n";
+  }
+  if (r.regression) {
+    out += "  regressor: val MSE " +
+           util::format_double(r.regression->val_mse, 4) + ", pearson " +
+           util::format_double(r.regression->val_pearson, 3) +
+           ", conformity " +
+           util::format_double(100.0 * r.regression->classifier_conformity,
+                               1) +
+           "%\n";
+  }
+  return out;
+}
+
+std::vector<std::string> model_names(const PipelineResult& r) {
+  std::vector<std::string> names{"GCN"};
+  for (const ModelEval& b : r.baseline_evals) names.push_back(b.name);
+  return names;
+}
+
+std::vector<std::string> accuracy_row(const PipelineResult& r) {
+  std::vector<std::string> row{r.design.name};
+  row.push_back(util::format_double(100.0 * r.gcn_eval.val_accuracy, 2));
+  for (const ModelEval& b : r.baseline_evals)
+    row.push_back(util::format_double(100.0 * b.val_accuracy, 2));
+  return row;
+}
+
+}  // namespace fcrit::core

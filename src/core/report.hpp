@@ -1,0 +1,38 @@
+// Fixed-width text tables and result summaries for the benches and
+// examples (the repository's equivalent of the paper's tables/figures,
+// rendered as terminal output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+
+namespace fcrit::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column padding, a header separator, and 2-space gutters.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One-paragraph summary of a pipeline run (design, dataset, accuracies).
+std::string summarize(const PipelineResult& result);
+
+/// Fig. 3-style accuracy row: design name + accuracy per model.
+std::vector<std::string> accuracy_row(const PipelineResult& result);
+
+/// Model names in reporting order: GCN then the baselines present.
+std::vector<std::string> model_names(const PipelineResult& result);
+
+}  // namespace fcrit::core

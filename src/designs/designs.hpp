@@ -1,0 +1,52 @@
+// The three evaluation designs of the paper's §4.1, rebuilt as gate-level
+// netlists on the rtl::Builder macro layer:
+//   - sdram_ctrl:    an SDR-SDRAM controller (init sequence, bank tracking,
+//                    refresh, command FSM, address multiplexing)
+//   - or1200_if:     the OR1200 instruction-fetch unit (PC datapath, branch
+//                    and exception redirection, icache tag store, saved-
+//                    instruction buffering)
+//   - or1200_icfsm:  the OR1200 instruction-cache controller FSM (hit/miss
+//                    evaluation, 4-word burst refill, tag write control)
+//
+// Each design ships with a protocol-aware default stimulus profile (reset
+// pulse, realistic request/valid probabilities) used by the fault campaign.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/sim/stimulus.hpp"
+
+namespace fcrit::designs {
+
+struct Design {
+  std::string name;
+  netlist::Netlist netlist;
+  sim::StimulusSpec stimulus;
+
+  /// FI-campaign calibration: fraction of corrupted cycles that makes a
+  /// fault "Dangerous" for a workload (see fault::CampaignConfig). Small,
+  /// densely-observed designs need a higher bar to keep the criticality
+  /// labels discriminative.
+  double dangerous_cycle_fraction = 0.10;
+};
+
+Design build_sdram_ctrl();
+Design build_or1200_if();
+Design build_or1200_icfsm();
+
+/// Extra design outside the paper's evaluation set (tests, CLI, user
+/// experiments): the OR1200 program-counter generator.
+Design build_or1200_genpc();
+
+/// The paper's three evaluation designs, in evaluation order.
+std::vector<std::string> design_names();
+
+/// Every registered design (evaluation set + extras).
+std::vector<std::string> all_design_names();
+
+/// Build a design by name; throws std::runtime_error on unknown names.
+Design build_design(const std::string& name);
+
+}  // namespace fcrit::designs

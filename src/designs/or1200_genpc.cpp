@@ -1,0 +1,135 @@
+// OR1200 program-counter generator (or1200_genpc), the companion of the
+// instruction-fetch unit: selects the next fetch address among sequential,
+// branch, register-indirect and exception sources.
+//
+// Structure:
+//   * 30-bit PC register (word address) + increment
+//   * branch unit: opcode decoder (no-branch / j / jal / jr / bf / bnf /
+//     rfe), relative-target adder, flag-conditional taken logic
+//   * exception priority mux over four vectors (reset / bus error /
+//     tick timer / illegal), EPCR save register for rfe
+//   * freeze/stall gating
+// Not part of the paper's evaluation set; registered as an extra design
+// for tests, the CLI and user experiments.
+#include "src/designs/designs.hpp"
+
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::designs {
+
+using rtl::Builder;
+using rtl::Bus;
+using netlist::NodeId;
+
+namespace {
+constexpr int kPcBits = 30;
+constexpr std::uint64_t kResetVector = 0x100 >> 2;
+constexpr std::uint64_t kBusErrVector = 0x200 >> 2;
+constexpr std::uint64_t kTickVector = 0x500 >> 2;
+constexpr std::uint64_t kIllegalVector = 0x700 >> 2;
+}  // namespace
+
+Design build_or1200_genpc() {
+  Design d;
+  d.name = "or1200_genpc";
+  d.netlist.set_name("or1200_genpc");
+  Builder b(d.netlist, /*style_seed=*/0x9e9c);
+
+  // ---- ports ---------------------------------------------------------------
+  const NodeId rst = b.input("rst");
+  const NodeId freeze = b.input("freeze");
+  const Bus branch_op = b.input_bus("branch_op", 3);
+  const Bus branch_imm = b.input_bus("branch_imm", 16);  // relative target
+  const Bus reg_target = b.input_bus("reg_target", kPcBits);  // for jr
+  const NodeId flag = b.input("flag");  // condition flag for bf/bnf
+  const NodeId except_start = b.input("except_start");
+  const Bus except_type = b.input_bus("except_type", 2);
+
+  // ---- PC register and increment ----------------------------------------------
+  const Bus pc = b.reg_placeholder_bus(kPcBits);
+  const Bus pc_inc = b.increment(pc);
+
+  // ---- branch decode -------------------------------------------------------------
+  // branch_op: 0 none, 1 j, 2 jal, 3 jr, 4 bf, 5 bnf, 6 rfe.
+  const Bus op_hot = b.decode(branch_op);
+  const NodeId op_j = op_hot[1];
+  const NodeId op_jal = op_hot[2];
+  const NodeId op_jr = op_hot[3];
+  const NodeId op_bf = op_hot[4];
+  const NodeId op_bnf = op_hot[5];
+  const NodeId op_rfe = op_hot[6];
+
+  // Sign-extended relative target: pc + sext(imm).
+  Bus imm_ext = branch_imm;
+  while (static_cast<int>(imm_ext.size()) < kPcBits)
+    imm_ext.push_back(branch_imm.back());  // sign extension
+  const Bus rel_target = b.add(pc, imm_ext);
+
+  const NodeId cond_taken =
+      b.or_n({b.and2(op_bf, flag), b.and2(op_bnf, b.inv(flag))});
+  const NodeId uncond_taken = b.or_n({op_j, op_jal});
+  const NodeId branch_taken = b.or2(cond_taken, uncond_taken);
+
+  // ---- exception unit ---------------------------------------------------------------
+  // EPCR: saved return PC, written on exception entry, restored by rfe.
+  const NodeId take_except = b.and2(except_start, b.inv(rst));
+  const Bus epcr = b.reg_en_bus(pc, take_except);
+  const Bus vec_hot = b.decode(except_type);
+  Bus except_vec = b.constant(kBusErrVector, kPcBits);
+  except_vec = b.mux_bus(except_vec, b.constant(kTickVector, kPcBits),
+                         vec_hot[1]);
+  except_vec = b.mux_bus(except_vec, b.constant(kIllegalVector, kPcBits),
+                         vec_hot[2]);
+  except_vec = b.mux_bus(except_vec, b.constant(kResetVector, kPcBits),
+                         vec_hot[3]);
+
+  // ---- next-PC priority mux -------------------------------------------------------
+  // freeze holds; reset > exception > rfe > jr > branch > sequential.
+  Bus next_pc = pc_inc;
+  next_pc = b.mux_bus(next_pc, rel_target, branch_taken);
+  next_pc = b.mux_bus(next_pc, reg_target, op_jr);
+  next_pc = b.mux_bus(next_pc, epcr, op_rfe);
+  next_pc = b.mux_bus(next_pc, except_vec, take_except);
+  next_pc = b.mux_bus(next_pc, b.constant(kResetVector, kPcBits), rst);
+  next_pc = b.mux_bus(next_pc, pc, b.and_n({freeze, b.inv(rst),
+                                            b.inv(take_except)}));
+  b.connect_reg_bus(pc, next_pc);
+
+  // Link-address output for jal (pc + 1 word).
+  const Bus link_addr = b.reg_en_bus(pc_inc, op_jal);
+
+  // Saved-exception flag (pending until serviced PC issues).
+  const NodeId in_except = b.reg_placeholder();
+  b.connect_reg(in_except,
+                b.and2(b.or2(in_except, take_except),
+                       b.inv(b.or2(rst, op_rfe))));
+
+  // ---- outputs --------------------------------------------------------------------------
+  b.output_bus("pc_out", pc);
+  b.output_bus("link_addr", link_addr);
+  b.output("in_except", in_except);
+  b.output("branch_taken_o", branch_taken);
+  b.output_bus("epcr_out", Builder::slice(epcr, 0, 8));  // low byte visible
+
+  // ---- stimulus ------------------------------------------------------------------------
+  d.stimulus.profiles["rst"] = {.p1 = 0.01, .hold_cycles = 2,
+                                .hold_value = true};
+  d.stimulus.profiles["freeze"] = {.p1 = 0.2, .hold_cycles = 0,
+                                   .hold_value = false};
+  d.stimulus.profiles["branch_op"] = {.p1 = 0.3, .hold_cycles = 0,
+                                      .hold_value = false};
+  d.stimulus.profiles["branch_imm"] = {.p1 = 0.5, .hold_cycles = 0,
+                                       .hold_value = false};
+  d.stimulus.profiles["reg_target"] = {.p1 = 0.5, .hold_cycles = 0,
+                                       .hold_value = false};
+  d.stimulus.profiles["flag"] = {.p1 = 0.5, .hold_cycles = 0,
+                                 .hold_value = false};
+  d.stimulus.profiles["except_start"] = {.p1 = 0.05, .hold_cycles = 0,
+                                         .hold_value = false};
+  d.stimulus.profiles["except_type"] = {.p1 = 0.5, .hold_cycles = 0,
+                                        .hold_value = false};
+  d.netlist.validate();
+  return d;
+}
+
+}  // namespace fcrit::designs

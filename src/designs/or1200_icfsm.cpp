@@ -1,0 +1,175 @@
+// OR1200 instruction-cache controller FSM (or1200_ic_fsm), re-implemented
+// at gate level.
+//
+// The state machine sequences the signals between the CPU fetch stage, the
+// cache data/tag arrays and the bus interface unit:
+//   IDLE -> CFETCH on a fetch strobe; tags are compared (tagcomp_miss) and
+//   a hit acks immediately; a miss enters LREFILL3, a 4-word burst refill
+//   driven by biudata_valid with a word counter and line-address counter;
+//   cache-inhibited fetches bypass the cache through CI_FETCH.
+// Datapath around the FSM: burst word counter, refill address counter,
+// request address latch, hit/miss evaluation and load-in-progress flags,
+// tag/data write-enable and ack/error generation.
+#include "src/designs/designs.hpp"
+
+#include "src/rtl/builder.hpp"
+#include "src/rtl/fsm.hpp"
+
+namespace fcrit::designs {
+
+using rtl::Builder;
+using rtl::Bus;
+using rtl::Fsm;
+using netlist::NodeId;
+
+namespace {
+enum State { kIdle = 0, kCFetch, kRefill, kCiFetch, kNumStates };
+constexpr int kAddrBits = 12;  // request address kept by the latch
+}  // namespace
+
+Design build_or1200_icfsm() {
+  Design d;
+  d.name = "or1200_icfsm";
+  d.netlist.set_name("or1200_icfsm");
+  Builder b(d.netlist, /*style_seed=*/0x1cf5);
+
+  // ---- ports ---------------------------------------------------------------
+  const NodeId rst = b.input("rst");
+  const NodeId ic_en = b.input("ic_en");              // cache enabled
+  const NodeId cycstb = b.input("icqmem_cycstb");     // CPU fetch strobe
+  const NodeId cache_inhibit = b.input("icqmem_ci");  // uncacheable fetch
+  const NodeId tagcomp_miss = b.input("tagcomp_miss");
+  const NodeId biudata_valid = b.input("biudata_valid");
+  const NodeId biudata_error = b.input("biudata_error");
+  const Bus start_addr = b.input_bus("icqmem_adr", kAddrBits);
+
+  // ---- FSM -------------------------------------------------------------------
+  Fsm fsm(b, kNumStates, "ic_fsm");
+  const NodeId in_idle = fsm.in_state(kIdle);
+  const NodeId in_cfetch = fsm.in_state(kCFetch);
+  const NodeId in_refill = fsm.in_state(kRefill);
+  const NodeId in_cifetch = fsm.in_state(kCiFetch);
+
+  const NodeId start = b.and_n({in_idle, cycstb, b.inv(rst)});
+  const NodeId start_cached = b.and_n({start, ic_en, b.inv(cache_inhibit)});
+  const NodeId start_ci = b.and2(start, b.or2(b.inv(ic_en), cache_inhibit));
+
+  // ---- hit/miss evaluation flag ------------------------------------------------
+  // High exactly for the first CFETCH cycle: the tag comparison result is
+  // only meaningful then (or1200's hitmiss_eval).
+  const NodeId hitmiss_eval = b.reg_placeholder();
+  b.connect_reg(hitmiss_eval, start_cached);
+  const NodeId hit = b.and_n({in_cfetch, hitmiss_eval, b.inv(tagcomp_miss)});
+  const NodeId miss = b.and_n({in_cfetch, hitmiss_eval, tagcomp_miss});
+
+  // ---- burst word counter -------------------------------------------------------
+  // Loaded with 3 when the refill starts; decrements per valid refill word.
+  const Bus cnt = b.reg_placeholder_bus(2);
+  const NodeId cnt_zero = b.eq_const(cnt, 0);
+  const NodeId refill_word = b.and2(in_refill, biudata_valid);
+  const NodeId refill_done = b.and2(refill_word, cnt_zero);
+  {
+    // cnt - 1 == cnt + 0b11 (mod 4).
+    const Bus dec = b.add_const(cnt, 3);
+    Bus nxt = b.mux_bus(cnt, dec, refill_word);
+    nxt = b.mux_bus(nxt, b.constant(3, 2), miss);  // load at refill start
+    const NodeId nrst = b.inv(rst);
+    Bus gated;
+    for (const NodeId bit : nxt) gated.push_back(b.and2(bit, nrst));
+    b.connect_reg_bus(cnt, gated);
+  }
+
+  // ---- refill line-address counter ------------------------------------------------
+  // Word-within-line address [3:2]: starts at the missed word, wraps.
+  const Bus word_addr = b.reg_placeholder_bus(2);
+  {
+    const Bus inc = b.increment(word_addr);
+    Bus nxt = b.mux_bus(word_addr, inc, refill_word);
+    nxt = b.mux_bus(nxt, Builder::slice(start_addr, 0, 2), start);
+    const NodeId nrst = b.inv(rst);
+    Bus gated;
+    for (const NodeId bit : nxt) gated.push_back(b.and2(bit, nrst));
+    b.connect_reg_bus(word_addr, gated);
+  }
+
+  // ---- request address latch ---------------------------------------------------------
+  const Bus saved_addr = b.reg_en_bus(start_addr, start);
+
+  // ---- load-in-progress / inhibit flags -------------------------------------------------
+  const NodeId any_done = b.or_n(
+      {hit, refill_done, b.and2(in_cifetch, biudata_valid), biudata_error});
+  const NodeId load = b.reg_placeholder();
+  b.connect_reg(load,
+                b.and2(b.or2(load, start), b.inv(b.or2(any_done, rst))));
+  const NodeId ci_flag = b.reg_en(cache_inhibit, start);
+
+  // ---- FSM transitions --------------------------------------------------------------
+  fsm.add_transition(kIdle, start_ci, kCiFetch);
+  fsm.add_transition(kIdle, start_cached, kCFetch);
+  fsm.add_transition(kCFetch, biudata_error, kIdle);
+  fsm.add_transition(kCFetch, hit, kIdle);
+  fsm.add_transition(kCFetch, miss, kRefill);
+  fsm.add_transition(kRefill, biudata_error, kIdle);
+  fsm.add_transition(kRefill, refill_done, kIdle);
+  fsm.add_transition(kCiFetch, b.or2(biudata_valid, biudata_error), kIdle);
+  fsm.build(rst);
+
+  // ---- control outputs ------------------------------------------------------------------
+  // Tag and data array write enables during refill; data write also on the
+  // cache-inhibited path (forwarded, not stored — no data_we there).
+  const NodeId tag_we = refill_word;
+  const NodeId data_we = refill_word;
+  // Bus request: burst read during refill, single read for CI fetches.
+  const NodeId biu_read = b.or_n({miss, in_refill, in_cifetch});
+  const NodeId burst = in_refill;
+  // CPU ack: immediate on hit, first refill word (critical-word-first
+  // forwarding) or CI data return.
+  const NodeId first_word = b.eq(word_addr, Builder::slice(saved_addr, 0, 2));
+  const NodeId ack = b.or_n({hit, b.and2(refill_word, first_word),
+                             b.and2(in_cifetch, biudata_valid)});
+  const NodeId err = b.and2(b.or_n({in_cfetch, in_refill, in_cifetch}),
+                            biudata_error);
+
+  // Address to the arrays/bus: refill word counter replaces the low bits.
+  Bus array_addr = saved_addr;
+  array_addr[0] = b.mux(saved_addr[0], word_addr[0], in_refill);
+  array_addr[1] = b.mux(saved_addr[1], word_addr[1], in_refill);
+
+  // ---- outputs ------------------------------------------------------------------------------
+  b.output("tag_we", tag_we);
+  b.output("data_we", data_we);
+  b.output("biu_read", biu_read);
+  b.output("burst", burst);
+  b.output("ack", ack);
+  b.output("err", err);
+  b.output("load", load);
+  b.output("ci", ci_flag);
+  b.output("hitmiss_eval", hitmiss_eval);
+  b.output_bus("array_addr", array_addr);
+
+  // ---- stimulus profile -----------------------------------------------------------------------
+  d.stimulus.profiles["rst"] = {.p1 = 0.01, .hold_cycles = 2,
+                                .hold_value = true};
+  d.stimulus.profiles["ic_en"] = {.p1 = 0.7, .hold_cycles = 0,
+                                  .hold_value = false};
+  d.stimulus.profiles["icqmem_cycstb"] = {.p1 = 0.3, .hold_cycles = 0,
+                                          .hold_value = false};
+  d.stimulus.profiles["icqmem_ci"] = {.p1 = 0.15, .hold_cycles = 0,
+                                      .hold_value = false};
+  d.stimulus.profiles["tagcomp_miss"] = {.p1 = 0.35, .hold_cycles = 0,
+                                         .hold_value = false};
+  d.stimulus.profiles["biudata_valid"] = {.p1 = 0.35, .hold_cycles = 0,
+                                          .hold_value = false};
+  d.stimulus.activity_min = 0.05;
+  d.stimulus.p1_scale_min = 0.15;
+  d.stimulus.p1_scale_max = 1.8;
+  d.dangerous_cycle_fraction = 0.18;
+  d.stimulus.profiles["biudata_error"] = {.p1 = 0.02, .hold_cycles = 0,
+                                          .hold_value = false};
+  d.stimulus.profiles["icqmem_adr"] = {.p1 = 0.5, .hold_cycles = 0,
+                                       .hold_value = false};
+  d.netlist.validate();
+  return d;
+}
+
+}  // namespace fcrit::designs

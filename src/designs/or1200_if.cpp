@@ -1,0 +1,170 @@
+// OR1200 instruction-fetch unit (IF), re-implemented at gate level.
+//
+// Mirrors the structure the paper describes ("an instruction cache and the
+// control logic to calculate the address of the instruction to be
+// fetched"):
+//   * program-counter datapath: 30-bit word PC register, +1 incrementer,
+//     redirection priority mux (exception vector > branch target > hold on
+//     stall > sequential)
+//   * a direct-mapped instruction-cache tag store: 16 lines, 10-bit partial
+//     tags + valid bits, hit comparator, refill write port
+//   * saved-instruction buffer: captures the fetched word when the pipeline
+//     freezes so it is not lost, with a valid flag
+//   * fetch-output mux that substitutes the OR1200 NOP (0x15000000) while
+//     the fetch is invalid
+#include "src/designs/designs.hpp"
+
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::designs {
+
+using rtl::Builder;
+using rtl::Bus;
+using netlist::NodeId;
+
+namespace {
+constexpr int kPcBits = 30;     // word-addressed PC (byte addr [31:2])
+constexpr int kIndexBits = 4;   // 16 cache lines
+constexpr int kTagBits = 10;    // partial tag above the index
+constexpr std::uint64_t kResetVector = 0x100 >> 2;
+constexpr std::uint64_t kExceptVector = 0x700 >> 2;
+constexpr std::uint64_t kNop = 0x15000000;
+}  // namespace
+
+Design build_or1200_if() {
+  Design d;
+  d.name = "or1200_if";
+  d.netlist.set_name("or1200_if");
+  Builder b(d.netlist, /*style_seed=*/0x1f00);
+
+  // ---- ports ---------------------------------------------------------------
+  const NodeId rst = b.input("rst");
+  const NodeId stall = b.input("stall");        // pipeline freeze
+  const NodeId flush = b.input("flush");        // pipeline flush
+  const NodeId branch_taken = b.input("branch_taken");
+  const Bus branch_target = b.input_bus("branch_target", kPcBits);
+  const NodeId except = b.input("except");      // exception redirect
+  const NodeId imem_ack = b.input("imem_ack");  // bus delivers refill data
+  const Bus icpu_dat = b.input_bus("icpu_dat", 32);  // fetched word
+
+  // ---- program counter datapath ---------------------------------------------
+  const Bus pc = b.reg_placeholder_bus(kPcBits);
+  const Bus pc_inc = b.increment(pc);
+
+  // Cache lookup uses the *current* PC.
+  const Bus index = Builder::slice(pc, 0, kIndexBits);
+  const Bus tag = Builder::slice(pc, kIndexBits, kTagBits);
+
+  // ---- instruction-cache tag store --------------------------------------------
+  const Bus line_sel = b.decode(index);  // 16 one-hot lines
+  // Refill: on a miss the bus fetch completes when imem_ack arrives; the
+  // line's tag is written and its valid bit set.
+  // hit/miss computed from the muxed tag below; declare placeholder wiring.
+  std::vector<Bus> line_tag(std::size_t{1} << kIndexBits);
+  std::vector<NodeId> line_valid(std::size_t{1} << kIndexBits);
+
+  // Tag read mux (built as a one-hot AND-OR plane per tag bit).
+  Bus tag_rd;
+  Bus valid_terms;
+  // First create the storage with a deferred write enable: we need `refill`
+  // which depends on the hit signal, which depends on the storage. Use
+  // placeholder registers and connect after computing `refill`.
+  for (std::size_t line = 0; line < line_tag.size(); ++line) {
+    line_tag[line] = b.reg_placeholder_bus(kTagBits);
+    line_valid[line] = b.reg_placeholder();
+  }
+  for (int bit = 0; bit < kTagBits; ++bit) {
+    std::vector<NodeId> terms;
+    for (std::size_t line = 0; line < line_tag.size(); ++line)
+      terms.push_back(b.and2(line_sel[line],
+                             line_tag[line][static_cast<std::size_t>(bit)]));
+    tag_rd.push_back(b.or_n(terms));
+  }
+  {
+    std::vector<NodeId> terms;
+    for (std::size_t line = 0; line < line_valid.size(); ++line)
+      terms.push_back(b.and2(line_sel[line], line_valid[line]));
+    valid_terms.push_back(b.or_n(terms));
+  }
+  const NodeId line_v = valid_terms[0];
+  const NodeId tag_match = b.eq(tag_rd, tag);
+  const NodeId hit = b.and2(line_v, tag_match);
+  const NodeId miss = b.inv(hit);
+  const NodeId refill = b.and_n({miss, imem_ack, b.inv(rst), b.inv(flush)});
+
+  // Connect the tag/valid storage now that `refill` exists.
+  for (std::size_t line = 0; line < line_tag.size(); ++line) {
+    const NodeId we = b.and2(refill, line_sel[line]);
+    for (int bit = 0; bit < kTagBits; ++bit) {
+      const auto idx = static_cast<std::size_t>(bit);
+      b.connect_reg(line_tag[line][idx],
+                    b.mux(line_tag[line][idx], tag[idx], we));
+    }
+    // Valid set on refill, cleared on reset (flush keeps the cache warm).
+    b.connect_reg(line_valid[line],
+                  b.and2(b.or2(line_valid[line], we), b.inv(rst)));
+  }
+
+  // ---- fetch advance / PC update ------------------------------------------------
+  // The fetch advances when the cache hits (or right after refill) and the
+  // pipeline is not frozen.
+  const NodeId fetch_ok = b.or2(hit, refill);
+  const NodeId advance = b.and_n({fetch_ok, b.inv(stall), b.inv(rst)});
+
+  // Next-PC priority: reset > exception > branch > advance > hold.
+  const Bus vec_reset = b.constant(kResetVector, kPcBits);
+  const Bus vec_except = b.constant(kExceptVector, kPcBits);
+  Bus pc_next = b.mux_bus(pc, pc_inc, advance);
+  pc_next = b.mux_bus(pc_next, branch_target, branch_taken);
+  pc_next = b.mux_bus(pc_next, vec_except, except);
+  pc_next = b.mux_bus(pc_next, vec_reset, rst);
+  b.connect_reg_bus(pc, pc_next);
+
+  // ---- saved-instruction buffer -----------------------------------------------
+  // When the fetch completes while the pipeline is frozen, park the word.
+  const NodeId save = b.and_n({fetch_ok, stall, b.inv(rst)});
+  const Bus saved_insn = b.reg_en_bus(icpu_dat, save);
+  const NodeId saved_valid = b.reg_placeholder();
+  {
+    // Set on save; cleared when consumed (pipeline unfreezes) or flushed.
+    const NodeId clear = b.or_n({b.inv(stall), flush, rst});
+    b.connect_reg(saved_valid,
+                  b.and2(b.or2(saved_valid, save), b.inv(clear)));
+  }
+
+  // ---- fetch output -----------------------------------------------------------
+  const NodeId insn_valid = b.and2(b.or2(fetch_ok, saved_valid), b.inv(rst));
+  const Bus nop = b.constant(kNop, 32);
+  Bus live_insn = b.mux_bus(icpu_dat, saved_insn, saved_valid);
+  const Bus if_insn = b.mux_bus(nop, live_insn, insn_valid);
+
+  // ---- outputs -------------------------------------------------------------------
+  b.output_bus("if_insn", if_insn);
+  b.output_bus("if_pc", pc);
+  b.output("if_valid", insn_valid);
+  b.output("ic_hit", hit);
+  b.output("ic_refill", refill);
+  b.output("if_stall_out", b.and2(miss, b.inv(refill)));
+
+  // ---- stimulus profile --------------------------------------------------------
+  d.stimulus.profiles["rst"] = {.p1 = 0.01, .hold_cycles = 2,
+                                .hold_value = true};
+  d.stimulus.profiles["stall"] = {.p1 = 0.2, .hold_cycles = 0,
+                                  .hold_value = false};
+  d.stimulus.profiles["flush"] = {.p1 = 0.05, .hold_cycles = 0,
+                                  .hold_value = false};
+  d.stimulus.profiles["branch_taken"] = {.p1 = 0.15, .hold_cycles = 0,
+                                         .hold_value = false};
+  d.stimulus.profiles["branch_target"] = {.p1 = 0.5, .hold_cycles = 0,
+                                          .hold_value = false};
+  d.stimulus.profiles["except"] = {.p1 = 0.03, .hold_cycles = 0,
+                                   .hold_value = false};
+  d.stimulus.profiles["imem_ack"] = {.p1 = 0.5, .hold_cycles = 0,
+                                     .hold_value = false};
+  d.stimulus.profiles["icpu_dat"] = {.p1 = 0.5, .hold_cycles = 0,
+                                     .hold_value = false};
+  d.netlist.validate();
+  return d;
+}
+
+}  // namespace fcrit::designs

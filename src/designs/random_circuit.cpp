@@ -1,0 +1,79 @@
+#include "src/designs/random_circuit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace fcrit::designs {
+
+using netlist::CellKind;
+using netlist::NodeId;
+
+Design build_random_circuit(const RandomCircuitConfig& config) {
+  if (config.num_inputs < 1 || config.num_gates < 1 ||
+      config.num_outputs < 1)
+    throw std::runtime_error("build_random_circuit: degenerate config");
+
+  Design d;
+  d.name = "random_" + std::to_string(config.seed);
+  d.netlist.set_name(d.name);
+  util::Rng rng(config.seed ^ 0xfc17);
+
+  std::vector<NodeId> pool;
+  for (int i = 0; i < config.num_inputs; ++i)
+    pool.push_back(d.netlist.add_input("in" + std::to_string(i)));
+
+  // Flip-flops first (placeholders) so combinational logic can consume
+  // state; their D inputs are connected at the end.
+  std::vector<NodeId> flops;
+  for (int i = 0; i < config.num_flops; ++i) {
+    const NodeId ff = d.netlist.add_gate(CellKind::kDff, {netlist::kNoNode});
+    flops.push_back(ff);
+    pool.push_back(ff);
+  }
+
+  auto pick = [&]() -> NodeId {
+    if (rng.next_double() < config.reuse_bias) {
+      // Bias toward recent nodes: exponential tail over the last quarter.
+      const std::size_t window = std::max<std::size_t>(1, pool.size() / 4);
+      return pool[pool.size() - 1 - rng.next_below(window)];
+    }
+    return pool[rng.next_below(pool.size())];
+  };
+
+  // Combinational kinds only (skip BUF to keep circuits interesting).
+  static const CellKind kKinds[] = {
+      CellKind::kInv,   CellKind::kAnd2,  CellKind::kAnd3, CellKind::kAnd4,
+      CellKind::kNand2, CellKind::kNand3, CellKind::kNand4, CellKind::kOr2,
+      CellKind::kOr3,   CellKind::kOr4,   CellKind::kNor2, CellKind::kNor3,
+      CellKind::kNor4,  CellKind::kXor2,  CellKind::kXnor2,
+      CellKind::kAoi21, CellKind::kAoi22, CellKind::kOai21,
+      CellKind::kOai22, CellKind::kMux2};
+
+  for (int g = 0; g < config.num_gates; ++g) {
+    const CellKind kind =
+        kKinds[rng.next_below(sizeof(kKinds) / sizeof(kKinds[0]))];
+    std::vector<NodeId> fanins;
+    for (int j = 0; j < netlist::spec(kind).arity; ++j)
+      fanins.push_back(pick());
+    pool.push_back(d.netlist.add_gate(kind, fanins));
+  }
+
+  // Connect flip-flop inputs to late gates (sequential feedback).
+  for (const NodeId ff : flops) d.netlist.set_fanin(ff, 0, pick());
+
+  // Outputs drawn from the last half of the pool (deep logic observed).
+  for (int o = 0; o < config.num_outputs; ++o) {
+    const std::size_t lo = pool.size() / 2;
+    const NodeId driver =
+        pool[lo + rng.next_below(pool.size() - lo)];
+    d.netlist.add_output("out" + std::to_string(o), driver);
+  }
+
+  d.stimulus.default_profile.p1 = 0.5;
+  d.netlist.validate();
+  return d;
+}
+
+}  // namespace fcrit::designs

@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "src/designs/designs.hpp"
+
+namespace fcrit::designs {
+
+std::vector<std::string> design_names() {
+  return {"sdram_ctrl", "or1200_if", "or1200_icfsm"};
+}
+
+std::vector<std::string> all_design_names() {
+  auto names = design_names();
+  names.push_back("or1200_genpc");
+  return names;
+}
+
+Design build_design(const std::string& name) {
+  if (name == "sdram_ctrl") return build_sdram_ctrl();
+  if (name == "or1200_if") return build_or1200_if();
+  if (name == "or1200_icfsm") return build_or1200_icfsm();
+  if (name == "or1200_genpc") return build_or1200_genpc();
+  throw std::runtime_error("build_design: unknown design '" + name + "'");
+}
+
+}  // namespace fcrit::designs

@@ -1,0 +1,262 @@
+// SDR-SDRAM controller, modeled after compact open-source controllers
+// (single chip select, 4 banks, row/column multiplexed address bus).
+//
+// Structure:
+//   * power-up initialization sequencer (wait, PRECHARGE-ALL, 2x AUTO
+//     REFRESH, MODE REGISTER SET)
+//   * refresh interval counter raising a sticky refresh request
+//   * command FSM: IDLE / ROW ACTIVATE / tRCD wait / READ-WRITE burst /
+//     PRECHARGE / tRP wait / AUTO REFRESH / tRFC wait; command states last
+//     one cycle and load the shared timer for the following wait state
+//   * per-bank open-row tracking (4 banks x row register + valid bit) with
+//     row-hit comparators that skip the ACTIVATE for page hits
+//   * address multiplexer (row / column with A10 auto-precharge control)
+#include "src/designs/designs.hpp"
+
+#include "src/rtl/builder.hpp"
+#include "src/rtl/fsm.hpp"
+
+namespace fcrit::designs {
+
+using rtl::Builder;
+using rtl::Bus;
+using rtl::Fsm;
+using netlist::NodeId;
+
+namespace {
+
+// Address geometry: 4 banks x 1024 rows x 256 columns.
+constexpr int kRowBits = 10;
+constexpr int kColBits = 8;
+constexpr int kBankBits = 2;
+
+// FSM states. Command states (*) last one cycle and load the shared timer.
+enum State {
+  kInitWait = 0,  // power-up delay
+  kInitPre,       // * PRECHARGE ALL
+  kInitRef1,      // * AUTO REFRESH #1
+  kInitRfc1,      //   tRFC wait
+  kInitRef2,      // * AUTO REFRESH #2
+  kInitRfc2,      //   tRFC wait
+  kInitMrs,       // * MODE REGISTER SET
+  kIdle,
+  kActivate,      // * ROW ACTIVATE
+  kRcdWait,       //   tRCD
+  kReadWrite,     //   CAS burst (counts the shared timer down)
+  kPrecharge,     // * PRECHARGE one bank
+  kRpWait,        //   tRP
+  kAutoRefresh,   // * AUTO REFRESH
+  kRfcWait,       //   tRFC
+  kNumStates,
+};
+
+}  // namespace
+
+Design build_sdram_ctrl() {
+  Design d;
+  d.name = "sdram_ctrl";
+  d.netlist.set_name("sdram_ctrl");
+  Builder b(d.netlist, /*style_seed=*/0x5d7a);
+
+  // ---- ports ---------------------------------------------------------------
+  const NodeId rst = b.input("rst");
+  const NodeId req = b.input("req");  // host request strobe
+  const NodeId wr = b.input("wr");    // 1 = write, 0 = read
+  const Bus addr = b.input_bus("addr", kBankBits + kRowBits + kColBits);
+
+  const Bus col = Builder::slice(addr, 0, kColBits);
+  const Bus bank = Builder::slice(addr, kColBits, kBankBits);
+  const Bus row = Builder::slice(addr, kColBits + kBankBits, kRowBits);
+
+  // ---- FSM skeleton (state indicators needed by the datapath) ----------------
+  Fsm fsm(b, kNumStates, "cmd_fsm");
+  const NodeId in_idle = fsm.in_state(kIdle);
+  const NodeId in_activate = fsm.in_state(kActivate);
+  const NodeId in_rcd = fsm.in_state(kRcdWait);
+  const NodeId in_rw = fsm.in_state(kReadWrite);
+  const NodeId in_precharge = fsm.in_state(kPrecharge);
+  const NodeId in_refresh = fsm.in_state(kAutoRefresh);
+
+  // ---- init counter: power-up delay ------------------------------------------
+  const Bus init_cnt = b.reg_placeholder_bus(6);
+  const NodeId init_done = b.eq_const(init_cnt, 63);
+  {
+    const Bus inc = b.increment(init_cnt);
+    const Bus held = b.mux_bus(inc, init_cnt, init_done);  // saturate
+    const NodeId nrst = b.inv(rst);
+    Bus nxt;
+    for (const NodeId bit : held) nxt.push_back(b.and2(bit, nrst));
+    b.connect_reg_bus(init_cnt, nxt);
+  }
+
+  // ---- refresh interval counter ------------------------------------------------
+  const Bus ref_cnt = b.reg_placeholder_bus(9);
+  const NodeId ref_hit = b.eq_const(ref_cnt, 400);
+  {
+    const Bus inc = b.increment(ref_cnt);
+    const NodeId clear = b.or2(rst, ref_hit);
+    const NodeId nclear = b.inv(clear);
+    Bus nxt;
+    for (const NodeId bit : inc) nxt.push_back(b.and2(bit, nclear));
+    b.connect_reg_bus(ref_cnt, nxt);
+  }
+  // Sticky refresh request, cleared when the refresh command issues.
+  const NodeId ref_req = b.reg_placeholder();
+  {
+    const NodeId clear = b.or2(rst, in_refresh);
+    b.connect_reg(ref_req, b.and2(b.or2(ref_req, ref_hit), b.inv(clear)));
+  }
+
+  // ---- shared state timer ---------------------------------------------------
+  // 3-bit down-counter; each one-cycle command state loads the delay of the
+  // wait state that follows it. tRCD=2, burst=5, tRP=2, tRFC=7.
+  const Bus timer = b.reg_placeholder_bus(3);
+  const NodeId timer_zero = b.eq_const(timer, 0);
+  const NodeId accept = b.and2(in_idle, req);
+
+  // Row-hit detection needs the bank decode; declared before use below.
+  const Bus bank_onehot = b.decode(bank);
+
+  // ---- per-bank open-row tracking ----------------------------------------------
+  std::vector<Bus> open_row(4);
+  std::vector<NodeId> bank_open(4);
+  std::vector<NodeId> row_hit_terms;
+  for (int bk = 0; bk < 4; ++bk) {
+    const NodeId selected = bank_onehot[static_cast<std::size_t>(bk)];
+    const NodeId load = b.and2(in_activate, selected);
+    open_row[static_cast<std::size_t>(bk)] = b.reg_en_bus(row, load);
+    // Valid bit: set on activate; cleared on this bank's precharge, on any
+    // refresh (precharge-all semantics), on init precharge and on reset.
+    const NodeId clr = b.or_n({b.and2(in_precharge, selected), in_refresh,
+                               rst, fsm.in_state(kInitPre)});
+    const NodeId vb = b.reg_placeholder();
+    b.connect_reg(vb, b.and2(b.or2(vb, load), b.inv(clr)));
+    bank_open[static_cast<std::size_t>(bk)] = vb;
+    const NodeId same_row = b.eq(open_row[static_cast<std::size_t>(bk)], row);
+    row_hit_terms.push_back(b.and_n({selected, vb, same_row}));
+  }
+  const NodeId row_hit = b.or_n(row_hit_terms);
+  const NodeId bank_sel_open =
+      b.or_n({b.and2(bank_onehot[0], bank_open[0]),
+              b.and2(bank_onehot[1], bank_open[1]),
+              b.and2(bank_onehot[2], bank_open[2]),
+              b.and2(bank_onehot[3], bank_open[3])});
+  // Page miss on an open bank: PRECHARGE before ACTIVATE.
+  const NodeId row_conflict = b.and2(bank_sel_open, b.inv(row_hit));
+
+  // Timer loads (all in single-cycle states or on the exit edge).
+  const NodeId load_rcd = in_activate;
+  const NodeId load_burst =
+      b.or2(b.and2(in_rcd, timer_zero), b.and2(accept, row_hit));
+  const NodeId load_rp = in_precharge;
+  const NodeId load_rfc = b.or_n({in_refresh, fsm.in_state(kInitRef1),
+                                  fsm.in_state(kInitRef2)});
+  {
+    const Bus v_rcd = b.constant(2, 3);
+    const Bus v_burst = b.constant(5, 3);
+    const Bus v_rp = b.constant(2, 3);
+    const Bus v_rfc = b.constant(7, 3);
+    // Decrement toward zero (add 0b111 == subtract 1 mod 8), hold at zero.
+    const Bus dec = b.add_const(timer, 7);
+    Bus nxt = b.mux_bus(dec, timer, timer_zero);
+    nxt = b.mux_bus(nxt, v_rfc, load_rfc);
+    nxt = b.mux_bus(nxt, v_rp, load_rp);
+    nxt = b.mux_bus(nxt, v_burst, load_burst);
+    nxt = b.mux_bus(nxt, v_rcd, load_rcd);
+    const NodeId nrst = b.inv(rst);
+    Bus gated;
+    for (const NodeId bit : nxt) gated.push_back(b.and2(bit, nrst));
+    b.connect_reg_bus(timer, gated);
+  }
+
+  // ---- latched request ----------------------------------------------------------
+  const NodeId wr_lat = b.reg_en(wr, accept);
+  const Bus col_lat = b.reg_en_bus(col, accept);
+  const Bus row_lat = b.reg_en_bus(row, accept);
+  const Bus bank_lat = b.reg_en_bus(bank, accept);
+
+  // ---- FSM transitions -------------------------------------------------------------
+  const NodeId not_ref = b.inv(ref_req);
+  fsm.add_transition(kInitWait, init_done, kInitPre);
+  fsm.set_default(kInitPre, kInitRef1);
+  fsm.set_default(kInitRef1, kInitRfc1);
+  fsm.add_transition(kInitRfc1, timer_zero, kInitRef2);
+  fsm.set_default(kInitRef2, kInitRfc2);
+  fsm.add_transition(kInitRfc2, timer_zero, kInitMrs);
+  fsm.set_default(kInitMrs, kIdle);
+
+  fsm.add_transition(kIdle, ref_req, kAutoRefresh);
+  fsm.add_transition(kIdle, b.and_n({req, not_ref, row_hit}), kReadWrite);
+  fsm.add_transition(kIdle, b.and_n({req, not_ref, row_conflict}),
+                     kPrecharge);
+  fsm.add_transition(kIdle, b.and2(req, not_ref), kActivate);
+
+  fsm.set_default(kActivate, kRcdWait);
+  fsm.add_transition(kRcdWait, timer_zero, kReadWrite);
+  fsm.add_transition(kReadWrite, timer_zero, kIdle);
+  fsm.set_default(kPrecharge, kRpWait);
+  fsm.add_transition(kRpWait, timer_zero, kActivate);
+  fsm.set_default(kAutoRefresh, kRfcWait);
+  fsm.add_transition(kRfcWait, timer_zero, kIdle);
+  fsm.build(rst);
+
+  // ---- SDRAM command encoding ------------------------------------------------------
+  // Command = {cs_n, ras_n, cas_n, we_n}; NOP when cs_n is high.
+  const NodeId cmd_activate = in_activate;
+  const NodeId cmd_readwrite = in_rw;
+  const NodeId cmd_precharge = b.or2(in_precharge, fsm.in_state(kInitPre));
+  const NodeId cmd_refresh = b.or_n(
+      {in_refresh, fsm.in_state(kInitRef1), fsm.in_state(kInitRef2)});
+  const NodeId cmd_mrs = fsm.in_state(kInitMrs);
+  const NodeId any_cmd = b.or_n(
+      {cmd_activate, cmd_readwrite, cmd_precharge, cmd_refresh, cmd_mrs});
+
+  const NodeId cs_n = b.inv(any_cmd);
+  const NodeId ras_n =
+      b.inv(b.or_n({cmd_activate, cmd_precharge, cmd_refresh, cmd_mrs}));
+  const NodeId cas_n = b.inv(b.or_n({cmd_readwrite, cmd_refresh, cmd_mrs}));
+  const NodeId we_n = b.inv(
+      b.or_n({b.and2(cmd_readwrite, wr_lat), cmd_precharge, cmd_mrs}));
+
+  // ---- address multiplexer ------------------------------------------------------------
+  Bus col_padded = col_lat;
+  while (static_cast<int>(col_padded.size()) < kRowBits)
+    col_padded.push_back(b.const0());
+  Bus sdram_addr = b.mux_bus(col_padded, row_lat, cmd_activate);
+  // A10 high during precharge selects precharge-all.
+  sdram_addr[kRowBits - 1] = b.or2(sdram_addr[kRowBits - 1], cmd_precharge);
+
+  // ---- host-side handshake ----------------------------------------------------------
+  const NodeId busy = b.inv(in_idle);
+  const NodeId done = b.and2(in_rw, timer_zero);
+  const NodeId rd_valid = b.and2(in_rw, b.inv(wr_lat));
+  const NodeId init_ok = b.reg_placeholder();
+  b.connect_reg(init_ok,
+                b.and2(b.or2(init_ok, fsm.in_state(kInitMrs)), b.inv(rst)));
+
+  // ---- outputs -------------------------------------------------------------------------
+  b.output("cs_n", cs_n);
+  b.output("ras_n", ras_n);
+  b.output("cas_n", cas_n);
+  b.output("we_n", we_n);
+  b.output_bus("ba", bank_lat);
+  b.output_bus("a", sdram_addr);
+  b.output("busy", busy);
+  b.output("done", done);
+  b.output("rd_valid", rd_valid);
+  b.output("init_ok", init_ok);
+
+  // ---- stimulus profile -----------------------------------------------------------------
+  d.stimulus.profiles["rst"] = {.p1 = 0.01, .hold_cycles = 2,
+                                .hold_value = true};
+  d.stimulus.profiles["req"] = {.p1 = 0.45, .hold_cycles = 0,
+                                .hold_value = false};
+  d.stimulus.profiles["wr"] = {.p1 = 0.5, .hold_cycles = 0,
+                               .hold_value = false};
+  d.stimulus.profiles["addr"] = {.p1 = 0.5, .hold_cycles = 0,
+                                 .hold_value = false};
+  d.netlist.validate();
+  return d;
+}
+
+}  // namespace fcrit::designs

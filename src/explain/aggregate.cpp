@@ -1,0 +1,61 @@
+#include "src/explain/aggregate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::explain {
+
+GlobalFeatureImportance aggregate_explanations(
+    const std::vector<Explanation>& explanations) {
+  if (explanations.empty())
+    throw std::runtime_error("aggregate_explanations: no explanations");
+  const std::size_t f = explanations.front().feature_importance.size();
+  GlobalFeatureImportance g;
+  g.mean_importance.assign(f, 0.0);
+  g.avg_rank.assign(f, 0.0);
+  g.num_explanations = static_cast<int>(explanations.size());
+
+  for (const Explanation& ex : explanations) {
+    if (ex.feature_importance.size() != f)
+      throw std::runtime_error(
+          "aggregate_explanations: feature count mismatch");
+    for (std::size_t j = 0; j < f; ++j)
+      g.mean_importance[j] += ex.feature_importance[j];
+    const std::vector<int> ranking = ex.feature_ranking();
+    for (std::size_t pos = 0; pos < ranking.size(); ++pos)
+      g.avg_rank[static_cast<std::size_t>(ranking[pos])] +=
+          static_cast<double>(pos) + 1.0;
+  }
+  const double n = static_cast<double>(explanations.size());
+  for (std::size_t j = 0; j < f; ++j) {
+    g.mean_importance[j] /= n;
+    g.avg_rank[j] /= n;
+  }
+
+  g.order.resize(f);
+  std::iota(g.order.begin(), g.order.end(), 0);
+  std::sort(g.order.begin(), g.order.end(), [&](int a, int b) {
+    return g.avg_rank[static_cast<std::size_t>(a)] <
+           g.avg_rank[static_cast<std::size_t>(b)];
+  });
+  return g;
+}
+
+std::string format_global_importance(const GlobalFeatureImportance& gfi,
+                                     const std::vector<std::string>& names) {
+  std::string out;
+  out += "global feature importance (" +
+         std::to_string(gfi.num_explanations) + " node explanations)\n";
+  for (const int j : gfi.order) {
+    const auto ju = static_cast<std::size_t>(j);
+    out += "  rank " + util::format_double(gfi.avg_rank[ju], 2) +
+           "  importance " + util::format_double(gfi.mean_importance[ju], 3) +
+           "  " + names[ju] + "\n";
+  }
+  return out;
+}
+
+}  // namespace fcrit::explain

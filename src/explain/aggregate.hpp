@@ -1,0 +1,33 @@
+// Global feature-importance aggregation (Eq. 3, Fig. 5b): average the
+// per-node explanation scores and the per-node feature rankings across all
+// explained nodes to produce the model-level feature importance map.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/explain/gnn_explainer.hpp"
+
+namespace fcrit::explain {
+
+struct GlobalFeatureImportance {
+  /// Mean per-node importance per feature.
+  std::vector<double> mean_importance;
+
+  /// Avg_FeatureRank of Eq. 3 (1 = always ranked most important).
+  std::vector<double> avg_rank;
+
+  /// Feature indices sorted by avg_rank ascending (best first).
+  std::vector<int> order;
+
+  int num_explanations = 0;
+};
+
+GlobalFeatureImportance aggregate_explanations(
+    const std::vector<Explanation>& explanations);
+
+/// Text table of the global map using the given feature names.
+std::string format_global_importance(const GlobalFeatureImportance& gfi,
+                                     const std::vector<std::string>& names);
+
+}  // namespace fcrit::explain

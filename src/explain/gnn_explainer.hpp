@@ -1,0 +1,74 @@
+// GNNExplainer (Ying et al., NeurIPS'19) for the fcrit GCN — §3.5.
+//
+// For a target node, the explainer extracts the k-hop computation subgraph,
+// then learns a per-edge mask and a per-feature mask by gradient descent so
+// that the masked subgraph still yields the model's original prediction
+// (mutual-information objective = NLL of the predicted class under the
+// masked graph) while size and entropy penalties drive the masks sparse and
+// binary. Gradients flow through the trained GCN via its edge-gradient
+// buffer (dL/dÂ per stored entry) and its input gradient (dL/dX).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graphir/graph.hpp"
+#include "src/ml/gcn.hpp"
+
+namespace fcrit::explain {
+
+struct ExplainerConfig {
+  int epochs = 250;
+  double lr = 0.05;
+  double edge_size_penalty = 0.005;
+  double edge_entropy_penalty = 0.1;
+  double feature_size_penalty = 0.05;
+  double feature_entropy_penalty = 0.1;
+  /// Subgraph radius; the GCN's receptive field equals its conv depth.
+  int num_hops = 4;
+  std::uint64_t seed = 7;
+};
+
+struct Explanation {
+  int node = -1;
+  int predicted_class = -1;
+
+  /// Sigmoid feature mask in [0, 1], one per input feature.
+  std::vector<double> feature_mask;
+
+  /// Feature importance normalized to mean 1 across features (the scale
+  /// used in the paper's Table 2 / Fig. 5a).
+  std::vector<double> feature_importance;
+
+  /// (index into CircuitGraph::edges, sigmoid edge mask) for every edge of
+  /// the explanation subgraph, descending by mask.
+  std::vector<std::pair<int, double>> edge_importance;
+
+  /// Node ids of the k-hop subgraph (global indices).
+  std::vector<int> subgraph_nodes;
+
+  /// Features ranked most-important-first (Eq. 3 consumes these ranks).
+  std::vector<int> feature_ranking() const;
+};
+
+class GnnExplainer {
+ public:
+  /// `model` must already be trained; `x` is the (standardized) feature
+  /// matrix the model was trained on; `graph` the full circuit graph.
+  GnnExplainer(ml::GcnModel& model, const graphir::CircuitGraph& graph,
+               const ml::Matrix& x, ExplainerConfig config = {});
+
+  Explanation explain(int node);
+
+ private:
+  ml::GcnModel* model_;
+  const graphir::CircuitGraph* graph_;
+  const ml::Matrix* x_;
+  ExplainerConfig config_;
+
+  // Full-graph adjacency lists for the BFS.
+  std::vector<std::vector<std::pair<int, int>>> incident_;  // (neighbor, edge)
+};
+
+}  // namespace fcrit::explain

@@ -1,0 +1,106 @@
+#include "src/fault/collapse.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "src/netlist/levelize.hpp"
+
+namespace fcrit::fault {
+
+using netlist::CellKind;
+using netlist::NodeId;
+
+CollapsedFaults collapse_faults(const netlist::Netlist& nl) {
+  CollapsedFaults out;
+  const std::size_t n = nl.num_nodes();
+  out.representative_of.assign(2 * n, Fault{netlist::kNoNode, false});
+
+  // Identity for every fault site.
+  for (const NodeId site : fault_sites(nl)) {
+    out.representative_of[2 * site + 0] = {site, false};
+    out.representative_of[2 * site + 1] = {site, true};
+  }
+  out.original_count = full_fault_list(nl).size();
+
+  // Chain rule, applied in topological order so chains collapse
+  // transitively to their furthest-downstream member: when g = BUF/INV(d)
+  // and g is d's only fanout, redirect d's faults to g's representatives.
+  std::vector<std::uint8_t> drives_po(n, 0);
+  for (const auto& port : nl.outputs()) drives_po[port.driver] = 1;
+
+  const auto lev = netlist::levelize(nl);
+  for (const NodeId g : lev.order) {
+    const CellKind k = nl.kind(g);
+    if (k != CellKind::kBuf && k != CellKind::kInv) continue;
+    const NodeId d = nl.node(g).fanin[0];
+    if (!is_fault_site(nl, d)) continue;
+    if (nl.fanouts(d).size() != 1) continue;
+    // A directly-observed d is distinguishable from g.
+    if (drives_po[d]) continue;
+    const bool invert = (k == CellKind::kInv);
+    // (d, 0) behaves downstream exactly like (g, invert ? 1 : 0).
+    out.representative_of[2 * d + 0] =
+        out.representative_of[2 * g + (invert ? 1 : 0)];
+    out.representative_of[2 * d + 1] =
+        out.representative_of[2 * g + (invert ? 0 : 1)];
+  }
+
+  // Wait — topological order visits g *after* d, but the redirect above
+  // reads g's representative, which later chain steps may themselves
+  // redirect (g could be the single fanin of another BUF/INV). Iterate to
+  // closure: follow representative chains until stable.
+  auto resolve = [&](Fault f) {
+    for (int hops = 0; hops < 1024; ++hops) {
+      const Fault& rep = out.representative(f);
+      if (rep == f) return f;
+      f = rep;
+    }
+    throw std::runtime_error("collapse_faults: representative cycle");
+  };
+  for (const NodeId site : fault_sites(nl)) {
+    out.representative_of[2 * site + 0] = resolve({site, false});
+    out.representative_of[2 * site + 1] = resolve({site, true});
+  }
+
+  // Representatives are the self-mapped faults, in node order.
+  for (const NodeId site : fault_sites(nl)) {
+    for (const bool v : {false, true}) {
+      const Fault f{site, v};
+      if (out.representative(f) == f) out.representatives.push_back(f);
+    }
+  }
+  return out;
+}
+
+CampaignResult expand_collapsed(const CampaignResult& representative_result,
+                                const CollapsedFaults& collapsed) {
+  // Index the representative results.
+  std::map<std::pair<NodeId, bool>, const FaultResult*> by_fault;
+  for (const FaultResult& fr : representative_result.faults)
+    by_fault[{fr.fault.node, fr.fault.stuck_value}] = &fr;
+
+  CampaignResult out;
+  out.config = representative_result.config;
+  out.num_nodes = representative_result.num_nodes;
+  out.golden_seconds = representative_result.golden_seconds;
+  out.fault_seconds = representative_result.fault_seconds;
+
+  for (std::size_t node = 0;
+       node < collapsed.representative_of.size() / 2; ++node) {
+    for (const bool v : {false, true}) {
+      const Fault& rep =
+          collapsed.representative_of[2 * node + (v ? 1 : 0)];
+      if (rep.node == netlist::kNoNode) continue;  // not a fault site
+      const auto it = by_fault.find({rep.node, rep.stuck_value});
+      if (it == by_fault.end())
+        throw std::runtime_error(
+            "expand_collapsed: representative result missing");
+      FaultResult fr = *it->second;
+      fr.fault = {static_cast<NodeId>(node), v};
+      out.faults.push_back(fr);
+    }
+  }
+  return out;
+}
+
+}  // namespace fcrit::fault

@@ -1,0 +1,57 @@
+// Structural fault collapsing.
+//
+// Two stuck-at faults are equivalent when no test can distinguish them. For
+// the node-output fault universe used here, the classical chain rule
+// applies: if gate g is a BUF or INV whose fanin d drives *only* g, then a
+// stuck-at at d's output is indistinguishable from the corresponding
+// stuck-at at g's output (same polarity through BUF, inverted through INV).
+// Collapsing keeps one representative per equivalence class — the
+// downstream end of each single-fanout buffer/inverter chain — and the
+// campaign results of the representative are shared by all members.
+//
+// The style mapper (rtl::Builder) emits many INV(NAND)/INV(NOR) pairs, so
+// collapsing removes a measurable fraction of the universe on real designs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/fault/fault_sim.hpp"
+
+namespace fcrit::fault {
+
+struct CollapsedFaults {
+  /// One fault per equivalence class, in deterministic order.
+  std::vector<Fault> representatives;
+
+  /// Representative of fault (node, v): indexed by 2*node + (v ? 1 : 0).
+  /// Identity for fault sites that collapse to themselves; for non-sites
+  /// the entry is {kNoNode, false}.
+  std::vector<Fault> representative_of;
+
+  std::size_t original_count = 0;
+
+  const Fault& representative(const Fault& f) const {
+    return representative_of[2 * static_cast<std::size_t>(f.node) +
+                             (f.stuck_value ? 1 : 0)];
+  }
+
+  double collapse_ratio() const {
+    return original_count == 0
+               ? 1.0
+               : static_cast<double>(representatives.size()) /
+                     static_cast<double>(original_count);
+  }
+};
+
+/// Compute the collapsed universe of a netlist.
+CollapsedFaults collapse_faults(const netlist::Netlist& nl);
+
+/// Expand a campaign run over the representatives back to the full
+/// universe: every collapsed fault receives a copy of its representative's
+/// result (with its own fault id). Dataset generation then proceeds
+/// unchanged on the expanded result.
+CampaignResult expand_collapsed(const CampaignResult& representative_result,
+                                const CollapsedFaults& collapsed);
+
+}  // namespace fcrit::fault

@@ -1,0 +1,33 @@
+#include "src/fault/fault.hpp"
+
+namespace fcrit::fault {
+
+using netlist::CellKind;
+
+std::string fault_name(const Netlist& nl, const Fault& f) {
+  return nl.node(f.node).name + (f.stuck_value ? "/SA1" : "/SA0");
+}
+
+bool is_fault_site(const Netlist& nl, NodeId id) {
+  const CellKind k = nl.kind(id);
+  return k != CellKind::kInput && k != CellKind::kConst0 &&
+         k != CellKind::kConst1;
+}
+
+std::vector<NodeId> fault_sites(const Netlist& nl) {
+  std::vector<NodeId> sites;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id)
+    if (is_fault_site(nl, id)) sites.push_back(id);
+  return sites;
+}
+
+std::vector<Fault> full_fault_list(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (const NodeId site : fault_sites(nl)) {
+    faults.push_back({site, false});
+    faults.push_back({site, true});
+  }
+  return faults;
+}
+
+}  // namespace fcrit::fault

@@ -1,0 +1,39 @@
+// Stuck-at fault model and fault-universe enumeration.
+//
+// A fault forces the output of one netlist node to a constant 0 or 1
+// (§3.2.1: "faults, namely stuck-at-0 and stuck-at-1, are introduced into
+// the design"). The fault universe covers every gate and flip-flop node;
+// primary inputs and tie cells are excluded, matching the paper's notion of
+// a circuit node ("a gate in the netlist").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::fault {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+struct Fault {
+  NodeId node = netlist::kNoNode;
+  bool stuck_value = false;  // false: stuck-at-0, true: stuck-at-1
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// Human-readable name, e.g. "ND2_U42/SA0".
+std::string fault_name(const Netlist& nl, const Fault& f);
+
+/// True if `id` is a fault-injection site (gate or DFF).
+bool is_fault_site(const Netlist& nl, NodeId id);
+
+/// All fault sites of a netlist, in node-id order.
+std::vector<NodeId> fault_sites(const Netlist& nl);
+
+/// The full stuck-at universe: SA0 and SA1 at every fault site.
+std::vector<Fault> full_fault_list(const Netlist& nl);
+
+}  // namespace fcrit::fault

@@ -1,0 +1,324 @@
+#include "src/fault/fault_sim.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+#include <thread>
+
+#include "src/sim/packed_sim.hpp"
+#include "src/util/timer.hpp"
+
+namespace fcrit::fault {
+
+using netlist::CellKind;
+using netlist::NodeId;
+
+int FaultResult::dangerous_count() const {
+  return std::popcount(dangerous_lanes);
+}
+
+int FaultResult::detected_count() const {
+  return std::popcount(detected_lanes);
+}
+
+FaultCampaign::FaultCampaign(const netlist::Netlist& nl,
+                             const sim::StimulusSpec& stimulus,
+                             CampaignConfig config)
+    : nl_(&nl),
+      stimulus_(stimulus),
+      config_(config),
+      lev_(netlist::levelize(nl)),
+      num_nodes_(nl.num_nodes()) {
+  if (config_.cycles <= 0)
+    throw std::runtime_error("FaultCampaign: cycles must be positive");
+}
+
+void FaultCampaign::run_golden() {
+  util::Timer timer;
+  sim::PackedSimulator simulator(*nl_);
+  sim::StimulusGenerator stim(*nl_, stimulus_, config_.seed);
+  trace_.assign(static_cast<std::size_t>(config_.cycles) * num_nodes_, 0);
+
+  std::vector<std::uint64_t> words;
+  for (int t = 0; t < config_.cycles; ++t) {
+    stim.next_cycle(words);
+    simulator.eval_comb(words);
+    std::uint64_t* row = trace_.data() +
+                         static_cast<std::size_t>(t) * num_nodes_;
+    for (NodeId id = 0; id < num_nodes_; ++id) row[id] = simulator.value(id);
+    simulator.clock();
+  }
+  golden_ready_ = true;
+  golden_seconds_ = timer.seconds();
+}
+
+std::vector<NodeId> FaultCampaign::transitive_fanout(NodeId src) const {
+  std::vector<std::uint8_t> seen(num_nodes_, 0);
+  std::vector<NodeId> queue{src};
+  seen[src] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const NodeId consumer : nl_->fanouts(queue[head])) {
+      if (!seen[consumer]) {
+        seen[consumer] = 1;
+        queue.push_back(consumer);  // crosses DFFs: sequential propagation
+      }
+    }
+  }
+  return queue;
+}
+
+FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
+  if (!golden_ready_)
+    throw std::runtime_error("simulate_fault: golden trace not recorded");
+
+  FaultResult result;
+  result.fault = fault;
+
+  // Cone membership.
+  std::vector<std::uint8_t> in_cone(num_nodes_, 0);
+  if (config_.use_cone_restriction) {
+    for (const NodeId id : transitive_fanout(fault.node)) in_cone[id] = 1;
+  } else {
+    std::fill(in_cone.begin(), in_cone.end(), 1);
+  }
+  // Primary inputs and constants always carry their golden values: they can
+  // never lie in a fault's fanout (the fault universe excludes them), and
+  // in naive mode the evaluation loop must read their stimulus from the
+  // golden trace rather than the (zero-initialized) faulty value array.
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    const CellKind k = nl_->kind(id);
+    if (k == CellKind::kInput || k == CellKind::kConst0 ||
+        k == CellKind::kConst1)
+      in_cone[id] = 0;
+  }
+
+  // Cone slices in evaluation order.
+  std::vector<NodeId> cone_comb;
+  for (const NodeId id : lev_.order)
+    if (in_cone[id]) cone_comb.push_back(id);
+  std::vector<NodeId> cone_ffs;
+  for (const NodeId ff : nl_->flops())
+    if (in_cone[ff]) cone_ffs.push_back(ff);
+  std::vector<NodeId> cone_pos;
+  for (const auto& port : nl_->outputs())
+    if (in_cone[port.driver]) cone_pos.push_back(port.driver);
+  result.cone_size = static_cast<std::uint32_t>(cone_comb.size() +
+                                                cone_ffs.size());
+
+  const std::uint64_t fault_word = fault.stuck_value ? ~0ULL : 0;
+  const CellKind fault_kind = nl_->kind(fault.node);
+  const bool fault_on_source =
+      fault_kind == CellKind::kInput || fault_kind == CellKind::kConst0 ||
+      fault_kind == CellKind::kConst1 || fault_kind == CellKind::kDff;
+
+  std::vector<std::uint64_t> val(num_nodes_, 0);  // cone values only
+  std::array<std::uint16_t, sim::kLanes> lane_mismatch_cycles{};
+  std::array<std::uint64_t, netlist::kMaxFanins> ins{};
+  std::vector<std::uint64_t> ff_next(cone_ffs.size(), 0);
+
+  for (int t = 0; t < config_.cycles; ++t) {
+    const std::uint64_t* golden_row =
+        trace_.data() + static_cast<std::size_t>(t) * num_nodes_;
+
+    if (fault_on_source) val[fault.node] = fault_word;
+
+    // Combinational evaluation restricted to the cone; everything outside
+    // reads its recorded golden value.
+    for (const NodeId id : cone_comb) {
+      const netlist::Node& node = nl_->node(id);
+      for (std::size_t i = 0; i < node.fanin_count; ++i) {
+        const NodeId f = node.fanin[i];
+        ins[i] = in_cone[f] ? val[f] : golden_row[f];
+      }
+      std::uint64_t v = netlist::eval_packed(
+          node.kind, std::span(ins.data(), node.fanin_count));
+      if (id == fault.node) v = fault_word;
+      val[id] = v;
+    }
+
+    // Compare primary outputs inside the cone against golden.
+    std::uint64_t any_mismatch = 0;
+    for (const NodeId po : cone_pos) any_mismatch |= val[po] ^ golden_row[po];
+    if (any_mismatch) {
+      if (result.first_detect_cycle < 0) result.first_detect_cycle = t;
+      result.detected_lanes |= any_mismatch;
+      result.mismatch_cycles +=
+          static_cast<std::uint32_t>(std::popcount(any_mismatch));
+      std::uint64_t m = any_mismatch;
+      while (m) {
+        const int lane = std::countr_zero(m);
+        ++lane_mismatch_cycles[static_cast<std::size_t>(lane)];
+        m &= m - 1;
+      }
+    }
+
+    // Clock edge for cone flip-flops.
+    for (std::size_t i = 0; i < cone_ffs.size(); ++i) {
+      const NodeId d = nl_->node(cone_ffs[i]).fanin[0];
+      ff_next[i] = in_cone[d] ? val[d] : golden_row[d];
+    }
+    for (std::size_t i = 0; i < cone_ffs.size(); ++i) {
+      std::uint64_t v = ff_next[i];
+      if (cone_ffs[i] == fault.node) v = fault_word;
+      val[cone_ffs[i]] = v;
+    }
+  }
+
+  const int threshold = config_.min_mismatch_cycles();
+  for (int lane = 0; lane < sim::kLanes; ++lane) {
+    if (lane_mismatch_cycles[static_cast<std::size_t>(lane)] >= threshold)
+      result.dangerous_lanes |= (1ULL << lane);
+  }
+  return result;
+}
+
+FaultCampaign::TransientResult FaultCampaign::simulate_transient(
+    NodeId node, int inject_cycle) const {
+  if (!golden_ready_)
+    throw std::runtime_error("simulate_transient: golden trace not recorded");
+  if (inject_cycle < 0 || inject_cycle >= config_.cycles)
+    throw std::runtime_error("simulate_transient: cycle out of range");
+
+  TransientResult result;
+  result.node = node;
+  result.inject_cycle = inject_cycle;
+
+  // Same cone machinery as simulate_fault; before the injection cycle the
+  // design is exactly golden, so simulation starts at inject_cycle with
+  // golden flop state.
+  std::vector<std::uint8_t> in_cone(num_nodes_, 0);
+  if (config_.use_cone_restriction) {
+    for (const NodeId id : transitive_fanout(node)) in_cone[id] = 1;
+  } else {
+    std::fill(in_cone.begin(), in_cone.end(), 1);
+  }
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    const CellKind k = nl_->kind(id);
+    if (k == CellKind::kInput || k == CellKind::kConst0 ||
+        k == CellKind::kConst1)
+      in_cone[id] = 0;
+  }
+  // The injected node itself participates even when it is a source (DFF).
+  if (nl_->kind(node) == CellKind::kDff) in_cone[node] = 1;
+
+  std::vector<NodeId> cone_comb;
+  for (const NodeId id : lev_.order)
+    if (in_cone[id]) cone_comb.push_back(id);
+  std::vector<NodeId> cone_ffs;
+  for (const NodeId ff : nl_->flops())
+    if (in_cone[ff]) cone_ffs.push_back(ff);
+  std::vector<NodeId> cone_pos;
+  for (const auto& port : nl_->outputs())
+    if (in_cone[port.driver]) cone_pos.push_back(port.driver);
+
+  std::vector<std::uint64_t> val(num_nodes_, 0);
+  std::array<std::uint64_t, netlist::kMaxFanins> ins{};
+  std::vector<std::uint64_t> ff_next(cone_ffs.size(), 0);
+
+  // Cone flop state at the start of the injection cycle is golden: the
+  // trace rows hold within-cycle values, so the state entering cycle t is
+  // the trace of cycle t-1's committed D — equivalently, the flop's value
+  // recorded *during* cycle t. Seed from the injection cycle's row.
+  const std::uint64_t* inject_row =
+      trace_.data() + static_cast<std::size_t>(inject_cycle) * num_nodes_;
+  for (const NodeId ff : cone_ffs) val[ff] = inject_row[ff];
+
+  for (int t = inject_cycle; t < config_.cycles; ++t) {
+    const std::uint64_t* golden_row =
+        trace_.data() + static_cast<std::size_t>(t) * num_nodes_;
+
+    // A register SEU flips the state *before* the cycle's logic sees it.
+    if (t == inject_cycle && nl_->kind(node) == CellKind::kDff)
+      val[node] = ~val[node];
+
+    for (const NodeId id : cone_comb) {
+      const netlist::Node& n = nl_->node(id);
+      for (std::size_t i = 0; i < n.fanin_count; ++i) {
+        const NodeId f = n.fanin[i];
+        ins[i] = in_cone[f] ? val[f] : golden_row[f];
+      }
+      std::uint64_t v = netlist::eval_packed(
+          n.kind, std::span(ins.data(), n.fanin_count));
+      if (t == inject_cycle && id == node) v = ~v;  // the SEU flip
+      val[id] = v;
+    }
+
+    std::uint64_t any_mismatch = 0;
+    for (const NodeId po : cone_pos) any_mismatch |= val[po] ^ golden_row[po];
+    if (any_mismatch) {
+      result.affected_lanes |= any_mismatch;
+      result.mismatch_cycles +=
+          static_cast<std::uint32_t>(std::popcount(any_mismatch));
+    }
+
+    for (std::size_t i = 0; i < cone_ffs.size(); ++i) {
+      const NodeId d = nl_->node(cone_ffs[i]).fanin[0];
+      ff_next[i] = in_cone[d] ? val[d] : golden_row[d];
+    }
+    for (std::size_t i = 0; i < cone_ffs.size(); ++i)
+      val[cone_ffs[i]] = ff_next[i];
+  }
+  return result;
+}
+
+std::vector<double> FaultCampaign::transient_criticality(
+    const std::vector<NodeId>& nodes,
+    const std::vector<int>& inject_cycles) const {
+  if (inject_cycles.empty())
+    throw std::runtime_error("transient_criticality: no injection cycles");
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (const NodeId node : nodes) {
+    double affected = 0.0;
+    for (const int cycle : inject_cycles)
+      affected += std::popcount(simulate_transient(node, cycle).affected_lanes);
+    out.push_back(affected /
+                  (64.0 * static_cast<double>(inject_cycles.size())));
+  }
+  return out;
+}
+
+CampaignResult FaultCampaign::run(const std::vector<Fault>& faults) {
+  CampaignResult out;
+  out.config = config_;
+  out.num_nodes = num_nodes_;
+  if (!golden_ready_) run_golden();
+  // The fanout CSR cache must exist before worker threads race to read it.
+  if (num_nodes_ > 0) nl_->fanouts(0);
+  out.golden_seconds = golden_seconds_;
+
+  util::Timer timer;
+  out.faults.resize(faults.size());
+  const int requested = config_.num_threads == 0
+                            ? static_cast<int>(
+                                  std::thread::hardware_concurrency())
+                            : config_.num_threads;
+  const int num_threads = std::max(
+      1, std::min<int>(requested, static_cast<int>(faults.size())));
+  if (num_threads == 1) {
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      out.faults[i] = simulate_fault(faults[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= faults.size()) return;
+        out.faults[i] = simulate_fault(faults[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  out.fault_seconds = timer.seconds();
+  return out;
+}
+
+CampaignResult FaultCampaign::run_all() {
+  return run(full_fault_list(*nl_));
+}
+
+}  // namespace fcrit::fault

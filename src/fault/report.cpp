@@ -1,0 +1,87 @@
+#include "src/fault/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::fault {
+
+std::string CoverageSummary::to_string() const {
+  std::string out;
+  out += "faults: " + std::to_string(total_faults);
+  out += "  detected: " + std::to_string(detected);
+  out += "  dangerous: " + std::to_string(dangerous);
+  out += "  undetected: " + std::to_string(undetected);
+  out += "  coverage: " + util::format_double(100.0 * detection_coverage, 2) +
+         "%";
+  out += "  avg detection latency: " +
+         util::format_double(avg_detection_latency, 1) + " cycles";
+  return out;
+}
+
+CoverageSummary summarize_coverage(const CampaignResult& result) {
+  CoverageSummary s;
+  s.total_faults = result.faults.size();
+  double latency_sum = 0.0;
+  for (const FaultResult& fr : result.faults) {
+    if (fr.detected_lanes != 0) {
+      ++s.detected;
+      latency_sum += fr.first_detect_cycle;
+    } else {
+      ++s.undetected;
+    }
+    if (fr.dangerous_lanes != 0) ++s.dangerous;
+  }
+  s.detection_coverage =
+      s.total_faults == 0
+          ? 0.0
+          : static_cast<double>(s.detected) /
+                static_cast<double>(s.total_faults);
+  s.avg_detection_latency =
+      s.detected == 0 ? 0.0 : latency_sum / static_cast<double>(s.detected);
+  return s;
+}
+
+void write_fault_report(const netlist::Netlist& nl,
+                        const CampaignResult& result, std::ostream& os,
+                        std::size_t max_rows) {
+  os << "fault injection report — netlist '" << nl.name() << "', "
+     << result.config.cycles << " cycles x 64 workloads, Dangerous bar "
+     << result.config.min_mismatch_cycles() << " corrupted cycles\n";
+  os << "------------------------------------------------------------------"
+        "--------\n";
+  os << "fault                      status      dangerous  mismatches  "
+        "first-detect\n";
+  std::size_t rows = 0;
+  for (const FaultResult& fr : result.faults) {
+    if (max_rows && rows++ >= max_rows) {
+      os << "... (" << result.faults.size() - max_rows << " more)\n";
+      break;
+    }
+    std::string name = fault_name(nl, fr.fault);
+    name.resize(26, ' ');
+    const char* status = fr.dangerous_lanes   ? "DANGEROUS "
+                         : fr.detected_lanes ? "DETECTED  "
+                                             : "UNDETECTED";
+    os << name << " " << status << "  " << fr.dangerous_count() << "/64"
+       << "       " << fr.mismatch_cycles << "          ";
+    if (fr.first_detect_cycle >= 0)
+      os << fr.first_detect_cycle;
+    else
+      os << "-";
+    os << "\n";
+  }
+  os << "------------------------------------------------------------------"
+        "--------\n";
+  os << summarize_coverage(result).to_string() << "\n";
+}
+
+std::string fault_report(const netlist::Netlist& nl,
+                         const CampaignResult& result, std::size_t max_rows) {
+  std::ostringstream os;
+  write_fault_report(nl, result, os, max_rows);
+  return os.str();
+}
+
+}  // namespace fcrit::fault

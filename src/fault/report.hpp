@@ -1,0 +1,40 @@
+// Textual fault-injection reports, modeled on the per-fault status tables
+// and coverage summaries commercial fault simulators emit (§3.2.1's
+// "detailed fault detection reports ... capturing fault criticalities and
+// detection coverage under different workloads").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/fault/dataset.hpp"
+#include "src/fault/fault_sim.hpp"
+
+namespace fcrit::fault {
+
+struct CoverageSummary {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;    // >= 1 workload observes a PO mismatch
+  std::size_t dangerous = 0;   // >= 1 workload reaches the Dangerous bar
+  std::size_t undetected = 0;
+  double detection_coverage = 0.0;  // detected / total
+  double avg_detection_latency = 0.0;  // cycles, over detected faults
+
+  std::string to_string() const;
+};
+
+CoverageSummary summarize_coverage(const CampaignResult& result);
+
+/// Full per-fault report: one row per fault with its status
+/// (UNDETECTED / DETECTED / DANGEROUS), dangerous-workload count,
+/// mismatch-cycle count and first-detection cycle, followed by the
+/// coverage summary. `max_rows` truncates (0 = all).
+void write_fault_report(const netlist::Netlist& nl,
+                        const CampaignResult& result, std::ostream& os,
+                        std::size_t max_rows = 0);
+
+std::string fault_report(const netlist::Netlist& nl,
+                         const CampaignResult& result,
+                         std::size_t max_rows = 0);
+
+}  // namespace fcrit::fault

@@ -1,0 +1,133 @@
+#include "src/graphir/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/netlist/levelize.hpp"
+#include "src/sim/scoap.hpp"
+
+namespace fcrit::graphir {
+
+const std::vector<std::string>& base_feature_names() {
+  static const std::vector<std::string> kNames = {
+      "Number of connections",
+      "Intrinsic state probability of 0",
+      "Intrinsic state probability of 1",
+      "State transition probability",
+      "Boolean inverting tag",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& extended_feature_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = base_feature_names();
+    names.emplace_back("Logic depth");
+    names.emplace_back("Is flip-flop");
+    names.emplace_back("Fanin count");
+    return names;
+  }();
+  return kNames;
+}
+
+ml::Matrix extract_features(const netlist::Netlist& nl,
+                            const sim::SignalStats& stats) {
+  if (stats.p1.size() != nl.num_nodes())
+    throw std::runtime_error("extract_features: stats size mismatch");
+  ml::Matrix x(static_cast<int>(nl.num_nodes()), kNumBaseFeatures);
+  for (netlist::NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const int i = static_cast<int>(id);
+    x(i, 0) = static_cast<float>(nl.num_connections(id));
+    x(i, 1) = static_cast<float>(1.0 - stats.p1[id]);
+    x(i, 2) = static_cast<float>(stats.p1[id]);
+    x(i, 3) = static_cast<float>(stats.p_transition[id]);
+    x(i, 4) = netlist::spec(nl.kind(id)).inverting ? 1.0f : 0.0f;
+  }
+  return x;
+}
+
+ml::Matrix extract_extended_features(const netlist::Netlist& nl,
+                                     const sim::SignalStats& stats) {
+  const ml::Matrix base = extract_features(nl, stats);
+  const auto lev = netlist::levelize(nl);
+  ml::Matrix x(base.rows(), base.cols() + 3);
+  for (int i = 0; i < base.rows(); ++i) {
+    for (int j = 0; j < base.cols(); ++j) x(i, j) = base(i, j);
+    const auto id = static_cast<netlist::NodeId>(i);
+    x(i, base.cols() + 0) = static_cast<float>(lev.level[id]);
+    x(i, base.cols() + 1) =
+        nl.kind(id) == netlist::CellKind::kDff ? 1.0f : 0.0f;
+    x(i, base.cols() + 2) = static_cast<float>(nl.node(id).fanin_count);
+  }
+  return x;
+}
+
+const std::vector<std::string>& testability_feature_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = extended_feature_names();
+    names.emplace_back("SCOAP log CC0");
+    names.emplace_back("SCOAP log CC1");
+    names.emplace_back("SCOAP log CO");
+    return names;
+  }();
+  return kNames;
+}
+
+ml::Matrix extract_testability_features(const netlist::Netlist& nl,
+                                        const sim::SignalStats& stats) {
+  const ml::Matrix ext = extract_extended_features(nl, stats);
+  const sim::ScoapResult scoap = sim::compute_scoap(nl);
+  ml::Matrix x(ext.rows(), ext.cols() + 3);
+  for (int i = 0; i < ext.rows(); ++i) {
+    for (int j = 0; j < ext.cols(); ++j) x(i, j) = ext(i, j);
+    const auto id = static_cast<std::size_t>(i);
+    x(i, ext.cols() + 0) = static_cast<float>(std::log(scoap.cc0[id]));
+    x(i, ext.cols() + 1) = static_cast<float>(std::log(scoap.cc1[id]));
+    x(i, ext.cols() + 2) = static_cast<float>(std::log1p(scoap.co[id]));
+  }
+  return x;
+}
+
+Standardizer Standardizer::fit(const ml::Matrix& x,
+                               const std::vector<int>& fit_rows) {
+  if (fit_rows.empty()) throw std::runtime_error("Standardizer: empty fit");
+  Standardizer s;
+  s.mean.assign(static_cast<std::size_t>(x.cols()), 0.0);
+  s.stddev.assign(static_cast<std::size_t>(x.cols()), 1.0);
+  const double n = static_cast<double>(fit_rows.size());
+  for (const int r : fit_rows) {
+    const auto row = x.row(r);
+    for (int j = 0; j < x.cols(); ++j)
+      s.mean[static_cast<std::size_t>(j)] += row[j];
+  }
+  for (double& m : s.mean) m /= n;
+  std::vector<double> var(static_cast<std::size_t>(x.cols()), 0.0);
+  for (const int r : fit_rows) {
+    const auto row = x.row(r);
+    for (int j = 0; j < x.cols(); ++j) {
+      const double d = row[j] - s.mean[static_cast<std::size_t>(j)];
+      var[static_cast<std::size_t>(j)] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < var.size(); ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    s.stddev[j] = sd > 1e-9 ? sd : 1.0;
+  }
+  return s;
+}
+
+ml::Matrix Standardizer::transform(const ml::Matrix& x) const {
+  if (static_cast<std::size_t>(x.cols()) != mean.size())
+    throw std::runtime_error("Standardizer::transform: column mismatch");
+  ml::Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    auto row = out.row(i);
+    for (int j = 0; j < out.cols(); ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      row[j] = static_cast<float>((row[j] - mean[ju]) / stddev[ju]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fcrit::graphir

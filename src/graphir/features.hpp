@@ -1,0 +1,56 @@
+// Node feature extraction (§3.1) and standardization.
+//
+// The five features match the columns of the paper's Table 2:
+//   0  number of connections (fanin + fanout count)        §3.1.1
+//   1  intrinsic state probability of 0                    §3.1.2
+//   2  intrinsic state probability of 1                    §3.1.2
+//   3  intrinsic transition probability                    §3.1.3
+//   4  boolean inverting tag (gate negates its logic)      §3.1.4
+// An extended set appends structural extras (logic depth, is-flip-flop,
+// fanin count) for the feature-ablation experiments.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sim/probability.hpp"
+
+namespace fcrit::graphir {
+
+inline constexpr int kNumBaseFeatures = 5;
+
+/// Display names, index-aligned with the feature matrix columns.
+const std::vector<std::string>& base_feature_names();
+const std::vector<std::string>& extended_feature_names();
+
+/// N x 5 raw feature matrix from the netlist and its signal statistics.
+ml::Matrix extract_features(const netlist::Netlist& nl,
+                            const sim::SignalStats& stats);
+
+/// N x 8 extended matrix: base features + [logic depth, is-FF, fanin count].
+ml::Matrix extract_extended_features(const netlist::Netlist& nl,
+                                     const sim::SignalStats& stats);
+
+/// N x 11 testability matrix: extended features + log-scaled SCOAP
+/// [log(CC0), log(CC1), log(1+CO)] — the classical structural-testability
+/// proxies, used by the feature-ablation bench.
+ml::Matrix extract_testability_features(const netlist::Netlist& nl,
+                                        const sim::SignalStats& stats);
+const std::vector<std::string>& testability_feature_names();
+
+/// Z-score standardization. Mean/stddev are computed over `fit_rows` only
+/// (the training split) and applied to all rows; constant columns pass
+/// through unchanged.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  static Standardizer fit(const ml::Matrix& x,
+                          const std::vector<int>& fit_rows);
+  ml::Matrix transform(const ml::Matrix& x) const;
+};
+
+}  // namespace fcrit::graphir

@@ -1,0 +1,110 @@
+#include "src/graphir/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fcrit::graphir {
+
+CircuitGraph build_graph(const netlist::Netlist& nl) {
+  CircuitGraph g;
+  g.num_nodes = static_cast<int>(nl.num_nodes());
+
+  // Unique undirected edges. Parallel connections (a gate consuming the
+  // same net twice) collapse to one edge; self-feedback (only possible via
+  // DFF q->d loops) is dropped because Â adds a self-loop anyway.
+  std::map<std::pair<int, int>, int> edge_index;
+  for (netlist::NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (const netlist::NodeId f : nl.fanins(id)) {
+      if (f == id) continue;
+      const int a = static_cast<int>(f);
+      const int b = static_cast<int>(id);
+      const std::pair<int, int> e{std::min(a, b), std::max(a, b)};
+      if (!edge_index.contains(e)) {
+        edge_index.emplace(e, static_cast<int>(g.edges.size()));
+        g.edges.push_back(e);
+      }
+    }
+  }
+
+  // Degrees with self-loops: deg(v) = 1 + #incident edges.
+  std::vector<double> degree(static_cast<std::size_t>(g.num_nodes), 1.0);
+  for (const auto& [u, v] : g.edges) {
+    degree[static_cast<std::size_t>(u)] += 1.0;
+    degree[static_cast<std::size_t>(v)] += 1.0;
+  }
+  std::vector<double> dinv_sqrt(degree.size());
+  for (std::size_t i = 0; i < degree.size(); ++i)
+    dinv_sqrt[i] = 1.0 / std::sqrt(degree[i]);
+
+  // COO entries of Â, remembering each entry's undirected edge.
+  struct Tagged {
+    ml::Coo coo;
+    int edge;
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(2 * g.edges.size() + static_cast<std::size_t>(g.num_nodes));
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const auto [u, v] = g.edges[e];
+    const float w = static_cast<float>(dinv_sqrt[static_cast<std::size_t>(u)] *
+                                       dinv_sqrt[static_cast<std::size_t>(v)]);
+    tagged.push_back({{u, v, w}, static_cast<int>(e)});
+    tagged.push_back({{v, u, w}, static_cast<int>(e)});
+  }
+  for (int i = 0; i < g.num_nodes; ++i) {
+    const float w = static_cast<float>(dinv_sqrt[static_cast<std::size_t>(i)] *
+                                       dinv_sqrt[static_cast<std::size_t>(i)]);
+    tagged.push_back({{i, i, w}, -1});
+  }
+
+  // from_coo sorts by (row, col); replicate that order for entry_edge.
+  std::sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    return std::tie(a.coo.row, a.coo.col) < std::tie(b.coo.row, b.coo.col);
+  });
+  std::vector<ml::Coo> entries;
+  entries.reserve(tagged.size());
+  g.entry_edge.reserve(tagged.size());
+  for (const Tagged& t : tagged) {
+    entries.push_back(t.coo);
+    g.entry_edge.push_back(t.edge);
+  }
+  g.normalized_adjacency =
+      ml::SparseMatrix::from_coo(g.num_nodes, g.num_nodes, std::move(entries));
+  if (g.normalized_adjacency.nnz() != g.entry_edge.size())
+    throw std::runtime_error(
+        "build_graph: duplicate (row,col) entries broke edge tagging");
+  return g;
+}
+
+ml::SparseMatrix row_normalized_adjacency(const CircuitGraph& graph) {
+  std::vector<double> degree(static_cast<std::size_t>(graph.num_nodes), 1.0);
+  for (const auto& [u, v] : graph.edges) {
+    degree[static_cast<std::size_t>(u)] += 1.0;
+    degree[static_cast<std::size_t>(v)] += 1.0;
+  }
+  const auto& adj = graph.normalized_adjacency;
+  std::vector<float> values(adj.nnz());
+  for (int r = 0; r < adj.rows(); ++r) {
+    for (int k = adj.row_ptr()[static_cast<std::size_t>(r)];
+         k < adj.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      values[static_cast<std::size_t>(k)] =
+          static_cast<float>(1.0 / degree[static_cast<std::size_t>(r)]);
+    }
+  }
+  return adj.with_values(std::move(values));
+}
+
+ml::SparseMatrix masked_adjacency(const CircuitGraph& graph,
+                                  const std::vector<float>& edge_weight) {
+  if (edge_weight.size() != graph.edges.size())
+    throw std::runtime_error("masked_adjacency: weight count mismatch");
+  std::vector<float> values = graph.normalized_adjacency.values();
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const int e = graph.entry_edge[k];
+    if (e >= 0) values[k] *= edge_weight[static_cast<std::size_t>(e)];
+  }
+  return graph.normalized_adjacency.with_values(std::move(values));
+}
+
+}  // namespace fcrit::graphir

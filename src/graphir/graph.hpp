@@ -1,0 +1,49 @@
+// Circuit-to-graph conversion (§3.1).
+//
+// Graph nodes are netlist nodes (gates, flip-flops, inputs, constants);
+// edges are the fanin connections, made undirected because the GCN's
+// symmetric-normalized propagation (Eq. 2) operates on Â = D^-1/2 (A+I)
+// D^-1/2. The raw undirected edge list is kept alongside the normalized
+// CSR so GNNExplainer can mask individual connections.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/ml/sparse.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::graphir {
+
+struct CircuitGraph {
+  int num_nodes = 0;
+
+  /// Undirected unique edges (u < v), excluding self-loops.
+  std::vector<std::pair<int, int>> edges;
+
+  /// Â = D^-1/2 (A + I) D^-1/2 in CSR, entries sorted by (row, col).
+  ml::SparseMatrix normalized_adjacency;
+
+  /// For stored entry k of normalized_adjacency: index into `edges` of the
+  /// underlying undirected edge, or -1 for a self-loop entry. Both CSR
+  /// directions of one edge map to the same index (used by the explainer's
+  /// per-edge mask).
+  std::vector<int> entry_edge;
+};
+
+/// Build the GCN input graph from a netlist.
+CircuitGraph build_graph(const netlist::Netlist& nl);
+
+/// Â with each non-self-loop entry scaled by the weight of its undirected
+/// edge (both CSR directions share one weight; self-loops keep weight 1).
+/// The normalization constants stay those of the unmasked graph — the
+/// GNNExplainer formulation, where the mask directly scales messages.
+ml::SparseMatrix masked_adjacency(const CircuitGraph& graph,
+                                  const std::vector<float>& edge_weight);
+
+/// Ablation variant of Eq. 2: row normalization D^-1 (A + I) instead of the
+/// symmetric D^-1/2 (A + I) D^-1/2. Same sparsity pattern as
+/// normalized_adjacency.
+ml::SparseMatrix row_normalized_adjacency(const CircuitGraph& graph);
+
+}  // namespace fcrit::graphir

@@ -1,0 +1,37 @@
+#include "src/graphir/split.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace fcrit::graphir {
+
+Split stratified_split(const std::vector<int>& candidates,
+                       const std::vector<int>& labels, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::runtime_error("stratified_split: fraction out of range");
+  util::Rng rng(seed);
+  std::vector<int> by_class[2];
+  for (const int c : candidates) {
+    const int y = labels[static_cast<std::size_t>(c)];
+    if (y != 0 && y != 1)
+      throw std::runtime_error("stratified_split: labels must be binary");
+    by_class[y].push_back(c);
+  }
+
+  Split split;
+  for (auto& bucket : by_class) {
+    rng.shuffle(bucket);
+    const auto n_train =
+        static_cast<std::size_t>(train_fraction * static_cast<double>(bucket.size()) + 0.5);
+    for (std::size_t i = 0; i < bucket.size(); ++i)
+      (i < n_train ? split.train : split.val).push_back(bucket[i]);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  return split;
+}
+
+}  // namespace fcrit::graphir

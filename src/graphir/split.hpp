@@ -1,0 +1,21 @@
+// Stratified train/validation split of the labeled fault-site nodes
+// (§4.1: "we partition the dataset into an 80-20 split").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fcrit::graphir {
+
+struct Split {
+  std::vector<int> train;  // row indices into the feature matrix
+  std::vector<int> val;
+};
+
+/// Split `candidates` (node ids with labels) into train/val preserving the
+/// class ratio of `labels` (indexed by node id). train_fraction in (0, 1).
+Split stratified_split(const std::vector<int>& candidates,
+                       const std::vector<int>& labels, double train_fraction,
+                       std::uint64_t seed);
+
+}  // namespace fcrit::graphir

@@ -1,0 +1,50 @@
+#include "src/ml/baselines/baseline.hpp"
+
+#include "src/ml/baselines/ebm.hpp"
+#include "src/ml/baselines/logreg.hpp"
+#include "src/ml/baselines/mlp.hpp"
+#include "src/ml/baselines/rforest.hpp"
+#include "src/ml/baselines/svm.hpp"
+
+namespace fcrit::ml {
+
+std::vector<int> labels_from_proba(const std::vector<double>& proba,
+                                   double threshold) {
+  std::vector<int> labels(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i)
+    labels[i] = proba[i] >= threshold ? 1 : 0;
+  return labels;
+}
+
+std::vector<std::unique_ptr<BaselineClassifier>> make_all_baselines(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<BaselineClassifier>> out;
+  {
+    MlpClassifier::Config c;
+    c.seed = seed ^ 0x11;
+    out.push_back(std::make_unique<MlpClassifier>(c));
+  }
+  {
+    LogisticRegression::Config c;
+    c.seed = seed ^ 0x22;
+    out.push_back(std::make_unique<LogisticRegression>(c));
+  }
+  {
+    RandomForest::Config c;
+    c.seed = seed ^ 0x33;
+    out.push_back(std::make_unique<RandomForest>(c));
+  }
+  {
+    LinearSvm::Config c;
+    c.seed = seed ^ 0x44;
+    out.push_back(std::make_unique<LinearSvm>(c));
+  }
+  {
+    ExplainableBoosting::Config c;
+    c.seed = seed ^ 0x55;
+    out.push_back(std::make_unique<ExplainableBoosting>(c));
+  }
+  return out;
+}
+
+}  // namespace fcrit::ml

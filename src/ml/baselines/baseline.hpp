@@ -1,0 +1,39 @@
+// Common interface of the §4.2.1 comparison classifiers (Fig. 3 / Fig. 4):
+// MLP, Logistic Regression (LoR), Random Forest (RFC), linear SVM, and
+// Explainable Boosting Machine (EBM). All operate on the plain node-feature
+// matrix — unlike the GCN they see no graph structure, which is exactly the
+// gap the paper quantifies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+
+namespace fcrit::ml {
+
+class BaselineClassifier {
+ public:
+  virtual ~BaselineClassifier() = default;
+
+  /// Train on the rows listed in `train_idx`; `labels` is indexed by row.
+  virtual void fit(const Matrix& x, const std::vector<int>& labels,
+                   const std::vector<int>& train_idx) = 0;
+
+  /// P(class 1) per row of `x`.
+  virtual std::vector<double> predict_proba(const Matrix& x) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Threshold probabilities into class labels.
+std::vector<int> labels_from_proba(const std::vector<double>& proba,
+                                   double threshold = 0.5);
+
+/// All five baselines in the paper's comparison order:
+/// MLP, LoR, RFC, SVM, EBM.
+std::vector<std::unique_ptr<BaselineClassifier>> make_all_baselines(
+    std::uint64_t seed);
+
+}  // namespace fcrit::ml

@@ -1,0 +1,136 @@
+#include "src/ml/baselines/dtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+namespace {
+
+double gini(int pos, int total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& labels,
+                       const std::vector<int>& train_idx) {
+  if (train_idx.empty())
+    throw std::runtime_error("DecisionTree::fit: empty train set");
+  nodes_.clear();
+  std::vector<int> idx = train_idx;
+  util::Rng rng(config_.seed);
+  build(x, labels, idx, 0, static_cast<int>(idx.size()), 0, rng);
+}
+
+int DecisionTree::build(const Matrix& x, const std::vector<int>& labels,
+                        std::vector<int>& idx, int begin, int end, int depth,
+                        util::Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const int n = end - begin;
+  int pos = 0;
+  for (int k = begin; k < end; ++k)
+    pos += labels[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])];
+  nodes_[static_cast<std::size_t>(node_id)].p1 =
+      static_cast<double>(pos) / n;
+
+  const bool pure = (pos == 0 || pos == n);
+  if (pure || depth >= config_.max_depth || n < 2 * config_.min_samples_leaf)
+    return node_id;
+
+  // Feature candidates.
+  std::vector<int> features;
+  for (int j = 0; j < x.cols(); ++j) features.push_back(j);
+  if (config_.max_features > 0 &&
+      config_.max_features < static_cast<int>(features.size())) {
+    rng.shuffle(features);
+    features.resize(static_cast<std::size_t>(config_.max_features));
+  }
+
+  // Best Gini split.
+  double best_impurity = gini(pos, n);
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<std::pair<float, int>> column(static_cast<std::size_t>(n));
+  for (const int j : features) {
+    for (int k = 0; k < n; ++k) {
+      const int row = idx[static_cast<std::size_t>(begin + k)];
+      column[static_cast<std::size_t>(k)] = {
+          x(row, j), labels[static_cast<std::size_t>(row)]};
+    }
+    std::sort(column.begin(), column.end());
+    int left_pos = 0;
+    for (int k = 0; k < n - 1; ++k) {
+      left_pos += column[static_cast<std::size_t>(k)].second;
+      const float v = column[static_cast<std::size_t>(k)].first;
+      const float v_next = column[static_cast<std::size_t>(k + 1)].first;
+      if (v == v_next) continue;  // can't split between equal values
+      const int left_n = k + 1;
+      const int right_n = n - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf)
+        continue;
+      const double impurity =
+          (static_cast<double>(left_n) / n) * gini(left_pos, left_n) +
+          (static_cast<double>(right_n) / n) * gini(pos - left_pos, right_n);
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = j;
+        best_threshold = 0.5f * (v + v_next);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[begin, end) in place.
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end, [&](int row) {
+        return x(row, best_feature) <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, labels, idx, begin, mid, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build(x, labels, idx, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_one(std::span<const float> row) const {
+  if (nodes_.empty()) throw std::runtime_error("DecisionTree: not fitted");
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    cur = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold
+              ? nd.left
+              : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].p1;
+}
+
+std::vector<double> DecisionTree::predict_proba(const Matrix& x) const {
+  std::vector<double> p(static_cast<std::size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i)
+    p[static_cast<std::size_t>(i)] = predict_one(x.row(i));
+  return p;
+}
+
+int DecisionTree::depth() const {
+  std::function<int(int)> walk = [&](int id) -> int {
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.feature < 0) return 0;
+    return 1 + std::max(walk(nd.left), walk(nd.right));
+  };
+  return nodes_.empty() ? 0 : walk(0);
+}
+
+}  // namespace fcrit::ml

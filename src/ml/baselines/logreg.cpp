@@ -1,0 +1,63 @@
+#include "src/ml/baselines/logreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& labels,
+                             const std::vector<int>& train_idx) {
+  if (train_idx.empty()) throw std::runtime_error("LoR::fit: empty train set");
+  const int f = x.cols();
+  w_.assign(static_cast<std::size_t>(f) + 1, 0.0);
+
+  // Adam state.
+  std::vector<double> m(w_.size(), 0.0), v(w_.size(), 0.0);
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  std::vector<double> grad(w_.size());
+
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (const int i : train_idx) {
+      const auto row = x.row(i);
+      double z = w_[static_cast<std::size_t>(f)];
+      for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
+      const double err =
+          sigmoid(z) - static_cast<double>(labels[static_cast<std::size_t>(i)]);
+      for (int j = 0; j < f; ++j)
+        grad[static_cast<std::size_t>(j)] += err * row[j];
+      grad[static_cast<std::size_t>(f)] += err;
+    }
+    const double inv = 1.0 / static_cast<double>(train_idx.size());
+    for (std::size_t j = 0; j < w_.size(); ++j) {
+      double g = grad[j] * inv;
+      if (j + 1 < w_.size()) g += config_.l2 * w_[j];  // no decay on bias
+      m[j] = b1 * m[j] + (1 - b1) * g;
+      v[j] = b2 * v[j] + (1 - b2) * g * g;
+      const double mhat = m[j] / (1 - std::pow(b1, epoch));
+      const double vhat = v[j] / (1 - std::pow(b2, epoch));
+      w_[j] -= config_.lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(const Matrix& x) const {
+  if (w_.empty()) throw std::runtime_error("LoR::predict: not fitted");
+  const int f = x.cols();
+  if (static_cast<std::size_t>(f) + 1 != w_.size())
+    throw std::runtime_error("LoR::predict: feature mismatch");
+  std::vector<double> p(static_cast<std::size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    double z = w_[static_cast<std::size_t>(f)];
+    for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
+    p[static_cast<std::size_t>(i)] = sigmoid(z);
+  }
+  return p;
+}
+
+}  // namespace fcrit::ml

@@ -1,0 +1,35 @@
+// Binary logistic regression trained full-batch with Adam.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ml/baselines/baseline.hpp"
+
+namespace fcrit::ml {
+
+class LogisticRegression final : public BaselineClassifier {
+ public:
+  struct Config {
+    int epochs = 500;
+    double lr = 0.05;
+    double l2 = 1e-4;
+    std::uint64_t seed = 1;
+  };
+
+  LogisticRegression() : LogisticRegression(Config{}) {}
+  explicit LogisticRegression(Config config) : config_(config) {}
+
+  void fit(const Matrix& x, const std::vector<int>& labels,
+           const std::vector<int>& train_idx) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "LoR"; }
+
+  /// Learned weights (for tests): w_[j], bias last.
+  const std::vector<double>& weights() const { return w_; }
+
+ private:
+  Config config_;
+  std::vector<double> w_;  // size F+1, bias at the end
+};
+
+}  // namespace fcrit::ml

@@ -1,0 +1,55 @@
+#include "src/ml/baselines/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/ml/optimizer.hpp"
+
+namespace fcrit::ml {
+
+Matrix MlpClassifier::forward(const Matrix& x, bool training) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+void MlpClassifier::fit(const Matrix& x, const std::vector<int>& labels,
+                        const std::vector<int>& train_idx) {
+  if (train_idx.empty()) throw std::runtime_error("MLP::fit: empty train set");
+  rng_ = util::Rng(config_.seed);
+  layers_.clear();
+  int width = x.cols();
+  for (const int h : config_.hidden) {
+    layers_.push_back(std::make_unique<Linear>(width, h, rng_));
+    layers_.push_back(std::make_unique<Relu>());
+    width = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(width, 2, rng_));
+  layers_.push_back(std::make_unique<LogSoftmax>());
+
+  std::vector<Param> params;
+  for (const auto& layer : layers_) layer->collect_params(params);
+  Adam opt(params, config_.lr, config_.weight_decay);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const Matrix logp = forward(x, /*training=*/true);
+    Matrix grad;
+    masked_nll(logp, labels, train_idx, grad);
+    opt.zero_grad();
+    Matrix g = grad;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(g);
+    opt.step();
+  }
+}
+
+std::vector<double> MlpClassifier::predict_proba(const Matrix& x) const {
+  if (layers_.empty()) throw std::runtime_error("MLP::predict: not fitted");
+  const Matrix logp = forward(x, /*training=*/false);
+  std::vector<double> p(static_cast<std::size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i)
+    p[static_cast<std::size_t>(i)] = std::exp(static_cast<double>(logp(i, 1)));
+  return p;
+}
+
+}  // namespace fcrit::ml

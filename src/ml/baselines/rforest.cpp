@@ -1,0 +1,47 @@
+#include "src/ml/baselines/rforest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& labels,
+                       const std::vector<int>& train_idx) {
+  if (train_idx.empty())
+    throw std::runtime_error("RandomForest::fit: empty train set");
+  trees_.clear();
+  util::Rng rng(config_.seed);
+  const int mf = config_.max_features > 0
+                     ? config_.max_features
+                     : static_cast<int>(
+                           std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample of the training rows.
+    std::vector<int> bag(train_idx.size());
+    for (std::size_t i = 0; i < bag.size(); ++i)
+      bag[i] = train_idx[rng.next_below(train_idx.size())];
+
+    DecisionTree::Config tc;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.max_features = mf;
+    tc.seed = rng.next();
+    DecisionTree tree(tc);
+    tree.fit(x, labels, bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(const Matrix& x) const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  std::vector<double> p(static_cast<std::size_t>(x.rows()), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    for (int i = 0; i < x.rows(); ++i)
+      p[static_cast<std::size_t>(i)] += tree.predict_one(x.row(i));
+  }
+  for (double& v : p) v /= static_cast<double>(trees_.size());
+  return p;
+}
+
+}  // namespace fcrit::ml

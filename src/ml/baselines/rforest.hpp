@@ -1,0 +1,38 @@
+// Random Forest classifier: bootstrap-bagged CART trees with per-split
+// feature subsampling; probability = mean leaf class-1 fraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/baselines/dtree.hpp"
+
+namespace fcrit::ml {
+
+class RandomForest final : public BaselineClassifier {
+ public:
+  struct Config {
+    int num_trees = 60;
+    int max_depth = 10;
+    int min_samples_leaf = 2;
+    /// <=0: use ceil(sqrt(F)).
+    int max_features = 0;
+    std::uint64_t seed = 5;
+  };
+
+  RandomForest() : RandomForest(Config{}) {}
+  explicit RandomForest(Config config) : config_(config) {}
+
+  void fit(const Matrix& x, const std::vector<int>& labels,
+           const std::vector<int>& train_idx) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "RFC"; }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Config config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace fcrit::ml

@@ -1,0 +1,80 @@
+#include "src/ml/baselines/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace fcrit::ml {
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& labels,
+                    const std::vector<int>& train_idx) {
+  if (train_idx.empty()) throw std::runtime_error("SVM::fit: empty train set");
+  const int f = x.cols();
+  w_.assign(static_cast<std::size_t>(f) + 1, 0.0);
+  util::Rng rng(config_.seed);
+
+  // Pegasos: step size 1/(lambda * t), sampling one example per iteration.
+  const std::size_t n = train_idx.size();
+  const long total = static_cast<long>(config_.epochs) * static_cast<long>(n);
+  for (long t = 1; t <= total; ++t) {
+    const int i = train_idx[rng.next_below(n)];
+    const auto row = x.row(i);
+    const double y = labels[static_cast<std::size_t>(i)] == 1 ? 1.0 : -1.0;
+    double margin = w_[static_cast<std::size_t>(f)];
+    for (int j = 0; j < f; ++j)
+      margin += w_[static_cast<std::size_t>(j)] * row[j];
+    const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+    // Regularization shrink (weights only, not bias).
+    for (int j = 0; j < f; ++j)
+      w_[static_cast<std::size_t>(j)] *= (1.0 - eta * config_.lambda);
+    if (y * margin < 1.0) {
+      for (int j = 0; j < f; ++j)
+        w_[static_cast<std::size_t>(j)] += eta * y * row[j];
+      w_[static_cast<std::size_t>(f)] += eta * y;
+    }
+  }
+
+  // Platt scaling: fit sigmoid(a*margin + b) to training labels by
+  // Newton-free gradient descent (simple and adequate at this scale).
+  const auto margins = decision_function(x);
+  platt_a_ = 1.0;
+  platt_b_ = 0.0;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    double ga = 0.0, gb = 0.0;
+    for (const int i : train_idx) {
+      const double m = margins[static_cast<std::size_t>(i)];
+      const double p = 1.0 / (1.0 + std::exp(-(platt_a_ * m + platt_b_)));
+      const double err =
+          p - static_cast<double>(labels[static_cast<std::size_t>(i)]);
+      ga += err * m;
+      gb += err;
+    }
+    const double inv = 1.0 / static_cast<double>(train_idx.size());
+    platt_a_ -= 0.1 * ga * inv;
+    platt_b_ -= 0.1 * gb * inv;
+  }
+}
+
+std::vector<double> LinearSvm::decision_function(const Matrix& x) const {
+  if (w_.empty()) throw std::runtime_error("SVM: not fitted");
+  const int f = x.cols();
+  std::vector<double> m(static_cast<std::size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    double z = w_[static_cast<std::size_t>(f)];
+    for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
+    m[static_cast<std::size_t>(i)] = z;
+  }
+  return m;
+}
+
+std::vector<double> LinearSvm::predict_proba(const Matrix& x) const {
+  const auto margins = decision_function(x);
+  std::vector<double> p(margins.size());
+  for (std::size_t i = 0; i < margins.size(); ++i)
+    p[i] = 1.0 / (1.0 + std::exp(-(platt_a_ * margins[i] + platt_b_)));
+  return p;
+}
+
+}  // namespace fcrit::ml

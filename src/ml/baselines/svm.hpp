@@ -1,0 +1,38 @@
+// Linear soft-margin SVM trained with the Pegasos primal sub-gradient
+// method; probabilities come from a Platt-style sigmoid fitted on the
+// training margins.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ml/baselines/baseline.hpp"
+
+namespace fcrit::ml {
+
+class LinearSvm final : public BaselineClassifier {
+ public:
+  struct Config {
+    int epochs = 60;        // passes over the training set
+    double lambda = 1e-3;   // regularization
+    std::uint64_t seed = 3;
+  };
+
+  LinearSvm() : LinearSvm(Config{}) {}
+  explicit LinearSvm(Config config) : config_(config) {}
+
+  void fit(const Matrix& x, const std::vector<int>& labels,
+           const std::vector<int>& train_idx) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Raw decision margin per row (before the Platt sigmoid).
+  std::vector<double> decision_function(const Matrix& x) const;
+
+ private:
+  Config config_;
+  std::vector<double> w_;  // size F+1, bias last
+  double platt_a_ = 1.0;
+  double platt_b_ = 0.0;
+};
+
+}  // namespace fcrit::ml

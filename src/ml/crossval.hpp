@@ -1,0 +1,34 @@
+// Stratified k-fold cross-validation for the GCN classifier: a more robust
+// accuracy estimate than the single 80/20 split of §4.1, reported by the
+// robustness bench alongside the headline numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ml/trainer.hpp"
+
+namespace fcrit::ml {
+
+struct CrossValResult {
+  std::vector<double> fold_accuracy;
+  std::vector<double> fold_auc;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double mean_auc = 0.0;
+
+  std::string to_string() const;
+};
+
+/// k-fold CV over `candidates` (node row indices with labels). Each fold
+/// trains a fresh model from `model_config` on the other k-1 folds. Folds
+/// are stratified by label and deterministic in `seed`.
+CrossValResult cross_validate_gcn(const SparseMatrix& adj, const Matrix& x,
+                                  const std::vector<int>& labels,
+                                  const std::vector<int>& candidates,
+                                  int num_folds, const GcnConfig& model_config,
+                                  const TrainConfig& train_config,
+                                  std::uint64_t seed);
+
+}  // namespace fcrit::ml

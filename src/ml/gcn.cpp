@@ -1,0 +1,105 @@
+#include "src/ml/gcn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+GcnModel::GcnModel(int in_features, GcnConfig config)
+    : in_features_(in_features), config_(std::move(config)),
+      rng_(config_.seed) {
+  if (config_.hidden.empty())
+    throw std::runtime_error("GcnModel: need at least one hidden layer");
+
+  int width = in_features_;
+  for (std::size_t k = 0; k < config_.hidden.size(); ++k) {
+    auto conv = std::make_unique<GcnConv>(width, config_.hidden[k], rng_);
+    convs_.push_back(conv.get());
+    layers_.push_back(std::move(conv));
+    layers_.push_back(std::make_unique<Relu>());
+    if (static_cast<int>(k) == config_.dropout_after &&
+        config_.dropout > 0.0)
+      layers_.push_back(std::make_unique<Dropout>(config_.dropout, rng_));
+    width = config_.hidden[k];
+  }
+  auto head = std::make_unique<GcnConv>(width, config_.output_dim, rng_);
+  convs_.push_back(head.get());
+  layers_.push_back(std::move(head));
+  if (config_.log_softmax) layers_.push_back(std::make_unique<LogSoftmax>());
+}
+
+void GcnModel::set_adjacency(const SparseMatrix* adj) {
+  for (GcnConv* conv : convs_) conv->set_adjacency(adj);
+}
+
+void GcnModel::set_edge_grad_buffer(std::vector<float>* buf) {
+  for (GcnConv* conv : convs_) conv->set_edge_grad_buffer(buf);
+}
+
+Matrix GcnModel::forward(const Matrix& x, bool training) {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+Matrix GcnModel::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param> GcnModel::params() {
+  std::vector<Param> out;
+  for (const auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+void GcnModel::zero_grad() {
+  for (const Param& p : params()) p.grad->set_zero();
+}
+
+void GcnModel::copy_params_from(const GcnModel& other) {
+  auto mine = params();
+  auto theirs = const_cast<GcnModel&>(other).params();
+  if (mine.size() != theirs.size())
+    throw std::runtime_error("copy_params_from: architecture mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].value->rows() != theirs[i].value->rows() ||
+        mine[i].value->cols() != theirs[i].value->cols())
+      throw std::runtime_error("copy_params_from: shape mismatch");
+    *mine[i].value = *theirs[i].value;
+  }
+}
+
+std::string GcnModel::describe() const {
+  std::string out;
+  int idx = 1;
+  for (const auto& layer : layers_) {
+    out += std::to_string(idx++) + ": " + layer->describe() + "\n";
+  }
+  return out;
+}
+
+std::vector<int> predict_labels(const Matrix& out) {
+  std::vector<int> labels(static_cast<std::size_t>(out.rows()));
+  for (int i = 0; i < out.rows(); ++i) {
+    const auto row = out.row(i);
+    int best = 0;
+    for (int j = 1; j < out.cols(); ++j)
+      if (row[j] > row[best]) best = j;
+    labels[static_cast<std::size_t>(i)] = best;
+  }
+  return labels;
+}
+
+std::vector<double> class1_probability(const Matrix& logp) {
+  if (logp.cols() != 2)
+    throw std::runtime_error("class1_probability: expected 2 columns");
+  std::vector<double> p(static_cast<std::size_t>(logp.rows()));
+  for (int i = 0; i < logp.rows(); ++i)
+    p[static_cast<std::size_t>(i)] = std::exp(static_cast<double>(logp(i, 1)));
+  return p;
+}
+
+}  // namespace fcrit::ml

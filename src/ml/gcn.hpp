@@ -1,0 +1,82 @@
+// The GCN classifier/regressor of §3.3-3.4.
+//
+// The default configuration reproduces the paper's Table 1 exactly:
+//   GCNConv(F -> 16), ReLU,
+//   GCNConv(16 -> 32), ReLU, Dropout(0.3),
+//   GCNConv(32 -> 64), ReLU,
+//   GCNConv(64 -> 2), LogSoftmax.
+// The regressor variant (§3.4) removes the LogSoftmax and sets the output
+// dimensionality to 1, yielding continuous criticality scores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/layers.hpp"
+
+namespace fcrit::ml {
+
+struct GcnConfig {
+  std::vector<int> hidden = {16, 32, 64};  // conv widths before the head
+  int output_dim = 2;        // 2 classes, or 1 for regression
+  bool log_softmax = true;   // false for the regressor
+  double dropout = 0.3;
+  int dropout_after = 1;     // insert Dropout after hidden conv #k (-1: none)
+  std::uint64_t seed = 42;
+
+  static GcnConfig classifier() { return {}; }
+  static GcnConfig regressor() {
+    GcnConfig c;
+    c.output_dim = 1;
+    c.log_softmax = false;
+    return c;
+  }
+};
+
+class GcnModel {
+ public:
+  GcnModel(int in_features, GcnConfig config);
+
+  /// Adjacency used by subsequent forward/backward calls; must outlive them.
+  void set_adjacency(const SparseMatrix* adj);
+
+  /// When non-null, every GcnConv backward accumulates its dL/dÂ into this
+  /// buffer (summed across layers). GNNExplainer's edge-mask gradient.
+  void set_edge_grad_buffer(std::vector<float>* buf);
+
+  /// N x output_dim output (log-probabilities for the classifier).
+  Matrix forward(const Matrix& x, bool training);
+
+  /// Backpropagate; returns dL/dX (needed by the explainer's feature mask).
+  Matrix backward(const Matrix& grad_out);
+
+  std::vector<Param> params();
+  void zero_grad();
+
+  /// Deep copy of all parameter values from another model with identical
+  /// architecture (early-stopping snapshot restore).
+  void copy_params_from(const GcnModel& other);
+
+  int in_features() const { return in_features_; }
+  const GcnConfig& config() const { return config_; }
+
+  /// Table-1-style architecture dump, one layer per line.
+  std::string describe() const;
+
+ private:
+  int in_features_;
+  GcnConfig config_;
+  util::Rng rng_;  // owns dropout randomness; referenced by Dropout layers
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<GcnConv*> convs_;
+};
+
+/// argmax over each row; returns one class id per node.
+std::vector<int> predict_labels(const Matrix& out);
+
+/// P(class 1) per node from log-probabilities.
+std::vector<double> class1_probability(const Matrix& logp);
+
+}  // namespace fcrit::ml

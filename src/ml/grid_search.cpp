@@ -1,0 +1,54 @@
+#include "src/ml/grid_search.hpp"
+
+#include "src/util/text.hpp"
+
+namespace fcrit::ml {
+
+std::string GridTrial::to_string() const {
+  std::string s = "hidden=[";
+  for (std::size_t i = 0; i < model_config.hidden.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(model_config.hidden[i]);
+  }
+  s += "] dropout=" + util::format_double(model_config.dropout, 2);
+  s += " lr=" + util::format_double(train_config.lr, 4);
+  s += " val_acc=" + util::format_double(val_accuracy, 4);
+  return s;
+}
+
+GridSearchResult grid_search(const SparseMatrix& adj, const Matrix& x,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& train_idx,
+                             const std::vector<int>& val_idx,
+                             const GridSearchSpace& space,
+                             const TrainConfig& base_config) {
+  GridSearchResult result;
+  result.best.val_accuracy = -1.0;
+
+  for (const auto& hidden : space.hidden_options) {
+    for (const double dropout : space.dropout_options) {
+      for (const double lr : space.lr_options) {
+        GcnConfig mc = GcnConfig::classifier();
+        mc.hidden = hidden;
+        mc.dropout = dropout;
+        // Keep the dropout position inside the stack.
+        mc.dropout_after =
+            hidden.size() >= 2 ? 1 : 0;
+        TrainConfig tc = base_config;
+        tc.lr = lr;
+        tc.verbose = false;
+
+        GcnModel model(x.cols(), mc);
+        const TrainHistory h = train_classifier(model, adj, x, labels,
+                                                train_idx, val_idx, tc);
+        GridTrial trial{mc, tc, h.best_val_metric};
+        if (trial.val_accuracy > result.best.val_accuracy)
+          result.best = trial;
+        result.trials.push_back(std::move(trial));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fcrit::ml

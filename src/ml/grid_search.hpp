@@ -1,0 +1,39 @@
+// Hyperparameter grid search (§3.3.2): sweep layer stacks, dropout rates
+// and learning rates; select the configuration with the best validation
+// accuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ml/trainer.hpp"
+
+namespace fcrit::ml {
+
+struct GridSearchSpace {
+  std::vector<std::vector<int>> hidden_options = {
+      {16, 32}, {16, 32, 64}, {32, 64}};
+  std::vector<double> dropout_options = {0.0, 0.3, 0.5};
+  std::vector<double> lr_options = {0.01, 0.003};
+};
+
+struct GridTrial {
+  GcnConfig model_config;
+  TrainConfig train_config;
+  double val_accuracy = 0.0;
+  std::string to_string() const;
+};
+
+struct GridSearchResult {
+  GridTrial best;
+  std::vector<GridTrial> trials;
+};
+
+GridSearchResult grid_search(const SparseMatrix& adj, const Matrix& x,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& train_idx,
+                             const std::vector<int>& val_idx,
+                             const GridSearchSpace& space,
+                             const TrainConfig& base_config);
+
+}  // namespace fcrit::ml

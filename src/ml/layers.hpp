@@ -1,0 +1,135 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// The stack is deliberately autograd-free: each layer caches what its
+// backward pass needs, and models chain backward() calls in reverse. The
+// GCNConv layer implements the Kipf-Welling propagation of Eq. 2,
+//   H' = Â (H W + b),  Â = D^-1/2 (A + I) D^-1/2,
+// where Â is supplied externally (see graphir::normalized_adjacency) and
+// can be swapped per-forward — GNNExplainer exploits this to run the
+// trained model under a masked adjacency and to collect d(loss)/d(edge).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+#include "src/ml/sparse.hpp"
+
+namespace fcrit::ml {
+
+/// A trainable tensor and its gradient accumulator.
+struct Param {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Matrix forward(const Matrix& x, bool training) = 0;
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+  /// Append this layer's trainable parameters.
+  virtual void collect_params(std::vector<Param>& out) { (void)out; }
+  virtual std::string describe() const = 0;
+};
+
+/// Graph convolution: Y = Â (X W + b).
+class GcnConv final : public Layer {
+ public:
+  GcnConv(int in_features, int out_features, util::Rng& rng,
+          bool with_bias = true);
+
+  /// The adjacency used by subsequent forward/backward calls. Must outlive
+  /// them. Swappable between calls (full graph vs. explainer-masked graph).
+  void set_adjacency(const SparseMatrix* adj) { adj_ = adj; }
+
+  /// When non-null, backward() accumulates dL/dÂ[k] for every stored entry
+  /// into this buffer (resized to nnz). Used by GNNExplainer.
+  void set_edge_grad_buffer(std::vector<float>* buf) { edge_grad_ = buf; }
+
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string describe() const override;
+
+  int in_features() const { return w_.rows(); }
+  int out_features() const { return w_.cols(); }
+  const Matrix& weight() const { return w_; }
+  Matrix& weight() { return w_; }
+
+ private:
+  Matrix w_, w_grad_;
+  Matrix b_, b_grad_;  // 1 x out
+  bool with_bias_;
+  const SparseMatrix* adj_ = nullptr;
+  std::vector<float>* edge_grad_ = nullptr;
+  Matrix cached_x_;  // input
+  Matrix cached_z_;  // X W + b (pre-propagation)
+};
+
+/// Dense layer: Y = X W + b (no propagation). Used by the MLP baseline.
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, util::Rng& rng);
+
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  std::string describe() const override;
+
+ private:
+  Matrix w_, w_grad_;
+  Matrix b_, b_grad_;
+  Matrix cached_x_;
+};
+
+class Relu final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::string describe() const override { return "ReLU"; }
+
+ private:
+  Matrix mask_;
+};
+
+/// Inverted dropout; identity at inference.
+class Dropout final : public Layer {
+ public:
+  Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(&rng) {}
+
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::string describe() const override;
+
+ private:
+  double rate_;
+  util::Rng* rng_;
+  Matrix mask_;
+};
+
+/// Row-wise log-softmax.
+class LogSoftmax final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::string describe() const override { return "LogSoftmax"; }
+
+ private:
+  Matrix cached_logp_;
+};
+
+// ---- losses ---------------------------------------------------------------
+
+/// Negative log-likelihood over a node subset. `logp` is N x C log-probs,
+/// `labels` one class id per node. Returns the mean loss over `mask` and
+/// writes dL/dlogp (zero outside the mask) into `grad`.
+double masked_nll(const Matrix& logp, const std::vector<int>& labels,
+                  const std::vector<int>& mask, Matrix& grad);
+
+/// Mean squared error over a node subset; `pred` is N x 1.
+double masked_mse(const Matrix& pred, const std::vector<double>& target,
+                  const std::vector<int>& mask, Matrix& grad);
+
+}  // namespace fcrit::ml

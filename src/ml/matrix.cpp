@@ -1,0 +1,123 @@
+#include "src/ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcrit::ml {
+
+Matrix Matrix::full(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.fill(value);
+  return m;
+}
+
+Matrix Matrix::randn(int rows, int cols, util::Rng& rng, float stddev) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_)
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  return m;
+}
+
+Matrix Matrix::xavier(int fan_in, int fan_out, util::Rng& rng) {
+  Matrix m(fan_in, fan_out);
+  const float s = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : m.data_) v = (2.0f * rng.next_float() - 1.0f) * s;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::hadamard_(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+double Matrix::frob2() const {
+  double s = 0.0;
+  for (const float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+std::string Matrix::shape_string() const {
+  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      auto crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      float s = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix s(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) s(0, j) += arow[j];
+  }
+  return s;
+}
+
+}  // namespace fcrit::ml

@@ -1,0 +1,157 @@
+#include "src/ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::ml {
+
+double Confusion::accuracy() const {
+  const int t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / t;
+}
+
+double Confusion::precision() const {
+  return (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+}
+
+double Confusion::recall() const {
+  return (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+}
+
+double Confusion::fpr() const {
+  return (fp + tn) == 0 ? 0.0 : static_cast<double>(fp) / (fp + tn);
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string Confusion::to_string() const {
+  return "tp=" + std::to_string(tp) + " fp=" + std::to_string(fp) +
+         " tn=" + std::to_string(tn) + " fn=" + std::to_string(fn) +
+         " acc=" + util::format_double(accuracy(), 4);
+}
+
+Confusion confusion(const std::vector<int>& predicted,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& subset) {
+  Confusion c;
+  for (const int i : subset) {
+    const int p = predicted[static_cast<std::size_t>(i)];
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (p == 1 && y == 1)
+      ++c.tp;
+    else if (p == 1 && y == 0)
+      ++c.fp;
+    else if (p == 0 && y == 0)
+      ++c.tn;
+    else
+      ++c.fn;
+  }
+  return c;
+}
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& labels,
+                const std::vector<int>& subset) {
+  return confusion(predicted, labels, subset).accuracy();
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                const std::vector<int>& subset) {
+  if (subset.empty()) throw std::runtime_error("roc_curve: empty subset");
+  std::vector<int> order = subset;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] >
+           scores[static_cast<std::size_t>(b)];
+  });
+  int positives = 0, negatives = 0;
+  for (const int i : subset)
+    labels[static_cast<std::size_t>(i)] == 1 ? ++positives : ++negatives;
+  if (positives == 0 || negatives == 0)
+    throw std::runtime_error("roc_curve: need both classes in subset");
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  int tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Advance over ties as a block so the curve is threshold-consistent.
+    const double th = scores[static_cast<std::size_t>(order[i])];
+    while (i < order.size() &&
+           scores[static_cast<std::size_t>(order[i])] == th) {
+      labels[static_cast<std::size_t>(order[i])] == 1 ? ++tp : ++fp;
+      ++i;
+    }
+    curve.push_back({static_cast<double>(fp) / negatives,
+                     static_cast<double>(tp) / positives, th});
+  }
+  return curve;
+}
+
+double auc(const std::vector<RocPoint>& curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels,
+               const std::vector<int>& subset) {
+  return auc(roc_curve(scores, labels, subset));
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::runtime_error("pearson: size mismatch");
+  const double n = static_cast<double>(a.size());
+  const double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  const double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double num = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    num += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double den = std::sqrt(va * vb);
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+namespace {
+std::vector<double> ranks(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> r(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  return pearson(ranks(a), ranks(b));
+}
+
+}  // namespace fcrit::ml

@@ -1,0 +1,55 @@
+// Evaluation metrics of §4.1: accuracy, confusion counts, ROC curve,
+// AUC, plus correlation measures used to check regression/classification
+// conformity (§4.2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fcrit::ml {
+
+struct Confusion {
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+
+  int total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;   // true-positive rate
+  double fpr() const;      // false-positive rate
+  double f1() const;
+  std::string to_string() const;
+};
+
+/// Confusion counts over a node subset; class 1 is "positive" (Critical).
+Confusion confusion(const std::vector<int>& predicted,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& subset);
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& labels,
+                const std::vector<int>& subset);
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve over a node subset from class-1 scores. Points are ordered by
+/// descending threshold, from (0,0) to (1,1).
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                const std::vector<int>& subset);
+
+/// Area under the ROC curve (trapezoidal).
+double auc(const std::vector<RocPoint>& curve);
+
+/// Convenience: AUC directly from scores.
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels,
+               const std::vector<int>& subset);
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace fcrit::ml

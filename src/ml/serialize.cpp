@@ -1,0 +1,130 @@
+#include "src/ml/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+namespace {
+constexpr const char* kMagic = "fcrit-gcn-v1";
+constexpr const char* kStdMagic = "fcrit-standardizer-v1";
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  is >> token;
+  if (token != expected)
+    throw std::runtime_error("load: expected '" + expected + "', got '" +
+                             token + "'");
+}
+}  // namespace
+
+void save_gcn(const GcnModel& model, std::ostream& os) {
+  const GcnConfig& cfg = model.config();
+  os << kMagic << "\n";
+  os << "in_features " << model.in_features() << "\n";
+  os << "hidden " << cfg.hidden.size();
+  for (const int h : cfg.hidden) os << " " << h;
+  os << "\n";
+  os << "output_dim " << cfg.output_dim << "\n";
+  os << "log_softmax " << (cfg.log_softmax ? 1 : 0) << "\n";
+  os << "dropout " << cfg.dropout << "\n";
+  os << "dropout_after " << cfg.dropout_after << "\n";
+
+  auto params = const_cast<GcnModel&>(model).params();
+  os << "params " << params.size() << "\n";
+  os.precision(std::numeric_limits<float>::max_digits10);
+  for (const Param& p : params) {
+    os << p.value->rows() << " " << p.value->cols() << "\n";
+    for (int i = 0; i < p.value->rows(); ++i) {
+      const auto row = p.value->row(i);
+      for (int j = 0; j < p.value->cols(); ++j) {
+        if (j) os << " ";
+        os << row[j];
+      }
+      os << "\n";
+    }
+  }
+}
+
+GcnModel load_gcn(std::istream& is) {
+  expect_token(is, kMagic);
+  GcnConfig cfg;
+  int in_features = 0;
+  expect_token(is, "in_features");
+  is >> in_features;
+  expect_token(is, "hidden");
+  std::size_t num_hidden = 0;
+  is >> num_hidden;
+  cfg.hidden.resize(num_hidden);
+  for (auto& h : cfg.hidden) is >> h;
+  expect_token(is, "output_dim");
+  is >> cfg.output_dim;
+  expect_token(is, "log_softmax");
+  int ls = 0;
+  is >> ls;
+  cfg.log_softmax = ls != 0;
+  expect_token(is, "dropout");
+  is >> cfg.dropout;
+  expect_token(is, "dropout_after");
+  is >> cfg.dropout_after;
+  if (!is) throw std::runtime_error("load_gcn: malformed header");
+
+  GcnModel model(in_features, cfg);
+  expect_token(is, "params");
+  std::size_t num_params = 0;
+  is >> num_params;
+  auto params = model.params();
+  if (num_params != params.size())
+    throw std::runtime_error("load_gcn: parameter count mismatch");
+  for (Param& p : params) {
+    int rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (rows != p.value->rows() || cols != p.value->cols())
+      throw std::runtime_error("load_gcn: parameter shape mismatch");
+    for (int i = 0; i < rows; ++i) {
+      auto row = p.value->row(i);
+      for (int j = 0; j < cols; ++j) is >> row[j];
+    }
+  }
+  if (!is) throw std::runtime_error("load_gcn: truncated weights");
+  return model;
+}
+
+void save_standardizer(const graphir::Standardizer& s, std::ostream& os) {
+  os << kStdMagic << "\n" << s.mean.size() << "\n";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const double m : s.mean) os << m << " ";
+  os << "\n";
+  for (const double d : s.stddev) os << d << " ";
+  os << "\n";
+}
+
+graphir::Standardizer load_standardizer(std::istream& is) {
+  expect_token(is, kStdMagic);
+  std::size_t n = 0;
+  is >> n;
+  graphir::Standardizer s;
+  s.mean.resize(n);
+  s.stddev.resize(n);
+  for (double& m : s.mean) is >> m;
+  for (double& d : s.stddev) is >> d;
+  if (!is) throw std::runtime_error("load_standardizer: malformed input");
+  return s;
+}
+
+void save_gcn_file(const GcnModel& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_gcn_file: cannot open " + path);
+  save_gcn(model, os);
+}
+
+GcnModel load_gcn_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_gcn_file: cannot open " + path);
+  return load_gcn(is);
+}
+
+}  // namespace fcrit::ml

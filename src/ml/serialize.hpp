@@ -1,0 +1,26 @@
+// Model persistence: save/load a trained GCN (architecture + weights) in a
+// small self-describing text format, so a model trained once on a design
+// can be shipped and reused for inference without re-running the FI
+// campaign. The feature Standardizer serializes alongside (its statistics
+// are part of the deployed artifact).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graphir/features.hpp"
+#include "src/ml/gcn.hpp"
+
+namespace fcrit::ml {
+
+void save_gcn(const GcnModel& model, std::ostream& os);
+GcnModel load_gcn(std::istream& is);
+
+void save_standardizer(const graphir::Standardizer& s, std::ostream& os);
+graphir::Standardizer load_standardizer(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_gcn_file(const GcnModel& model, const std::string& path);
+GcnModel load_gcn_file(const std::string& path);
+
+}  // namespace fcrit::ml

@@ -1,0 +1,68 @@
+#include "src/ml/sgc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+void SgcClassifier::fit(const SparseMatrix& adj, const Matrix& x,
+                        const std::vector<int>& labels,
+                        const std::vector<int>& train_idx) {
+  if (train_idx.empty()) throw std::runtime_error("SGC::fit: empty train set");
+  s_ = x;
+  for (int hop = 0; hop < config_.k; ++hop) s_ = adj.spmm(s_);
+
+  const int f = s_.cols();
+  // Binary logistic regression on the propagated features (two-class SGC
+  // reduces to a single logit).
+  w_.assign(static_cast<std::size_t>(f) + 1, 0.0);
+  std::vector<double> m(w_.size(), 0.0), v(w_.size(), 0.0), grad(w_.size());
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (const int i : train_idx) {
+      const auto row = s_.row(i);
+      double z = w_[static_cast<std::size_t>(f)];
+      for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err =
+          p - static_cast<double>(labels[static_cast<std::size_t>(i)]);
+      for (int j = 0; j < f; ++j)
+        grad[static_cast<std::size_t>(j)] += err * row[j];
+      grad[static_cast<std::size_t>(f)] += err;
+    }
+    const double inv = 1.0 / static_cast<double>(train_idx.size());
+    for (std::size_t j = 0; j < w_.size(); ++j) {
+      double g = grad[j] * inv;
+      if (j + 1 < w_.size()) g += config_.weight_decay * w_[j];
+      m[j] = b1 * m[j] + (1 - b1) * g;
+      v[j] = b2 * v[j] + (1 - b2) * g * g;
+      const double mhat = m[j] / (1 - std::pow(b1, epoch));
+      const double vhat = v[j] / (1 - std::pow(b2, epoch));
+      w_[j] -= config_.lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+std::vector<double> SgcClassifier::predict_proba() const {
+  if (w_.empty()) throw std::runtime_error("SGC: not fitted");
+  const int f = s_.cols();
+  std::vector<double> p(static_cast<std::size_t>(s_.rows()));
+  for (int i = 0; i < s_.rows(); ++i) {
+    const auto row = s_.row(i);
+    double z = w_[static_cast<std::size_t>(f)];
+    for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
+    p[static_cast<std::size_t>(i)] = 1.0 / (1.0 + std::exp(-z));
+  }
+  return p;
+}
+
+std::vector<int> SgcClassifier::predict_labels() const {
+  const auto proba = predict_proba();
+  std::vector<int> out(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5;
+  return out;
+}
+
+}  // namespace fcrit::ml

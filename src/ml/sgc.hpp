@@ -1,0 +1,48 @@
+// SGC — Simplifying Graph Convolutional Networks (Wu et al., ICML'19; the
+// paper's reference [12]). Removes the nonlinearities of the GCN: the
+// K-hop propagated features S = Â^K X are computed once, and a single
+// linear layer + softmax is trained on them. Serves as the structural
+// middle ground between the graph-blind baselines and the full GCN in the
+// model-family ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+#include "src/ml/sparse.hpp"
+
+namespace fcrit::ml {
+
+class SgcClassifier {
+ public:
+  struct Config {
+    int k = 2;  // propagation depth
+    int epochs = 300;
+    double lr = 0.05;
+    double weight_decay = 1e-4;
+    std::uint64_t seed = 21;
+  };
+
+  SgcClassifier() : SgcClassifier(Config{}) {}
+  explicit SgcClassifier(Config config) : config_(config) {}
+
+  /// Train on the rows in `train_idx`; `adj` should be the symmetric
+  /// normalized adjacency (Eq. 2).
+  void fit(const SparseMatrix& adj, const Matrix& x,
+           const std::vector<int>& labels, const std::vector<int>& train_idx);
+
+  /// P(class 1) for every node (uses the propagated features cached by
+  /// fit(); the graph is transductive, so predictions cover all nodes).
+  std::vector<double> predict_proba() const;
+  std::vector<int> predict_labels() const;
+
+  const Matrix& propagated_features() const { return s_; }
+
+ private:
+  Config config_;
+  Matrix s_;            // Â^K X
+  std::vector<double> w_;  // (F+1) x 2 flattened, bias last row
+};
+
+}  // namespace fcrit::ml

@@ -1,0 +1,125 @@
+#include "src/ml/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fcrit::ml {
+
+SparseMatrix SparseMatrix::from_coo(int rows, int cols,
+                                    std::vector<Coo> entries) {
+  for (const Coo& e : entries) {
+    if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols)
+      throw std::runtime_error("SparseMatrix::from_coo: index out of range");
+  }
+  std::sort(entries.begin(), entries.end(), [](const Coo& a, const Coo& b) {
+    return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+  });
+
+  SparseMatrix s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  s.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::size_t i = 0; i < entries.size();) {
+    std::size_t j = i;
+    float sum = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    s.col_.push_back(entries[i].col);
+    s.val_.push_back(sum);
+    ++s.row_ptr_[static_cast<std::size_t>(entries[i].row) + 1];
+    i = j;
+  }
+  for (std::size_t r = 1; r < s.row_ptr_.size(); ++r)
+    s.row_ptr_[r] += s.row_ptr_[r - 1];
+  return s;
+}
+
+int SparseMatrix::entry_row(std::size_t k) const {
+  assert(k < col_.size());
+  const auto it = std::upper_bound(row_ptr_.begin(), row_ptr_.end(),
+                                   static_cast<int>(k));
+  return static_cast<int>(it - row_ptr_.begin()) - 1;
+}
+
+Matrix SparseMatrix::spmm(const Matrix& x) const {
+  assert(x.rows() == cols_);
+  Matrix y(rows_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    auto yrow = y.row(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = val_[static_cast<std::size_t>(k)];
+      if (v == 0.0f) continue;
+      const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::spmm_t(const Matrix& x) const {
+  assert(x.rows() == rows_);
+  Matrix y(cols_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const auto xrow = x.row(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = val_[static_cast<std::size_t>(k)];
+      if (v == 0.0f) continue;
+      auto yrow = y.row(col_[static_cast<std::size_t>(k)]);
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+void SparseMatrix::accumulate_edge_grad(const Matrix& g_out, const Matrix& x,
+                                        std::vector<float>& out) const {
+  assert(g_out.rows() == rows_ && x.rows() == cols_);
+  assert(g_out.cols() == x.cols());
+  out.resize(val_.size(), 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    const auto grow = g_out.row(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
+      float s = 0.0f;
+      for (int j = 0; j < x.cols(); ++j) s += grow[j] * xrow[j];
+      out[static_cast<std::size_t>(k)] += s;
+    }
+  }
+}
+
+SparseMatrix SparseMatrix::with_values(std::vector<float> values) const {
+  if (values.size() != val_.size())
+    throw std::runtime_error("SparseMatrix::with_values: size mismatch");
+  SparseMatrix s = *this;
+  s.val_ = std::move(values);
+  return s;
+}
+
+bool SparseMatrix::is_symmetric(float tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int c = col_[static_cast<std::size_t>(k)];
+      const float v = val_[static_cast<std::size_t>(k)];
+      // Find (c, r).
+      bool found = false;
+      for (int k2 = row_ptr_[c]; k2 < row_ptr_[c + 1]; ++k2) {
+        if (col_[static_cast<std::size_t>(k2)] == r) {
+          if (std::fabs(val_[static_cast<std::size_t>(k2)] - v) > tol)
+            return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found && std::fabs(v) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fcrit::ml

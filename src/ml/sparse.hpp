@@ -1,0 +1,69 @@
+// CSR sparse matrix used for the (normalized) graph adjacency.
+//
+// Supports the three kernels GCN training and GNNExplainer need:
+//   spmm       Y = S  · X        (message passing forward)
+//   spmm_t     Y = Sᵀ · X        (backward through the propagation;
+//                                 equals spmm for symmetric S)
+//   edge_grad  dL/dS[k] = <Gout.row(r_k), X.row(c_k)>  per stored entry
+// Entry order is stable (sorted by row, then column), so per-edge masks
+// and gradients can be carried in plain vectors aligned with values().
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+
+namespace fcrit::ml {
+
+struct Coo {
+  int row;
+  int col;
+  float value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from coordinate triples; duplicate (row, col) entries sum.
+  static SparseMatrix from_coo(int rows, int cols, std::vector<Coo> entries);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t nnz() const { return col_.size(); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_index() const { return col_; }
+  const std::vector<float>& values() const { return val_; }
+  std::vector<float>& mutable_values() { return val_; }
+
+  /// Row index of stored entry k (O(log rows)).
+  int entry_row(std::size_t k) const;
+
+  /// Y = S · X.
+  Matrix spmm(const Matrix& x) const;
+
+  /// Y = Sᵀ · X.
+  Matrix spmm_t(const Matrix& x) const;
+
+  /// Per-entry gradient of L w.r.t. the stored values, where Y = S · X and
+  /// g_out = dL/dY: out[k] += <g_out.row(row_k), x.row(col_k)>.
+  void accumulate_edge_grad(const Matrix& g_out, const Matrix& x,
+                            std::vector<float>& out) const;
+
+  /// Copy with values replaced (same sparsity pattern).
+  SparseMatrix with_values(std::vector<float> values) const;
+
+  bool is_symmetric(float tol = 1e-6f) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_;
+  std::vector<float> val_;
+};
+
+}  // namespace fcrit::ml

@@ -1,0 +1,121 @@
+#include "src/ml/trainer.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/ml/metrics.hpp"
+#include "src/ml/optimizer.hpp"
+
+namespace fcrit::ml {
+
+namespace {
+
+/// Snapshot/restore of model parameters for early stopping.
+class ParamSnapshot {
+ public:
+  explicit ParamSnapshot(GcnModel& model) : model_(&model) {}
+
+  void capture() {
+    values_.clear();
+    for (const Param& p : model_->params()) values_.push_back(*p.value);
+  }
+
+  void restore() {
+    if (values_.empty()) return;
+    auto params = model_->params();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      *params[i].value = values_[i];
+  }
+
+ private:
+  GcnModel* model_;
+  std::vector<Matrix> values_;
+};
+
+}  // namespace
+
+TrainHistory train_classifier(GcnModel& model, const SparseMatrix& adj,
+                              const Matrix& x, const std::vector<int>& labels,
+                              const std::vector<int>& train_idx,
+                              const std::vector<int>& val_idx,
+                              const TrainConfig& config) {
+  model.set_adjacency(&adj);
+  Adam opt(model.params(), config.lr, config.weight_decay);
+  ParamSnapshot best(model);
+  TrainHistory history;
+  history.best_val_metric = -1.0;
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const Matrix logp = model.forward(x, /*training=*/true);
+    Matrix grad;
+    const double loss = masked_nll(logp, labels, train_idx, grad);
+    opt.zero_grad();
+    model.backward(grad);
+    opt.step();
+
+    const Matrix eval = model.forward(x, /*training=*/false);
+    const double val_acc = accuracy(predict_labels(eval), labels, val_idx);
+    history.train_loss.push_back(loss);
+    history.val_metric.push_back(val_acc);
+
+    if (val_acc > history.best_val_metric) {
+      history.best_val_metric = val_acc;
+      history.best_epoch = epoch;
+      best.capture();
+      since_best = 0;
+    } else if (++since_best >= config.patience && config.patience > 0) {
+      break;
+    }
+    if (config.verbose && epoch % config.log_every == 0)
+      std::printf("epoch %4d  loss %.4f  val_acc %.4f\n", epoch, loss,
+                  val_acc);
+  }
+  best.restore();
+  return history;
+}
+
+TrainHistory train_regressor(GcnModel& model, const SparseMatrix& adj,
+                             const Matrix& x,
+                             const std::vector<double>& targets,
+                             const std::vector<int>& train_idx,
+                             const std::vector<int>& val_idx,
+                             const TrainConfig& config) {
+  model.set_adjacency(&adj);
+  Adam opt(model.params(), config.lr, config.weight_decay);
+  ParamSnapshot best(model);
+  TrainHistory history;
+  history.best_val_metric = -1e30;
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const Matrix pred = model.forward(x, /*training=*/true);
+    Matrix grad;
+    const double loss = masked_mse(pred, targets, train_idx, grad);
+    opt.zero_grad();
+    model.backward(grad);
+    opt.step();
+
+    const Matrix eval = model.forward(x, /*training=*/false);
+    Matrix unused;
+    const double val_mse = masked_mse(eval, targets, val_idx, unused);
+    history.train_loss.push_back(loss);
+    history.val_metric.push_back(-val_mse);
+
+    if (-val_mse > history.best_val_metric) {
+      history.best_val_metric = -val_mse;
+      history.best_epoch = epoch;
+      best.capture();
+      since_best = 0;
+    } else if (++since_best >= config.patience && config.patience > 0) {
+      break;
+    }
+    if (config.verbose && epoch % config.log_every == 0)
+      std::printf("epoch %4d  loss %.5f  val_mse %.5f\n", epoch, loss,
+                  val_mse);
+  }
+  best.restore();
+  return history;
+}
+
+}  // namespace fcrit::ml

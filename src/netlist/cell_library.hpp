@@ -1,0 +1,82 @@
+// The standard-cell library of the fcrit netlist model.
+//
+// The library mirrors a classic synthesized-netlist vocabulary (the paper's
+// Table 2 shows instances such as ND2_U393, AO3_U143, IV_U112, NR4_U165):
+// inverters/buffers, 2-4 input AND/NAND/OR/NOR, XOR/XNOR, AND-OR-INVERT and
+// OR-AND-INVERT complex gates, a 2:1 mux and a D flip-flop. Every cell has a
+// single output; a net is therefore identified with its driving node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fcrit::netlist {
+
+enum class CellKind : std::uint8_t {
+  kInput,   // primary input (pseudo-cell, no fanins)
+  kConst0,  // constant logic 0
+  kConst1,  // constant logic 1
+  kBuf,     // Y = A
+  kInv,     // IV: Y = !A
+  kAnd2,    // AN2
+  kAnd3,    // AN3
+  kAnd4,    // AN4
+  kNand2,   // ND2
+  kNand3,   // ND3
+  kNand4,   // ND4
+  kOr2,     // OR2
+  kOr3,     // OR3
+  kOr4,     // OR4
+  kNor2,    // NR2
+  kNor3,    // NR3
+  kNor4,    // NR4
+  kXor2,    // EO2: Y = A ^ B
+  kXnor2,   // EN2: Y = !(A ^ B)
+  kAoi21,   // AO3: Y = !((A & B) | C)
+  kAoi22,   // AO2: Y = !((A & B) | (C & D))
+  kOai21,   // OA3: Y = !((A | B) & C)
+  kOai22,   // OA2: Y = !((A | B) & (C | D))
+  kMux2,    // MX2: Y = S ? B : A   (fanins A, B, S)
+  kDff,     // FD1: Q <= D at the clock edge (fanin D)
+  kCount,
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kCount);
+inline constexpr int kMaxFanins = 4;
+
+/// Static description of a cell kind.
+struct CellSpec {
+  std::string_view name;   // library name, e.g. "ND2"
+  int arity;               // number of fanin pins
+  bool inverting;          // §3.1.4 boolean tag: gate negates its logic
+  bool sequential;         // true only for kDff
+};
+
+/// Lookup the spec of a kind. Valid for every kind except kCount.
+const CellSpec& spec(CellKind kind);
+
+/// Parse a library cell name (e.g. "ND2", "IV", case-insensitive).
+/// Returns kCount when the name is unknown.
+CellKind kind_from_name(std::string_view name);
+
+/// Evaluate a combinational cell over 64 packed patterns per word.
+/// `ins.size()` must equal `spec(kind).arity`. kDff is evaluated as a
+/// transparent buffer (the simulator sequences state updates itself);
+/// kInput is not evaluable.
+std::uint64_t eval_packed(CellKind kind, std::span<const std::uint64_t> ins);
+
+/// Single-pattern convenience wrapper over eval_packed.
+bool eval_bool(CellKind kind, std::span<const bool> ins);
+
+/// Truth table of a combinational cell: bit i holds the output for the
+/// input assignment whose bit j equals ((i >> j) & 1), j indexing fanins.
+/// Arity <= 4 so 16 bits suffice.
+std::uint16_t truth_table(CellKind kind);
+
+/// P(output == 1) assuming statistically independent inputs with
+/// P(input j == 1) = p_in[j]. Used by the analytic (COP-style) signal
+/// probability estimator.
+double output_one_probability(CellKind kind, std::span<const double> p_in);
+
+}  // namespace fcrit::netlist

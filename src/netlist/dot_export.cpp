@@ -1,0 +1,86 @@
+#include "src/netlist/dot_export.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::netlist {
+
+namespace {
+
+std::string shape_of(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+      return "invtriangle";
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return "plaintext";
+    case CellKind::kDff:
+      return "box";
+    default:
+      return "ellipse";
+  }
+}
+
+}  // namespace
+
+void write_dot(const Netlist& nl, std::ostream& os, DotOptions options) {
+  std::vector<char> included(nl.num_nodes(),
+                             options.subset.empty() ? 1 : 0);
+  for (const NodeId id : options.subset) {
+    if (id >= nl.num_nodes())
+      throw std::runtime_error("write_dot: subset node out of range");
+    included[id] = 1;
+  }
+
+  os << "digraph \"" << nl.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (!included[id]) continue;
+    const Node& node = nl.node(id);
+    os << "  n" << id << " [label=\"" << node.name;
+    if (options.show_cell_kinds && node.kind != CellKind::kInput)
+      os << "\\n" << spec(node.kind).name;
+    os << "\" shape=" << shape_of(node.kind);
+    const auto color = options.node_color.find(id);
+    if (color != options.node_color.end())
+      os << " style=filled fillcolor=\"" << color->second << "\"";
+    os << "];\n";
+  }
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (!included[id]) continue;
+    for (const NodeId f : nl.fanins(id)) {
+      if (f == kNoNode || !included[f]) continue;
+      os << "  n" << f << " -> n" << id;
+      const auto key = std::make_pair(std::min(f, id), std::max(f, id));
+      const auto weight = options.edge_weight.find(key);
+      if (weight != options.edge_weight.end())
+        os << " [penwidth=" << util::format_double(
+                  std::max(0.2, weight->second * 4.0), 2)
+           << "]";
+      os << ";\n";
+    }
+  }
+
+  // Primary outputs as dedicated sinks.
+  int port_index = 0;
+  for (const auto& port : nl.outputs()) {
+    if (!included[port.driver]) continue;
+    os << "  po" << port_index << " [label=\"" << port.name
+       << "\" shape=triangle];\n";
+    os << "  n" << port.driver << " -> po" << port_index << ";\n";
+    ++port_index;
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Netlist& nl, DotOptions options) {
+  std::ostringstream os;
+  write_dot(nl, os, std::move(options));
+  return os.str();
+}
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,35 @@
+// Graphviz export: render netlists (and explanation subgraphs) as .dot
+// files for visual inspection — the repository's equivalent of the paper's
+// Fig. 5 subgraph illustrations. Nodes can be colour-coded by criticality
+// class and edges weighted by GNNExplainer masks.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+struct DotOptions {
+  /// Node fill colours by id (e.g. criticality verdicts); unlisted nodes
+  /// render unfilled.
+  std::map<NodeId, std::string> node_color;
+
+  /// Pen widths per undirected node pair (min(id), max(id)) — explanation
+  /// edge masses. Unlisted connections use width 1.
+  std::map<std::pair<NodeId, NodeId>, double> edge_weight;
+
+  /// Restrict rendering to these nodes (empty = whole netlist). Edges are
+  /// kept when both endpoints are included.
+  std::vector<NodeId> subset;
+
+  bool show_cell_kinds = true;
+};
+
+void write_dot(const Netlist& nl, std::ostream& os, DotOptions options = {});
+
+std::string to_dot(const Netlist& nl, DotOptions options = {});
+
+}  // namespace fcrit::netlist

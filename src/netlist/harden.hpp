@@ -1,0 +1,41 @@
+// Safety-mechanism insertion: triple-modular redundancy on selected nodes.
+//
+// The paper's end goal is "prioritizing resources towards critical nodes".
+// This transform spends those resources: each selected gate (or flip-flop)
+// is triplicated and its consumers re-wired to a majority voter, so any
+// single stuck-at on the original node (or either replica) is outvoted.
+// The hardening bench closes the loop: predict critical nodes with the
+// GCN, harden them, re-run fault injection, and measure how much
+// criticality the design lost per gate spent.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+struct HardenResult {
+  Netlist netlist;
+  /// old NodeId -> new NodeId of the original copy (always valid).
+  std::vector<NodeId> node_map;
+  /// old target NodeId -> voter output NodeId in the new netlist.
+  std::map<NodeId, NodeId> voter_of;
+  std::size_t added_gates = 0;
+
+  /// Gate-count overhead relative to the original netlist.
+  double overhead(const Netlist& original) const {
+    return static_cast<double>(added_gates) /
+           static_cast<double>(original.num_gates());
+  }
+};
+
+/// Triplicate `targets` (each must be a gate or flip-flop). Targets are
+/// processed in topological order so hardened nodes feeding other hardened
+/// nodes compose. The result is functionally identical to the input in the
+/// fault-free case (verified by simulation in tests).
+HardenResult triplicate_nodes(const Netlist& nl,
+                              const std::vector<NodeId>& targets);
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,82 @@
+#include "src/netlist/levelize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fcrit::netlist {
+
+namespace {
+
+bool is_source(CellKind k) {
+  return k == CellKind::kInput || k == CellKind::kConst0 ||
+         k == CellKind::kConst1 || k == CellKind::kDff;
+}
+
+}  // namespace
+
+Levelization levelize(const Netlist& nl) {
+  const auto n = static_cast<NodeId>(nl.num_nodes());
+  Levelization out;
+  out.level.assign(n, 0);
+
+  // Kahn's algorithm over combinational nodes only. A DFF participates as a
+  // source (its Q is available at the start of the cycle); its D fanin is a
+  // sink and imposes no ordering constraint.
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<NodeId> ready;
+  std::size_t num_comb = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (is_source(nl.kind(id))) continue;
+    ++num_comb;
+    pending[id] = nl.node(id).fanin_count;
+    // Fanins that are sources are immediately available.
+    for (const NodeId f : nl.fanins(id))
+      if (is_source(nl.kind(f))) --pending[id];
+    if (pending[id] == 0) ready.push_back(id);
+  }
+
+  out.order.reserve(num_comb);
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    int lvl = 0;
+    for (const NodeId f : nl.fanins(id))
+      lvl = std::max(lvl, out.level[f] + 1);
+    out.level[id] = lvl;
+    out.max_level = std::max(out.max_level, lvl);
+    out.order.push_back(id);
+    for (const NodeId consumer : nl.fanouts(id)) {
+      if (is_source(nl.kind(consumer))) continue;
+      if (--pending[consumer] == 0) ready.push_back(consumer);
+    }
+  }
+
+  if (out.order.size() != num_comb) {
+    // Some combinational node never became ready: it lies on (or behind) a
+    // combinational cycle. Name one such node for diagnosis.
+    for (NodeId id = 0; id < n; ++id) {
+      if (!is_source(nl.kind(id)) && pending[id] != 0)
+        throw std::runtime_error(
+            "levelize: combinational cycle through node '" +
+            nl.node(id).name + "' in netlist '" + nl.name() + "'");
+    }
+  }
+
+  // Stable order: sort by (level, id) so evaluation order is deterministic
+  // regardless of the Kahn worklist discipline.
+  std::sort(out.order.begin(), out.order.end(), [&](NodeId a, NodeId b) {
+    return out.level[a] != out.level[b] ? out.level[a] < out.level[b] : a < b;
+  });
+  return out;
+}
+
+bool is_combinationally_acyclic(const Netlist& nl) {
+  try {
+    levelize(nl);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,34 @@
+// Topological levelization of a netlist for single-pass combinational
+// evaluation. DFF outputs, primary inputs and constants are level-0 sources;
+// each combinational gate is assigned 1 + max(level of fanins). A
+// combinational cycle (a loop not broken by a DFF) is a structural error and
+// is reported with an offending node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+struct Levelization {
+  /// Combinational nodes (everything except inputs/constants/DFFs) in
+  /// topological order: evaluating them in sequence visits every fanin
+  /// before its consumer.
+  std::vector<NodeId> order;
+
+  /// Level per node; sources are 0. Indexed by NodeId.
+  std::vector<int> level;
+
+  int max_level = 0;
+};
+
+/// Throws std::runtime_error naming a node on the cycle if the netlist has a
+/// combinational loop.
+Levelization levelize(const Netlist& nl);
+
+/// True if the netlist has no combinational cycle.
+bool is_combinationally_acyclic(const Netlist& nl);
+
+}  // namespace fcrit::netlist

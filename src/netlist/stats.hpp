@@ -1,0 +1,31 @@
+// Netlist statistics: cell-kind histogram, size, depth and connectivity
+// summaries. Used by reports, DESIGN/EXPERIMENTS tables and tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+struct NetlistStats {
+  std::string name;
+  std::size_t num_nodes = 0;
+  std::size_t num_gates = 0;     // excl. inputs/constants
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_flops = 0;
+  std::size_t num_edges = 0;
+  int logic_depth = 0;           // max combinational level
+  double avg_fanout = 0.0;       // over gate outputs
+  std::size_t max_fanout = 0;
+  std::array<std::size_t, kNumCellKinds> kind_histogram{};
+
+  std::string to_string() const;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+}  // namespace fcrit::netlist

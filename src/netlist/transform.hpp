@@ -1,0 +1,39 @@
+// Netlist transformations: sweep (dead-logic removal) and cone extraction.
+//
+// Both produce a *new* netlist plus an old-to-new node-id mapping (kNoNode
+// for dropped nodes), since NodeIds are dense indices. Used by tooling
+// (the CLI's `sweep` command), tests, and as building blocks for users who
+// import external netlists with dangling logic.
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+struct TransformResult {
+  Netlist netlist;
+  /// old NodeId -> new NodeId, kNoNode where the node was dropped.
+  std::vector<NodeId> node_map;
+
+  std::size_t dropped() const {
+    std::size_t n = 0;
+    for (const NodeId m : node_map) n += (m == kNoNode);
+    return n;
+  }
+};
+
+/// Remove every node with no structural path to a primary output
+/// (crossing flip-flops). Inputs are always kept (the port list is part of
+/// the module's interface); constants are kept only if used.
+TransformResult sweep(const Netlist& nl);
+
+/// Extract the transitive fanin cone of `roots` (crossing flip-flops) as a
+/// standalone netlist: reached primary inputs stay inputs, each root
+/// becomes a primary output named after its node. Useful for isolating the
+/// logic a criticality verdict depends on.
+TransformResult extract_fanin_cone(const Netlist& nl,
+                                   const std::vector<NodeId>& roots);
+
+}  // namespace fcrit::netlist

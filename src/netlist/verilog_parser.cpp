@@ -1,0 +1,301 @@
+#include "src/netlist/verilog_parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/netlist/verilog_writer.hpp"
+#include "src/util/text.hpp"
+
+namespace fcrit::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    src_ = buf.str();
+    tokenize();
+  }
+
+  const Token& peek() const {
+    if (pos_ >= tokens_.size()) return eof_;
+    return tokens_[pos_];
+  }
+
+  Token next() {
+    Token t = peek();
+    if (pos_ < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool done() const { return pos_ >= tokens_.size(); }
+
+ private:
+  void tokenize() {
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src_.size();
+    while (i < n) {
+      const char c = src_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < n && src_[i + 1] == '/') {
+        while (i < n && src_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < n && src_[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < n && !(src_[i] == '*' && src_[i + 1] == '/')) {
+          if (src_[i] == '\n') ++line;
+          ++i;
+        }
+        i += 2;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '\'' || c == '$') {
+        std::size_t start = i;
+        while (i < n &&
+               (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                src_[i] == '_' || src_[i] == '\'' || src_[i] == '$'))
+          ++i;
+        tokens_.push_back({src_.substr(start, i - start), line});
+        continue;
+      }
+      tokens_.push_back({std::string(1, c), line});
+      ++i;
+    }
+  }
+
+  std::string src_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Token eof_{"<eof>", -1};
+};
+
+[[noreturn]] void fail(const Token& at, const std::string& msg) {
+  throw std::runtime_error("verilog parse error (line " +
+                           std::to_string(at.line) + "): " + msg +
+                           ", got '" + at.text + "'");
+}
+
+void expect(Lexer& lex, std::string_view text) {
+  const Token t = lex.next();
+  if (t.text != text) fail(t, "expected '" + std::string(text) + "'");
+}
+
+struct Instance {
+  std::string cell;
+  std::string name;
+  // pin -> net connections in source order.
+  std::vector<std::pair<std::string, std::string>> pins;
+  int line = 0;
+};
+
+struct ParsedModule {
+  std::string name;
+  std::vector<std::string> input_ports;   // excl. clk
+  std::vector<std::string> output_ports;
+  std::vector<std::pair<std::string, std::string>> aliases;  // lhs = rhs net
+  std::vector<std::pair<std::string, bool>> const_assigns;   // lhs = 0/1
+  std::vector<Instance> instances;
+};
+
+ParsedModule parse_structure(Lexer& lex) {
+  ParsedModule m;
+  expect(lex, "module");
+  Token name = lex.next();
+  if (!util::is_identifier(name.text)) fail(name, "expected module name");
+  m.name = name.text;
+  expect(lex, "(");
+  while (true) {
+    Token dir = lex.next();
+    if (dir.text != "input" && dir.text != "output")
+      fail(dir, "expected port direction");
+    Token port = lex.next();
+    if (!util::is_identifier(port.text)) fail(port, "expected port name");
+    if (dir.text == "input") {
+      if (port.text != "clk") m.input_ports.push_back(port.text);
+    } else {
+      m.output_ports.push_back(port.text);
+    }
+    Token sep = lex.next();
+    if (sep.text == ")") break;
+    if (sep.text != ",") fail(sep, "expected ',' or ')' in port list");
+  }
+  expect(lex, ";");
+
+  while (true) {
+    Token t = lex.next();
+    if (t.text == "endmodule") break;
+    if (t.line < 0) fail(t, "unexpected end of file (missing endmodule?)");
+    if (t.text == "wire") {
+      Token w = lex.next();
+      if (!util::is_identifier(w.text)) fail(w, "expected wire name");
+      expect(lex, ";");
+      continue;
+    }
+    if (t.text == "assign") {
+      Token lhs = lex.next();
+      expect(lex, "=");
+      Token rhs = lex.next();
+      expect(lex, ";");
+      if (rhs.text == "1'b0")
+        m.const_assigns.emplace_back(lhs.text, false);
+      else if (rhs.text == "1'b1")
+        m.const_assigns.emplace_back(lhs.text, true);
+      else if (util::is_identifier(rhs.text))
+        m.aliases.emplace_back(lhs.text, rhs.text);
+      else
+        fail(rhs, "expected net name or 1'b0/1'b1");
+      continue;
+    }
+    // Cell instance: CELL INST ( .PIN(NET), ... ) ;
+    Instance inst;
+    inst.cell = t.text;
+    inst.line = t.line;
+    Token iname = lex.next();
+    if (!util::is_identifier(iname.text)) fail(iname, "expected instance name");
+    inst.name = iname.text;
+    expect(lex, "(");
+    while (true) {
+      expect(lex, ".");
+      Token pin = lex.next();
+      expect(lex, "(");
+      Token net = lex.next();
+      expect(lex, ")");
+      inst.pins.emplace_back(pin.text, net.text);
+      Token sep = lex.next();
+      if (sep.text == ")") break;
+      if (sep.text != ",") fail(sep, "expected ',' or ')' in pin list");
+    }
+    expect(lex, ";");
+    m.instances.push_back(std::move(inst));
+  }
+  return m;
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& is) {
+  Lexer lex(is);
+  const ParsedModule m = parse_structure(lex);
+
+  Netlist nl(m.name);
+
+  // Pass 1: create nodes and record each net's driver.
+  std::map<std::string, NodeId> driver;
+  for (const std::string& port : m.input_ports)
+    driver[port] = nl.add_input(port);
+  for (const auto& [net, value] : m.const_assigns)
+    driver[net] = nl.add_const(value);
+
+  struct PendingFanin {
+    NodeId node;
+    std::size_t slot;
+    std::string net;
+    int line;
+  };
+  std::vector<PendingFanin> pending;
+
+  for (const Instance& inst : m.instances) {
+    const CellKind kind = kind_from_name(inst.cell);
+    if (kind == CellKind::kCount || kind == CellKind::kInput)
+      throw std::runtime_error("verilog parse error (line " +
+                               std::to_string(inst.line) +
+                               "): unknown cell '" + inst.cell + "'");
+    const auto pins = pin_names(kind);
+    const std::string& out_pin = pins.back();
+    std::vector<NodeId> fanins(spec(kind).arity, kNoNode);
+    std::string out_net;
+    for (const auto& [pin, net] : inst.pins) {
+      if (pin == "CP") continue;  // implicit clock
+      if (pin == out_pin) {
+        out_net = net;
+        continue;
+      }
+      bool matched = false;
+      for (std::size_t slot = 0; slot + 1 < pins.size(); ++slot) {
+        if (pins[slot] == pin) {
+          pending.push_back({kNoNode, slot, net, inst.line});
+          matched = true;
+          break;
+        }
+      }
+      if (!matched)
+        throw std::runtime_error("verilog parse error (line " +
+                                 std::to_string(inst.line) + "): cell '" +
+                                 inst.cell + "' has no pin '" + pin + "'");
+    }
+    if (out_net.empty())
+      throw std::runtime_error("verilog parse error (line " +
+                               std::to_string(inst.line) + "): instance '" +
+                               inst.name + "' lacks output pin ." + out_pin);
+    const NodeId id =
+        nl.add_gate(kind, std::span<const NodeId>(fanins), inst.name);
+    // Fix up the node ids of the pins we just queued for this instance.
+    for (auto it = pending.rbegin();
+         it != pending.rend() && it->node == kNoNode; ++it)
+      it->node = id;
+    if (driver.contains(out_net))
+      throw std::runtime_error("verilog parse error (line " +
+                               std::to_string(inst.line) + "): net '" +
+                               out_net + "' has multiple drivers");
+    driver[out_net] = id;
+  }
+
+  // Resolve aliases transitively (assign a = b; assign y = a;).
+  auto resolve = [&](const std::string& net, int line) -> NodeId {
+    std::string cur = net;
+    for (int hops = 0; hops < 1024; ++hops) {
+      const auto it = driver.find(cur);
+      if (it != driver.end()) return it->second;
+      bool advanced = false;
+      for (const auto& [lhs, rhs] : m.aliases) {
+        if (lhs == cur) {
+          cur = rhs;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+    }
+    throw std::runtime_error("verilog parse error (line " +
+                             std::to_string(line) + "): net '" + net +
+                             "' has no driver");
+  };
+
+  // Pass 2: patch fanins.
+  for (const PendingFanin& p : pending)
+    nl.set_fanin(p.node, p.slot, resolve(p.net, p.line));
+
+  for (const std::string& port : m.output_ports)
+    nl.add_output(port, resolve(port, 0));
+
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_verilog(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return parse_verilog(is);
+}
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,28 @@
+// Parser for the structural Verilog subset emitted by verilog_writer.
+//
+// Supported grammar:
+//   module NAME ( (input|output) PORT {, (input|output) PORT} );
+//   wire NAME ;
+//   assign NAME = 1'b0 | 1'b1 | NAME ;
+//   CELL INST ( .PIN(NET) {, .PIN(NET)} ) ;
+//   endmodule
+// Comments (// and /* */) are stripped. The clock net `clk` is implicit and
+// its .CP connections are ignored. Forward references between instances are
+// legal (sequential loops through FD1 cells are expected).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+/// Parse a netlist; throws std::runtime_error with a line number on any
+/// syntax or semantic error (unknown cell, undriven net, arity mismatch).
+Netlist parse_verilog(std::istream& is);
+
+Netlist parse_verilog(std::string_view text);
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,24 @@
+// Structural Verilog emission for fcrit netlists.
+//
+// The emitted subset uses one instance per gate with named pin connections
+// (.Y(...), .A(...), ...), a single implicit clock `clk` on every FD1, and
+// wire-per-node naming. verilog_parser.hpp reads this subset back, so
+// write→parse round-trips are exact (tested in tests/netlist_verilog_test).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::netlist {
+
+/// Pin names of a cell kind in emission order: inputs then output.
+/// Combinational cells use A/B/C/D + Y; MX2 uses A/B/S + Y; FD1 uses D + Q.
+std::vector<std::string> pin_names(CellKind kind);
+
+void write_verilog(const Netlist& nl, std::ostream& os);
+
+std::string to_verilog(const Netlist& nl);
+
+}  // namespace fcrit::netlist

@@ -1,0 +1,297 @@
+#include "src/rtl/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fcrit::rtl {
+
+Bus Builder::input_bus(std::string_view name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bus.push_back(input(std::string(name) + "_" + std::to_string(i)));
+  return bus;
+}
+
+void Builder::output_bus(std::string_view name, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    output(std::string(name) + "_" + std::to_string(i), bus[i]);
+}
+
+Bus Builder::constant(std::uint64_t value, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bus.push_back((value >> i) & 1 ? const1() : const0());
+  return bus;
+}
+
+NodeId Builder::inv(NodeId a) { return nl_->add_gate(CellKind::kInv, {a}); }
+
+NodeId Builder::and2(NodeId a, NodeId b) {
+  // Technology-mapper flavour: sometimes NAND+INV instead of AND2.
+  if (style_.next_bool(0.4)) return inv(nand2(a, b));
+  return nl_->add_gate(CellKind::kAnd2, {a, b});
+}
+
+NodeId Builder::or2(NodeId a, NodeId b) {
+  if (style_.next_bool(0.4)) return inv(nor2(a, b));
+  return nl_->add_gate(CellKind::kOr2, {a, b});
+}
+
+namespace {
+
+/// Split `terms` into chunks of at most 4 for tree mapping.
+template <typename MakeWide>
+NodeId reduce_tree(std::span<const NodeId> terms, MakeWide make_wide) {
+  assert(!terms.empty());
+  std::vector<NodeId> level(terms.begin(), terms.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t take = std::min<std::size_t>(4, level.size() - i);
+      if (take == 1) {
+        next.push_back(level[i]);
+      } else {
+        next.push_back(make_wide(std::span<const NodeId>(&level[i], take)));
+      }
+      i += take;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace
+
+NodeId Builder::and_n(std::span<const NodeId> terms) {
+  if (terms.empty())
+    throw std::runtime_error("and_n: empty term list");
+  if (terms.size() == 1) return terms[0];
+  return reduce_tree(terms, [&](std::span<const NodeId> chunk) {
+    switch (chunk.size()) {
+      case 2:
+        return and2(chunk[0], chunk[1]);
+      case 3:
+        return style_.next_bool(0.5)
+                   ? inv(nl_->add_gate(CellKind::kNand3, chunk))
+                   : nl_->add_gate(CellKind::kAnd3, chunk);
+      default:
+        return style_.next_bool(0.5)
+                   ? inv(nl_->add_gate(CellKind::kNand4, chunk))
+                   : nl_->add_gate(CellKind::kAnd4, chunk);
+    }
+  });
+}
+
+NodeId Builder::or_n(std::span<const NodeId> terms) {
+  if (terms.empty())
+    throw std::runtime_error("or_n: empty term list");
+  if (terms.size() == 1) return terms[0];
+  return reduce_tree(terms, [&](std::span<const NodeId> chunk) {
+    switch (chunk.size()) {
+      case 2:
+        return or2(chunk[0], chunk[1]);
+      case 3:
+        return style_.next_bool(0.5)
+                   ? inv(nl_->add_gate(CellKind::kNor3, chunk))
+                   : nl_->add_gate(CellKind::kOr3, chunk);
+      default:
+        return style_.next_bool(0.5)
+                   ? inv(nl_->add_gate(CellKind::kNor4, chunk))
+                   : nl_->add_gate(CellKind::kOr4, chunk);
+    }
+  });
+}
+
+NodeId Builder::nand_n(std::span<const NodeId> terms) {
+  if (terms.empty()) throw std::runtime_error("nand_n: empty term list");
+  if (terms.size() == 1) return inv(terms[0]);
+  if (terms.size() == 2) return nand2(terms[0], terms[1]);
+  if (terms.size() == 3) return nl_->add_gate(CellKind::kNand3, terms);
+  if (terms.size() == 4) return nl_->add_gate(CellKind::kNand4, terms);
+  // Wider: AND-tree of the prefix, NAND at the root.
+  const NodeId head = and_n(terms.subspan(0, terms.size() - 1));
+  return nand2(head, terms.back());
+}
+
+NodeId Builder::nor_n(std::span<const NodeId> terms) {
+  if (terms.empty()) throw std::runtime_error("nor_n: empty term list");
+  if (terms.size() == 1) return inv(terms[0]);
+  if (terms.size() == 2) return nor2(terms[0], terms[1]);
+  if (terms.size() == 3) return nl_->add_gate(CellKind::kNor3, terms);
+  if (terms.size() == 4) return nl_->add_gate(CellKind::kNor4, terms);
+  const NodeId head = or_n(terms.subspan(0, terms.size() - 1));
+  return nor2(head, terms.back());
+}
+
+NodeId Builder::reg_placeholder() {
+  return nl_->add_gate(CellKind::kDff, {netlist::kNoNode});
+}
+
+void Builder::connect_reg(NodeId q, NodeId d) {
+  if (nl_->kind(q) != CellKind::kDff)
+    throw std::runtime_error("connect_reg: node is not a DFF");
+  nl_->set_fanin(q, 0, d);
+}
+
+Bus Builder::reg_placeholder_bus(int width) {
+  Bus q;
+  q.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) q.push_back(reg_placeholder());
+  return q;
+}
+
+void Builder::connect_reg_bus(const Bus& q, const Bus& d) {
+  if (q.size() != d.size())
+    throw std::runtime_error("connect_reg_bus: width mismatch");
+  for (std::size_t i = 0; i < q.size(); ++i) connect_reg(q[i], d[i]);
+}
+
+NodeId Builder::reg_en(NodeId d, NodeId en) {
+  const NodeId q = reg_placeholder();
+  connect_reg(q, mux(q, d, en));
+  return q;
+}
+
+Bus Builder::reg_en_bus(const Bus& d, NodeId en) {
+  Bus q;
+  q.reserve(d.size());
+  for (const NodeId bit : d) q.push_back(reg_en(bit, en));
+  return q;
+}
+
+NodeId Builder::reg_en_rst(NodeId d, NodeId en, NodeId rst) {
+  const NodeId q = reg_placeholder();
+  // next = rst ? 0 : (en ? d : q)  ==  !rst & (en ? d : q)
+  const NodeId held = mux(q, d, en);
+  connect_reg(q, nl_->add_gate(CellKind::kNor2, {rst, inv(held)}));
+  return q;
+}
+
+Bus Builder::reg_en_rst_bus(const Bus& d, NodeId en, NodeId rst) {
+  Bus q;
+  q.reserve(d.size());
+  for (const NodeId bit : d) q.push_back(reg_en_rst(bit, en, rst));
+  return q;
+}
+
+Bus Builder::not_bus(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NodeId bit : a) out.push_back(inv(bit));
+  return out;
+}
+
+Bus Builder::and_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and2(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::or_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(or2(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::xor_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor2(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::mux_bus(const Bus& a, const Bus& b, NodeId s) {
+  assert(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(mux(a[i], b[i], s));
+  return out;
+}
+
+Bus Builder::add(const Bus& a, const Bus& b, NodeId* carry_out) {
+  const std::size_t width = std::max(a.size(), b.size());
+  Bus sum;
+  sum.reserve(width);
+  NodeId carry = const0();
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId ai = i < a.size() ? a[i] : const0();
+    const NodeId bi = i < b.size() ? b[i] : const0();
+    const NodeId axb = xor2(ai, bi);
+    sum.push_back(xor2(axb, carry));
+    // carry' = (a & b) | (carry & (a ^ b)) — mapped as AOI + INV.
+    carry = inv(nl_->add_gate(CellKind::kAoi22, {ai, bi, carry, axb}));
+  }
+  if (carry_out) *carry_out = carry;
+  return sum;
+}
+
+Bus Builder::add_const(const Bus& a, std::uint64_t value, NodeId* carry_out) {
+  Bus b = constant(value, static_cast<int>(a.size()));
+  return add(a, b, carry_out);
+}
+
+Bus Builder::increment(const Bus& a, NodeId* carry_out) {
+  Bus sum;
+  sum.reserve(a.size());
+  NodeId carry = const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum.push_back(xor2(a[i], carry));
+    carry = and2(a[i], carry);
+  }
+  if (carry_out) *carry_out = carry;
+  return sum;
+}
+
+NodeId Builder::eq(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  std::vector<NodeId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(xnor2(a[i], b[i]));
+  return and_n(bits);
+}
+
+NodeId Builder::eq_const(const Bus& a, std::uint64_t value) {
+  std::vector<NodeId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    bits.push_back((value >> i) & 1 ? a[i] : inv(a[i]));
+  return and_n(bits);
+}
+
+Bus Builder::decode(const Bus& sel) {
+  const std::size_t n = sel.size();
+  const std::size_t outs = std::size_t{1} << n;
+  Bus inv_sel = not_bus(sel);
+  Bus out;
+  out.reserve(outs);
+  for (std::size_t v = 0; v < outs; ++v) {
+    std::vector<NodeId> terms;
+    terms.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      terms.push_back((v >> i) & 1 ? sel[i] : inv_sel[i]);
+    out.push_back(and_n(terms));
+  }
+  return out;
+}
+
+Bus Builder::slice(const Bus& a, int lo, int len) {
+  assert(lo >= 0 && lo + len <= static_cast<int>(a.size()));
+  return Bus(a.begin() + lo, a.begin() + lo + len);
+}
+
+Bus Builder::concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+}  // namespace fcrit::rtl

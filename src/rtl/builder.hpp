@@ -1,0 +1,156 @@
+// RTL-macro layer: a word-level construction API that "synthesizes" common
+// datapath and control structures (buses, adders, counters, comparators,
+// decoders, muxes, registers) down to library gates.
+//
+// This layer substitutes for the paper's Synopsys Design Vision step: it
+// produces gate-level netlists with a realistic synthesized character. A
+// deterministic style seed lets the builder choose between logically
+// equivalent mappings (e.g. AND2 vs INV(NAND2)) so that the emitted netlists
+// mix inverting and non-inverting cells the way a technology mapper does.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/util/rng.hpp"
+
+namespace fcrit::rtl {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// A little-endian bus: bit 0 is the LSB.
+using Bus = std::vector<NodeId>;
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl, std::uint64_t style_seed = 1)
+      : nl_(&nl), style_(style_seed) {}
+
+  Netlist& netlist() { return *nl_; }
+
+  // ---- ports and constants -------------------------------------------------
+
+  NodeId input(std::string_view name) { return nl_->add_input(name); }
+  Bus input_bus(std::string_view name, int width);
+  void output(std::string_view name, NodeId driver) {
+    nl_->add_output(name, driver);
+  }
+  void output_bus(std::string_view name, const Bus& bus);
+
+  NodeId const0() { return nl_->add_const(false); }
+  NodeId const1() { return nl_->add_const(true); }
+  /// Width-bit constant, LSB first.
+  Bus constant(std::uint64_t value, int width);
+
+  // ---- bit-level logic -------------------------------------------------------
+
+  NodeId inv(NodeId a);
+  NodeId buf(NodeId a) { return nl_->add_gate(CellKind::kBuf, {a}); }
+  NodeId and2(NodeId a, NodeId b);
+  NodeId or2(NodeId a, NodeId b);
+  NodeId nand2(NodeId a, NodeId b) {
+    return nl_->add_gate(CellKind::kNand2, {a, b});
+  }
+  NodeId nor2(NodeId a, NodeId b) {
+    return nl_->add_gate(CellKind::kNor2, {a, b});
+  }
+  NodeId xor2(NodeId a, NodeId b) {
+    return nl_->add_gate(CellKind::kXor2, {a, b});
+  }
+  NodeId xnor2(NodeId a, NodeId b) {
+    return nl_->add_gate(CellKind::kXnor2, {a, b});
+  }
+  /// Y = s ? b : a.
+  NodeId mux(NodeId a, NodeId b, NodeId s) {
+    return nl_->add_gate(CellKind::kMux2, {a, b, s});
+  }
+  NodeId aoi21(NodeId a, NodeId b, NodeId c) {
+    return nl_->add_gate(CellKind::kAoi21, {a, b, c});
+  }
+  NodeId oai21(NodeId a, NodeId b, NodeId c) {
+    return nl_->add_gate(CellKind::kOai21, {a, b, c});
+  }
+
+  /// N-ary AND / OR / NAND / NOR over any number of terms, mapped onto
+  /// 2/3/4-input library gates as a balanced tree.
+  NodeId and_n(std::span<const NodeId> terms);
+  NodeId or_n(std::span<const NodeId> terms);
+  NodeId nand_n(std::span<const NodeId> terms);
+  NodeId nor_n(std::span<const NodeId> terms);
+  NodeId and_n(std::initializer_list<NodeId> t) {
+    return and_n(std::span<const NodeId>(t.begin(), t.size()));
+  }
+  NodeId or_n(std::initializer_list<NodeId> t) {
+    return or_n(std::span<const NodeId>(t.begin(), t.size()));
+  }
+
+  // ---- registers -------------------------------------------------------------
+
+  /// Simple DFF: q <= d.
+  NodeId dff(NodeId d) { return nl_->add_gate(CellKind::kDff, {d}); }
+
+  /// A register whose data input is connected later (for feedback paths):
+  ///   NodeId q = b.reg_placeholder();
+  ///   ... build next-state logic using q ...
+  ///   b.connect_reg(q, next);
+  NodeId reg_placeholder();
+  void connect_reg(NodeId q, NodeId d);
+
+  Bus reg_placeholder_bus(int width);
+  void connect_reg_bus(const Bus& q, const Bus& d);
+
+  /// Register with synchronous active-high enable: q <= en ? d : q.
+  /// Returns the Q node; built from a placeholder + mux feedback.
+  NodeId reg_en(NodeId d, NodeId en);
+  Bus reg_en_bus(const Bus& d, NodeId en);
+
+  /// Register with synchronous reset (active high) and enable.
+  NodeId reg_en_rst(NodeId d, NodeId en, NodeId rst);
+  Bus reg_en_rst_bus(const Bus& d, NodeId en, NodeId rst);
+
+  // ---- word-level logic -------------------------------------------------------
+
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  /// Per-bit 2:1 mux: out[i] = s ? b[i] : a[i].
+  Bus mux_bus(const Bus& a, const Bus& b, NodeId s);
+
+  /// Ripple-carry adder; result has the width of the wider operand
+  /// (carry-out dropped unless `carry_out` is non-null).
+  Bus add(const Bus& a, const Bus& b, NodeId* carry_out = nullptr);
+  /// a + constant.
+  Bus add_const(const Bus& a, std::uint64_t value, NodeId* carry_out = nullptr);
+  /// a + 1 (half-adder chain).
+  Bus increment(const Bus& a, NodeId* carry_out = nullptr);
+
+  /// Equality comparators.
+  NodeId eq(const Bus& a, const Bus& b);
+  NodeId eq_const(const Bus& a, std::uint64_t value);
+
+  /// OR / AND reduction of a bus.
+  NodeId reduce_or(const Bus& a) { return or_n(a); }
+  NodeId reduce_and(const Bus& a) { return and_n(a); }
+
+  /// Full binary decoder: 2^sel.size() one-hot outputs.
+  Bus decode(const Bus& sel);
+
+  /// Slice [lo, lo+len) of a bus.
+  static Bus slice(const Bus& a, int lo, int len);
+
+  /// Concatenate (lo first).
+  static Bus concat(const Bus& lo, const Bus& hi);
+
+ private:
+  Netlist* nl_;
+  util::Rng style_;
+};
+
+}  // namespace fcrit::rtl

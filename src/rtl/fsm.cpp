@@ -1,0 +1,92 @@
+#include "src/rtl/fsm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fcrit::rtl {
+
+namespace {
+int bits_for(int n) {
+  int w = 1;
+  while ((1 << w) < n) ++w;
+  return w;
+}
+}  // namespace
+
+Fsm::Fsm(Builder& b, int num_states, std::string_view name)
+    : b_(&b),
+      num_states_(num_states),
+      name_(name),
+      transitions_(static_cast<std::size_t>(num_states)),
+      default_to_(static_cast<std::size_t>(num_states), -1) {
+  if (num_states < 2) throw std::runtime_error("Fsm: need >= 2 states");
+  state_ = b_->reg_placeholder_bus(bits_for(num_states));
+  Bus full = b_->decode(state_);
+  onehot_.assign(full.begin(), full.begin() + num_states);
+}
+
+NodeId Fsm::in_state(int s) const {
+  assert(s >= 0 && s < num_states_);
+  return onehot_[static_cast<std::size_t>(s)];
+}
+
+void Fsm::add_transition(int from, NodeId cond, int to) {
+  assert(from >= 0 && from < num_states_ && to >= 0 && to < num_states_);
+  if (built_) throw std::runtime_error("Fsm: add_transition after build");
+  transitions_[static_cast<std::size_t>(from)].push_back({cond, to});
+}
+
+void Fsm::set_default(int from, int to) {
+  assert(from >= 0 && from < num_states_ && to >= 0 && to < num_states_);
+  if (built_) throw std::runtime_error("Fsm: set_default after build");
+  default_to_[static_cast<std::size_t>(from)] = to;
+}
+
+void Fsm::build(NodeId rst) {
+  if (built_) throw std::runtime_error("Fsm: build called twice");
+  built_ = true;
+
+  const int w = width();
+  // Per-target-bit OR planes.
+  std::vector<std::vector<NodeId>> bit_terms(static_cast<std::size_t>(w));
+
+  auto emit_term = [&](NodeId fire, int target) {
+    for (int bit = 0; bit < w; ++bit) {
+      if ((target >> bit) & 1)
+        bit_terms[static_cast<std::size_t>(bit)].push_back(fire);
+    }
+  };
+
+  for (int s = 0; s < num_states_; ++s) {
+    const auto& trans = transitions_[static_cast<std::size_t>(s)];
+    const NodeId here = in_state(s);
+    // Priority chain: transition i fires when its condition holds and no
+    // earlier condition does.
+    std::vector<NodeId> blockers;
+    for (const Transition& t : trans) {
+      std::vector<NodeId> terms{here, t.cond};
+      for (const NodeId blocked : blockers) terms.push_back(blocked);
+      emit_term(b_->and_n(terms), t.to);
+      blockers.push_back(b_->inv(t.cond));
+    }
+    // Default/hold term.
+    const int hold_to = default_to_[static_cast<std::size_t>(s)] >= 0
+                            ? default_to_[static_cast<std::size_t>(s)]
+                            : s;
+    std::vector<NodeId> terms{here};
+    for (const NodeId blocked : blockers) terms.push_back(blocked);
+    emit_term(b_->and_n(terms), hold_to);
+  }
+
+  const NodeId not_rst = b_->inv(rst);
+  for (int bit = 0; bit < w; ++bit) {
+    auto& terms = bit_terms[static_cast<std::size_t>(bit)];
+    NodeId next =
+        terms.empty() ? b_->const0() : b_->or_n(terms);
+    // Synchronous reset to state 0.
+    next = b_->and2(next, not_rst);
+    b_->connect_reg(state_[static_cast<std::size_t>(bit)], next);
+  }
+}
+
+}  // namespace fcrit::rtl

@@ -1,0 +1,60 @@
+// A small synthesizable FSM compiler on top of rtl::Builder.
+//
+// States are binary-encoded in a DFF register bank; transitions are given as
+// (from, condition, to) triples with priority in declaration order; each
+// state holds by default unless an explicit default target is set. build()
+// synthesizes the next-state logic (condition-priority chains + per-bit OR
+// planes) and a synchronous reset to state 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::rtl {
+
+class Fsm {
+ public:
+  /// `num_states` >= 2. The state register is ceil(log2(num_states)) bits.
+  Fsm(Builder& b, int num_states, std::string_view name = "fsm");
+
+  /// The registered state bits (valid immediately; they are placeholders
+  /// until build()).
+  const Bus& state() const { return state_; }
+
+  /// One-hot indicator for state s (decoded from the state register).
+  NodeId in_state(int s) const;
+
+  /// Transition from `from` to `to` when `cond` holds. Earlier transitions
+  /// of the same state take priority.
+  void add_transition(int from, NodeId cond, int to);
+
+  /// Unconditional fallback for `from` (applies when no condition fires).
+  /// Without it the FSM holds its state.
+  void set_default(int from, int to);
+
+  /// Synthesize next-state logic. `rst` forces state 0 synchronously.
+  /// Must be called exactly once.
+  void build(NodeId rst);
+
+  int num_states() const { return num_states_; }
+  int width() const { return static_cast<int>(state_.size()); }
+
+ private:
+  struct Transition {
+    NodeId cond;
+    int to;
+  };
+
+  Builder* b_;
+  int num_states_;
+  std::string name_;
+  Bus state_;
+  Bus onehot_;
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<int> default_to_;
+  bool built_ = false;
+};
+
+}  // namespace fcrit::rtl

@@ -1,0 +1,84 @@
+#include "src/sim/packed_sim.hpp"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace fcrit::sim {
+
+using netlist::CellKind;
+
+PackedSimulator::PackedSimulator(const Netlist& nl)
+    : nl_(&nl), lev_(netlist::levelize(nl)) {
+  value_.assign(nl.num_nodes(), 0);
+  ff_next_.assign(nl.flops().size(), 0);
+  reset();
+}
+
+void PackedSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  // Constants hold their value permanently.
+  for (NodeId id = 0; id < nl_->num_nodes(); ++id) {
+    if (nl_->kind(id) == CellKind::kConst1) value_[id] = ~0ULL;
+  }
+}
+
+void PackedSimulator::step(std::span<const std::uint64_t> pi_words) {
+  eval_comb(pi_words);
+  clock();
+}
+
+void PackedSimulator::eval_comb(std::span<const std::uint64_t> pi_words) {
+  const auto& inputs = nl_->inputs();
+  if (pi_words.size() != inputs.size())
+    throw std::runtime_error("PackedSimulator::step: input word count");
+
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    value_[inputs[i]] = pi_words[i];
+
+  // A fault on a source node (PI, constant or DFF output) overrides its
+  // value before combinational evaluation.
+  const std::uint64_t fault_word = fault_value_ ? ~0ULL : 0;
+  if (fault_node_ != netlist::kNoNode) {
+    const CellKind k = nl_->kind(fault_node_);
+    if (k == CellKind::kInput || k == CellKind::kConst0 ||
+        k == CellKind::kConst1 || k == CellKind::kDff)
+      value_[fault_node_] = fault_word;
+  }
+
+  // Combinational evaluation in topological order.
+  std::array<std::uint64_t, netlist::kMaxFanins> ins{};
+  for (const NodeId id : lev_.order) {
+    const netlist::Node& n = nl_->node(id);
+    for (std::size_t i = 0; i < n.fanin_count; ++i)
+      ins[i] = value_[n.fanin[i]];
+    std::uint64_t v =
+        netlist::eval_packed(n.kind, std::span(ins.data(), n.fanin_count));
+    if (id == fault_node_) v = fault_word;
+    value_[id] = v;
+  }
+}
+
+void PackedSimulator::clock() {
+  // Compute all DFF next states from the settled combinational values,
+  // then commit.
+  const std::uint64_t fault_word = fault_value_ ? ~0ULL : 0;
+  const auto& flops = nl_->flops();
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    ff_next_[i] = value_[nl_->node(flops[i]).fanin[0]];
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    std::uint64_t v = ff_next_[i];
+    if (flops[i] == fault_node_) v = fault_word;
+    value_[flops[i]] = v;
+  }
+}
+
+void PackedSimulator::inject(NodeId node, bool stuck_value) {
+  assert(node < nl_->num_nodes());
+  fault_node_ = node;
+  fault_value_ = stuck_value;
+}
+
+void PackedSimulator::clear_fault() { fault_node_ = netlist::kNoNode; }
+
+}  // namespace fcrit::sim

@@ -1,0 +1,72 @@
+// Bit-parallel levelized sequential logic simulator.
+//
+// Each 64-bit word carries 64 independent simulation lanes; lane L of every
+// node's value word belongs to workload L. One step() call therefore
+// advances 64 complete workloads by one clock cycle. Flip-flop state is held
+// per lane, so the lanes are fully independent sequential simulations. This
+// is the substrate that replaces the paper's commercial fault simulator: the
+// fault campaign (src/fault) runs one golden pass plus one pass per stuck-at
+// fault and reads off a per-lane "Dangerous" verdict from the packed words.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/levelize.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::sim {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+inline constexpr int kLanes = 64;
+
+class PackedSimulator {
+ public:
+  explicit PackedSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+  const netlist::Levelization& levelization() const { return lev_; }
+
+  /// Clear all flip-flops (power-on state 0 in every lane) and node values.
+  void reset();
+
+  /// Advance one clock cycle: drive the primary inputs with `pi_words`
+  /// (one word per input, in inputs() order), evaluate the combinational
+  /// logic, then clock every DFF. Equivalent to eval_comb() + clock().
+  void step(std::span<const std::uint64_t> pi_words);
+
+  /// Phase 1: drive inputs and settle combinational logic. After this call,
+  /// value(id) is cycle-consistent for every node: DFFs still hold the
+  /// current-state Q that the combinational values were computed from.
+  void eval_comb(std::span<const std::uint64_t> pi_words);
+
+  /// Phase 2: clock edge — commit every DFF's next state.
+  void clock();
+
+  /// Node output word after the last step()'s combinational evaluation.
+  std::uint64_t value(NodeId id) const { return value_[id]; }
+
+  /// Word of primary output `output_idx` (index into netlist().outputs()).
+  std::uint64_t output_word(std::size_t output_idx) const {
+    return value_[nl_->outputs()[output_idx].driver];
+  }
+
+  /// Inject a stuck-at fault at the output of `node`: every lane sees the
+  /// node forced to `stuck_value` from the next step() on.
+  void inject(NodeId node, bool stuck_value);
+  void clear_fault();
+  bool has_fault() const { return fault_node_ != netlist::kNoNode; }
+
+ private:
+  const Netlist* nl_;
+  netlist::Levelization lev_;
+  std::vector<std::uint64_t> value_;
+  std::vector<std::uint64_t> ff_next_;  // scratch, one per flop
+  NodeId fault_node_ = netlist::kNoNode;
+  bool fault_value_ = false;
+};
+
+}  // namespace fcrit::sim

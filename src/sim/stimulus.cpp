@@ -1,0 +1,88 @@
+#include "src/sim/stimulus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::sim {
+
+namespace {
+
+const InputProfile& resolve_profile(const StimulusSpec& spec,
+                                    const std::string& name) {
+  const InputProfile* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, profile] : spec.profiles) {
+    if (util::starts_with(name, prefix) && prefix.size() >= best_len) {
+      best = &profile;
+      best_len = prefix.size();
+    }
+  }
+  return best ? *best : spec.default_profile;
+}
+
+}  // namespace
+
+StimulusGenerator::StimulusGenerator(const netlist::Netlist& nl,
+                                     StimulusSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), rng_(seed) {
+  for (const netlist::NodeId in : nl.inputs())
+    profiles_.push_back(resolve_profile(spec_, nl.node(in).name));
+  prev_.assign(profiles_.size(), 0);
+  lane_activity_.resize(kLanes);
+  lane_p1_scale_.resize(kLanes);
+  for (int l = 0; l < kLanes; ++l) {
+    const double t = static_cast<double>(l) / (kLanes - 1);
+    lane_activity_[l] =
+        spec_.activity_min + (spec_.activity_max - spec_.activity_min) * t;
+    // Golden-ratio sequence decorrelates the probability scale from the
+    // activity ramp, so activity and bias vary independently across lanes.
+    const double u = std::fmod(0.5 + 0.6180339887498949 * l, 1.0);
+    lane_p1_scale_[l] =
+        spec_.p1_scale_min + (spec_.p1_scale_max - spec_.p1_scale_min) * u;
+  }
+}
+
+void StimulusGenerator::restart() {
+  rng_ = util::Rng(seed_);
+  std::fill(prev_.begin(), prev_.end(), 0);
+  cycle_ = 0;
+}
+
+std::uint64_t StimulusGenerator::bernoulli_word(double p1) {
+  std::uint64_t w = 0;
+  for (int l = 0; l < kLanes; ++l) {
+    const double p = std::min(1.0, std::max(0.0, p1 * lane_p1_scale_[l]));
+    if (rng_.next_bool(p)) w |= (1ULL << l);
+  }
+  return w;
+}
+
+void StimulusGenerator::next_cycle(std::vector<std::uint64_t>& words) {
+  words.resize(profiles_.size());
+
+  // Per-lane toggle-enable mask: lane L re-randomizes this cycle with
+  // probability activity(L). One mask shared by all inputs per cycle keeps
+  // correlated bursts of activity, as real workload phases do.
+  std::uint64_t toggle_mask = 0;
+  for (int l = 0; l < kLanes; ++l)
+    if (rng_.next_bool(lane_activity_[l])) toggle_mask |= (1ULL << l);
+
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const InputProfile& p = profiles_[i];
+    std::uint64_t w;
+    if (cycle_ < p.hold_cycles) {
+      w = p.hold_value ? ~0ULL : 0;
+    } else {
+      const std::uint64_t candidate = bernoulli_word(p.p1);
+      w = (prev_[i] & ~toggle_mask) | (candidate & toggle_mask);
+    }
+    prev_[i] = w;
+    words[i] = w;
+  }
+  ++cycle_;
+}
+
+}  // namespace fcrit::sim

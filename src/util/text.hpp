@@ -1,0 +1,35 @@
+// Small string helpers used by the netlist parser/writer and report
+// formatting. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcrit::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double v, int precision);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// True if s is a valid identifier: [A-Za-z_][A-Za-z0-9_$]*.
+bool is_identifier(std::string_view s);
+
+}  // namespace fcrit::util

@@ -1,0 +1,18 @@
+#include "src/util/timer.hpp"
+
+#include "src/util/text.hpp"
+
+namespace fcrit::util {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+std::string Timer::pretty() const {
+  const double s = seconds();
+  if (s >= 1.0) return format_double(s, 2) + " s";
+  if (s >= 1e-3) return format_double(s * 1e3, 1) + " ms";
+  return format_double(s * 1e6, 1) + " us";
+}
+
+}  // namespace fcrit::util

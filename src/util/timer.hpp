@@ -1,0 +1,30 @@
+// Wall-clock timing for benchmark reporting (FI campaign cost vs. GCN
+// inference cost).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace fcrit::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const;
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Human-readable duration such as "1.24 s" or "380 ms".
+  std::string pretty() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fcrit::util

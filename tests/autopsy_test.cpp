@@ -1,0 +1,118 @@
+#include "src/fault/autopsy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/designs/designs.hpp"
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::fault {
+namespace {
+
+using netlist::NodeId;
+
+struct Pipeline2 {
+  netlist::Netlist nl;
+  NodeId g = 0, ff1 = 0, ff2 = 0, orphan = 0;
+
+  // a -> inv(g) -> ff1 -> ff2 -> output; plus an orphan gate.
+  Pipeline2() {
+    rtl::Builder b(nl, 1);
+    const NodeId a = b.input("a");
+    g = b.nand2(a, a);
+    ff1 = b.dff(g);
+    ff2 = b.dff(ff1);
+    b.output("y", ff2);
+    orphan = b.inv(a);
+    nl.validate();
+  }
+};
+
+sim::StimulusSpec spec() {
+  sim::StimulusSpec s;
+  s.default_profile.p1 = 0.5;
+  return s;
+}
+
+TEST(Autopsy, TracksPathAndLatencyThroughFlops) {
+  Pipeline2 c;
+  CampaignConfig cfg;
+  cfg.cycles = 32;
+  FaultCampaign campaign(c.nl, spec(), cfg);
+  campaign.run_golden();
+
+  const Autopsy a = run_autopsy(campaign, c.nl, {c.g, true});
+  EXPECT_TRUE(a.detected);
+  // Two flop crossings delay detection by two cycles at least.
+  EXPECT_GE(a.first_cycle, 1);
+  ASSERT_GE(a.propagation_path.size(), 3u);
+  EXPECT_EQ(a.propagation_path.front(), c.nl.node(c.g).name);
+  EXPECT_EQ(a.propagation_path.back(), c.nl.node(c.ff2).name);
+  EXPECT_EQ(a.path_flop_crossings, 2);
+  ASSERT_EQ(a.corrupted_outputs.size(), 1u);
+  EXPECT_EQ(a.corrupted_outputs[0], "y");
+}
+
+TEST(Autopsy, UndetectedFaultReportsCleanly) {
+  Pipeline2 c;
+  CampaignConfig cfg;
+  cfg.cycles = 16;
+  FaultCampaign campaign(c.nl, spec(), cfg);
+  campaign.run_golden();
+  const Autopsy a = run_autopsy(campaign, c.nl, {c.orphan, false});
+  EXPECT_FALSE(a.detected);
+  EXPECT_EQ(a.first_cycle, -1);
+  const std::string text = a.to_string();
+  EXPECT_NE(text.find("never corrupted"), std::string::npos);
+}
+
+TEST(Autopsy, AgreesWithCampaignVerdict) {
+  const auto d = designs::build_or1200_icfsm();
+  CampaignConfig cfg;
+  cfg.cycles = 64;
+  FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+  campaign.run_golden();
+  const auto faults = full_fault_list(d.netlist);
+  for (std::size_t i = 0; i < faults.size(); i += 17) {
+    const FaultResult fr = campaign.simulate_fault(faults[i]);
+    const Autopsy a = run_autopsy(campaign, d.netlist, faults[i]);
+    EXPECT_EQ(a.detected, fr.detected_lanes != 0)
+        << fault_name(d.netlist, faults[i]);
+    if (a.detected) {
+      EXPECT_EQ(a.first_cycle, fr.first_detect_cycle);
+    }
+  }
+}
+
+TEST(Autopsy, RequiresGoldenTrace) {
+  Pipeline2 c;
+  CampaignConfig cfg;
+  FaultCampaign campaign(c.nl, spec(), cfg);
+  EXPECT_THROW(run_autopsy(campaign, c.nl, {c.g, false}),
+               std::runtime_error);
+}
+
+TEST(Autopsy, RejectsNonSites) {
+  Pipeline2 c;
+  CampaignConfig cfg;
+  FaultCampaign campaign(c.nl, spec(), cfg);
+  campaign.run_golden();
+  EXPECT_THROW(run_autopsy(campaign, c.nl, {c.nl.inputs()[0], false}),
+               std::runtime_error);
+}
+
+TEST(Autopsy, TextReportIsComplete) {
+  Pipeline2 c;
+  CampaignConfig cfg;
+  cfg.cycles = 32;
+  FaultCampaign campaign(c.nl, spec(), cfg);
+  campaign.run_golden();
+  const Autopsy a = run_autopsy(campaign, c.nl, {c.g, false});
+  const std::string text = a.to_string();
+  EXPECT_NE(text.find("first corruption"), std::string::npos);
+  EXPECT_NE(text.find("propagation path"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("y:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::fault

@@ -1,0 +1,204 @@
+#include "src/ml/baselines/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/baselines/dtree.hpp"
+#include "src/ml/baselines/ebm.hpp"
+#include "src/ml/baselines/logreg.hpp"
+#include "src/ml/baselines/mlp.hpp"
+#include "src/ml/baselines/rforest.hpp"
+#include "src/ml/baselines/svm.hpp"
+#include "src/ml/metrics.hpp"
+
+namespace fcrit::ml {
+namespace {
+
+/// Separable 2-D blobs with some noise features.
+struct Blobs {
+  Matrix x;
+  std::vector<int> labels;
+  std::vector<int> train, val;
+
+  explicit Blobs(int n = 200, std::uint64_t seed = 1) : x(n, 4) {
+    util::Rng rng(seed);
+    labels.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int y = i % 2;
+      labels[static_cast<std::size_t>(i)] = y;
+      const float cx = y == 0 ? -1.5f : 1.5f;
+      x(i, 0) = cx + static_cast<float>(rng.next_gaussian());
+      x(i, 1) = cx * 0.5f + static_cast<float>(rng.next_gaussian());
+      x(i, 2) = static_cast<float>(rng.next_gaussian());  // noise
+      x(i, 3) = static_cast<float>(rng.next_gaussian());  // noise
+      (i % 5 == 0 ? val : train).push_back(i);
+    }
+  }
+};
+
+class BaselineAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineAccuracyTest, SeparatesBlobs) {
+  Blobs blobs;
+  auto models = make_all_baselines(7);
+  auto& model = models[static_cast<std::size_t>(GetParam())];
+  model->fit(blobs.x, blobs.labels, blobs.train);
+  const auto proba = model->predict_proba(blobs.x);
+  const auto pred = labels_from_proba(proba);
+  const double acc = accuracy(pred, blobs.labels, blobs.val);
+  EXPECT_GE(acc, 0.85) << model->name();
+  const double auc_val = roc_auc(proba, blobs.labels, blobs.val);
+  EXPECT_GE(auc_val, 0.9) << model->name();
+}
+
+std::string baseline_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"MLP", "LoR", "RFC", "SVM", "EBM"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineAccuracyTest,
+                         ::testing::Range(0, 5), baseline_name);
+
+TEST(Baselines, FactoryOrderMatchesPaper) {
+  const auto models = make_all_baselines(1);
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0]->name(), "MLP");
+  EXPECT_EQ(models[1]->name(), "LoR");
+  EXPECT_EQ(models[2]->name(), "RFC");
+  EXPECT_EQ(models[3]->name(), "SVM");
+  EXPECT_EQ(models[4]->name(), "EBM");
+}
+
+TEST(Baselines, ProbabilitiesAreInUnitInterval) {
+  Blobs blobs(100, 3);
+  for (auto& model : make_all_baselines(2)) {
+    model->fit(blobs.x, blobs.labels, blobs.train);
+    for (const double p : model->predict_proba(blobs.x)) {
+      EXPECT_GE(p, 0.0) << model->name();
+      EXPECT_LE(p, 1.0) << model->name();
+    }
+  }
+}
+
+TEST(Baselines, PredictBeforeFitThrows) {
+  const Matrix x(3, 2);
+  EXPECT_THROW(LogisticRegression().predict_proba(x), std::runtime_error);
+  EXPECT_THROW(MlpClassifier().predict_proba(x), std::runtime_error);
+  EXPECT_THROW(LinearSvm().predict_proba(x), std::runtime_error);
+  EXPECT_THROW(DecisionTree().predict_proba(x), std::runtime_error);
+  EXPECT_THROW(RandomForest().predict_proba(x), std::runtime_error);
+  EXPECT_THROW(ExplainableBoosting().predict_proba(x), std::runtime_error);
+}
+
+TEST(Baselines, EmptyTrainSetThrows) {
+  const Matrix x(3, 2);
+  const std::vector<int> labels{0, 1, 0};
+  EXPECT_THROW(LogisticRegression().fit(x, labels, {}), std::runtime_error);
+  EXPECT_THROW(RandomForest().fit(x, labels, {}), std::runtime_error);
+}
+
+TEST(LabelsFromProba, Thresholding) {
+  EXPECT_EQ(labels_from_proba({0.2, 0.5, 0.8}),
+            (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(labels_from_proba({0.2, 0.5, 0.8}, 0.6),
+            (std::vector<int>{0, 0, 1}));
+}
+
+TEST(DecisionTree, PureLeafStopsSplitting) {
+  Matrix x(4, 1);
+  x(0, 0) = 0.0f;
+  x(1, 0) = 1.0f;
+  x(2, 0) = 2.0f;
+  x(3, 0) = 3.0f;
+  const std::vector<int> labels{0, 0, 0, 0};
+  DecisionTree tree;
+  tree.fit(x, labels, {0, 1, 2, 3});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.predict_one(x.row(0)), 0.0);
+}
+
+TEST(DecisionTree, SplitsOnInformativeFeature) {
+  Matrix x(8, 2);
+  std::vector<int> labels(8);
+  for (int i = 0; i < 8; ++i) {
+    x(i, 0) = static_cast<float>(i);       // informative: y = (i >= 4)
+    x(i, 1) = static_cast<float>(i % 2);   // useless
+    labels[static_cast<std::size_t>(i)] = i >= 4 ? 1 : 0;
+  }
+  DecisionTree::Config cfg;
+  cfg.max_depth = 2;
+  DecisionTree tree(cfg);
+  tree.fit(x, labels, {0, 1, 2, 3, 4, 5, 6, 7});
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(tree.predict_one(x.row(i)) >= 0.5, i >= 4);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  util::Rng rng(9);
+  Matrix x(64, 3);
+  std::vector<int> labels(64);
+  std::vector<int> idx;
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 3; ++j)
+      x(i, j) = static_cast<float>(rng.next_gaussian());
+    labels[static_cast<std::size_t>(i)] = static_cast<int>(rng.next_below(2));
+    idx.push_back(i);
+  }
+  DecisionTree::Config cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  tree.fit(x, labels, idx);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(RandomForest, UsesConfiguredTreeCount) {
+  Blobs blobs(60, 5);
+  RandomForest::Config cfg;
+  cfg.num_trees = 7;
+  RandomForest forest(cfg);
+  forest.fit(blobs.x, blobs.labels, blobs.train);
+  EXPECT_EQ(forest.num_trees(), 7u);
+}
+
+TEST(Ebm, ShapeFunctionIsMonotoneForMonotoneSignal) {
+  // Single informative feature: P(y=1) increases with x.
+  util::Rng rng(11);
+  const int n = 400;
+  Matrix x(n, 1);
+  std::vector<int> labels(n);
+  std::vector<int> idx;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_double() * 4.0 - 2.0;
+    x(i, 0) = static_cast<float>(v);
+    labels[static_cast<std::size_t>(i)] =
+        rng.next_bool(1.0 / (1.0 + std::exp(-3.0 * v))) ? 1 : 0;
+    idx.push_back(i);
+  }
+  ExplainableBoosting ebm;
+  ebm.fit(x, labels, idx);
+  EXPECT_LT(ebm.shape(0, -1.8f), ebm.shape(0, 1.8f));
+}
+
+TEST(Svm, DecisionFunctionSeparatesBlobs) {
+  Blobs blobs(100, 13);
+  LinearSvm svm;
+  svm.fit(blobs.x, blobs.labels, blobs.train);
+  const auto margins = svm.decision_function(blobs.x);
+  double mean_pos = 0.0, mean_neg = 0.0;
+  int np = 0, nn = 0;
+  for (const int i : blobs.val) {
+    if (blobs.labels[static_cast<std::size_t>(i)] == 1) {
+      mean_pos += margins[static_cast<std::size_t>(i)];
+      ++np;
+    } else {
+      mean_neg += margins[static_cast<std::size_t>(i)];
+      ++nn;
+    }
+  }
+  EXPECT_GT(mean_pos / np, mean_neg / nn);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

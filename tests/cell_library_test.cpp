@@ -1,0 +1,177 @@
+#include "src/netlist/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace fcrit::netlist {
+namespace {
+
+TEST(CellSpec, ArityMatchesKind) {
+  EXPECT_EQ(spec(CellKind::kInput).arity, 0);
+  EXPECT_EQ(spec(CellKind::kInv).arity, 1);
+  EXPECT_EQ(spec(CellKind::kNand2).arity, 2);
+  EXPECT_EQ(spec(CellKind::kNand4).arity, 4);
+  EXPECT_EQ(spec(CellKind::kAoi21).arity, 3);
+  EXPECT_EQ(spec(CellKind::kAoi22).arity, 4);
+  EXPECT_EQ(spec(CellKind::kMux2).arity, 3);
+  EXPECT_EQ(spec(CellKind::kDff).arity, 1);
+}
+
+TEST(CellSpec, InvertingTagMatchesSection314) {
+  // Negating gates carry tag 1 (NAND/NOR/INV/XNOR/AOI/OAI), non-negating 0.
+  EXPECT_TRUE(spec(CellKind::kInv).inverting);
+  EXPECT_TRUE(spec(CellKind::kNand2).inverting);
+  EXPECT_TRUE(spec(CellKind::kNor3).inverting);
+  EXPECT_TRUE(spec(CellKind::kXnor2).inverting);
+  EXPECT_TRUE(spec(CellKind::kAoi21).inverting);
+  EXPECT_TRUE(spec(CellKind::kOai22).inverting);
+  EXPECT_FALSE(spec(CellKind::kAnd2).inverting);
+  EXPECT_FALSE(spec(CellKind::kOr4).inverting);
+  EXPECT_FALSE(spec(CellKind::kXor2).inverting);
+  EXPECT_FALSE(spec(CellKind::kBuf).inverting);
+  EXPECT_FALSE(spec(CellKind::kMux2).inverting);
+}
+
+TEST(CellSpec, OnlyDffIsSequential) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    EXPECT_EQ(spec(kind).sequential, kind == CellKind::kDff);
+  }
+}
+
+TEST(KindFromName, RoundTripsEveryKind) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    EXPECT_EQ(kind_from_name(spec(kind).name), kind)
+        << "name " << spec(kind).name;
+  }
+}
+
+TEST(KindFromName, CaseInsensitiveAndUnknown) {
+  EXPECT_EQ(kind_from_name("nd2"), CellKind::kNand2);
+  EXPECT_EQ(kind_from_name("Iv"), CellKind::kInv);
+  EXPECT_EQ(kind_from_name("BOGUS"), CellKind::kCount);
+  EXPECT_EQ(kind_from_name(""), CellKind::kCount);
+}
+
+// Exhaustive truth-table checks against independent boolean formulas.
+bool ref_eval(CellKind kind, const std::array<bool, 4>& in) {
+  switch (kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kBuf: return in[0];
+    case CellKind::kInv: return !in[0];
+    case CellKind::kAnd2: return in[0] && in[1];
+    case CellKind::kAnd3: return in[0] && in[1] && in[2];
+    case CellKind::kAnd4: return in[0] && in[1] && in[2] && in[3];
+    case CellKind::kNand2: return !(in[0] && in[1]);
+    case CellKind::kNand3: return !(in[0] && in[1] && in[2]);
+    case CellKind::kNand4: return !(in[0] && in[1] && in[2] && in[3]);
+    case CellKind::kOr2: return in[0] || in[1];
+    case CellKind::kOr3: return in[0] || in[1] || in[2];
+    case CellKind::kOr4: return in[0] || in[1] || in[2] || in[3];
+    case CellKind::kNor2: return !(in[0] || in[1]);
+    case CellKind::kNor3: return !(in[0] || in[1] || in[2]);
+    case CellKind::kNor4: return !(in[0] || in[1] || in[2] || in[3]);
+    case CellKind::kXor2: return in[0] != in[1];
+    case CellKind::kXnor2: return in[0] == in[1];
+    case CellKind::kAoi21: return !((in[0] && in[1]) || in[2]);
+    case CellKind::kAoi22: return !((in[0] && in[1]) || (in[2] && in[3]));
+    case CellKind::kOai21: return !((in[0] || in[1]) && in[2]);
+    case CellKind::kOai22: return !((in[0] || in[1]) && (in[2] || in[3]));
+    case CellKind::kMux2: return in[2] ? in[1] : in[0];
+    case CellKind::kDff: return in[0];
+    default: return false;
+  }
+}
+
+class EvalKindTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalKindTest, EvalBoolMatchesReference) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int arity = spec(kind).arity;
+  for (int row = 0; row < (1 << arity); ++row) {
+    std::array<bool, 4> in{};
+    for (int j = 0; j < arity; ++j)
+      in[static_cast<std::size_t>(j)] = (row >> j) & 1;
+    EXPECT_EQ(eval_bool(kind, std::span<const bool>(
+                                  in.data(), static_cast<std::size_t>(arity))),
+              ref_eval(kind, in))
+        << spec(kind).name << " row " << row;
+  }
+}
+
+TEST_P(EvalKindTest, TruthTableConsistentWithEval) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int arity = spec(kind).arity;
+  const std::uint16_t tt = truth_table(kind);
+  for (int row = 0; row < (1 << arity); ++row) {
+    std::array<bool, 4> in{};
+    for (int j = 0; j < arity; ++j)
+      in[static_cast<std::size_t>(j)] = (row >> j) & 1;
+    EXPECT_EQ(static_cast<bool>((tt >> row) & 1), ref_eval(kind, in));
+  }
+}
+
+TEST_P(EvalKindTest, PackedLanesAreIndependent) {
+  const auto kind = static_cast<CellKind>(GetParam());
+  const int arity = spec(kind).arity;
+  if (arity == 0) return;
+  // Lane L carries input row L (mod 2^arity); verify each lane agrees with
+  // the scalar evaluation.
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(arity), 0);
+  for (int lane = 0; lane < 64; ++lane) {
+    const int row = lane % (1 << arity);
+    for (int j = 0; j < arity; ++j)
+      if ((row >> j) & 1)
+        words[static_cast<std::size_t>(j)] |= (1ULL << lane);
+  }
+  const std::uint64_t out = eval_packed(kind, words);
+  for (int lane = 0; lane < 64; ++lane) {
+    const int row = lane % (1 << arity);
+    std::array<bool, 4> in{};
+    for (int j = 0; j < arity; ++j)
+      in[static_cast<std::size_t>(j)] = (row >> j) & 1;
+    EXPECT_EQ(static_cast<bool>((out >> lane) & 1), ref_eval(kind, in))
+        << spec(kind).name << " lane " << lane;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEvaluableKinds, EvalKindTest,
+    ::testing::Range(static_cast<int>(CellKind::kConst0),
+                     static_cast<int>(CellKind::kCount)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return std::string(spec(static_cast<CellKind>(info.param)).name);
+    });
+
+TEST(OutputOneProbability, MatchesClosedFormsForBasicGates) {
+  const std::vector<double> p{0.3, 0.7};
+  EXPECT_NEAR(output_one_probability(CellKind::kAnd2, p), 0.3 * 0.7, 1e-12);
+  EXPECT_NEAR(output_one_probability(CellKind::kOr2, p),
+              1.0 - 0.7 * 0.3, 1e-12);
+  EXPECT_NEAR(output_one_probability(CellKind::kNand2, p), 1.0 - 0.21,
+              1e-12);
+  EXPECT_NEAR(output_one_probability(CellKind::kXor2, p),
+              0.3 * 0.3 + 0.7 * 0.7, 1e-12);
+  const std::vector<double> p1{0.25};
+  EXPECT_NEAR(output_one_probability(CellKind::kInv, p1), 0.75, 1e-12);
+  EXPECT_NEAR(output_one_probability(CellKind::kBuf, p1), 0.25, 1e-12);
+}
+
+TEST(OutputOneProbability, Constants) {
+  EXPECT_EQ(output_one_probability(CellKind::kConst0, {}), 0.0);
+  EXPECT_EQ(output_one_probability(CellKind::kConst1, {}), 1.0);
+}
+
+TEST(OutputOneProbability, MuxInterpolates) {
+  // P(Y=1) = (1-ps)*pa + ps*pb for MUX(A,B,S).
+  const std::vector<double> p{0.2, 0.9, 0.5};
+  EXPECT_NEAR(output_one_probability(CellKind::kMux2, p),
+              0.5 * 0.2 + 0.5 * 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace fcrit::netlist

@@ -1,0 +1,134 @@
+#include "src/fault/collapse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/designs/designs.hpp"
+#include "src/fault/dataset.hpp"
+
+namespace fcrit::fault {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(Collapse, BufferChainCollapsesWithSamePolarity) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, a});
+  const NodeId b1 = nl.add_gate(CellKind::kBuf, {g});
+  const NodeId b2 = nl.add_gate(CellKind::kBuf, {b1});
+  nl.add_output("y", b2);
+
+  const auto c = collapse_faults(nl);
+  EXPECT_EQ(c.representative({g, false}), (Fault{b2, false}));
+  EXPECT_EQ(c.representative({g, true}), (Fault{b2, true}));
+  EXPECT_EQ(c.representative({b1, false}), (Fault{b2, false}));
+  EXPECT_EQ(c.representative({b2, true}), (Fault{b2, true}));
+  // 6 original faults collapse to 2.
+  EXPECT_EQ(c.original_count, 6u);
+  EXPECT_EQ(c.representatives.size(), 2u);
+}
+
+TEST(Collapse, InverterFlipsPolarity) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, a});
+  const NodeId inv = nl.add_gate(CellKind::kInv, {g});
+  nl.add_output("y", inv);
+  const auto c = collapse_faults(nl);
+  EXPECT_EQ(c.representative({g, false}), (Fault{inv, true}));
+  EXPECT_EQ(c.representative({g, true}), (Fault{inv, false}));
+}
+
+TEST(Collapse, MultiFanoutBlocksCollapsing) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, a});
+  const NodeId inv = nl.add_gate(CellKind::kInv, {g});
+  const NodeId other = nl.add_gate(CellKind::kBuf, {g});  // second fanout
+  nl.add_output("y1", inv);
+  nl.add_output("y2", other);
+  const auto c = collapse_faults(nl);
+  EXPECT_EQ(c.representative({g, false}), (Fault{g, false}));
+  EXPECT_EQ(c.representative({g, true}), (Fault{g, true}));
+}
+
+TEST(Collapse, ObservedDriverNotCollapsed) {
+  // d drives a PO directly AND feeds a single inverter: faults at d are
+  // distinguishable from faults at the inverter.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId d = nl.add_gate(CellKind::kAnd2, {a, a});
+  const NodeId inv = nl.add_gate(CellKind::kInv, {d});
+  nl.add_output("direct", d);
+  nl.add_output("inverted", inv);
+  const auto c = collapse_faults(nl);
+  EXPECT_EQ(c.representative({d, false}), (Fault{d, false}));
+}
+
+TEST(Collapse, DffNotTreatedAsBuffer) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, a});
+  const NodeId ff = nl.add_gate(CellKind::kDff, {g});
+  nl.add_output("q", ff);
+  const auto c = collapse_faults(nl);
+  // Timing differs by a cycle: no collapsing through flip-flops.
+  EXPECT_EQ(c.representative({g, false}), (Fault{g, false}));
+}
+
+class CollapseEquivalenceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(CollapseEquivalenceTest, CollapsedCampaignMatchesFullCampaign) {
+  const auto d = designs::build_design(GetParam());
+  const auto collapsed = collapse_faults(d.netlist);
+  EXPECT_LT(collapsed.representatives.size(), collapsed.original_count);
+
+  CampaignConfig cfg;
+  cfg.cycles = 48;
+  FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+  const auto full = campaign.run_all();
+  const auto reps = campaign.run(collapsed.representatives);
+  const auto expanded = expand_collapsed(reps, collapsed);
+
+  // The expanded result must agree with the ground-truth full campaign on
+  // every fault's Dangerous verdict.
+  ASSERT_EQ(expanded.faults.size(), full.faults.size());
+  std::map<std::pair<NodeId, bool>, std::uint64_t> truth;
+  for (const auto& fr : full.faults)
+    truth[{fr.fault.node, fr.fault.stuck_value}] = fr.dangerous_lanes;
+  for (const auto& fr : expanded.faults) {
+    EXPECT_EQ(fr.dangerous_lanes,
+              (truth[{fr.fault.node, fr.fault.stuck_value}]))
+        << fault_name(d.netlist, fr.fault);
+  }
+
+  // And the Algorithm-1 datasets must be identical.
+  const auto ds_full = generate_dataset(full, 0.5);
+  const auto ds_collapsed = generate_dataset(expanded, 0.5);
+  ASSERT_EQ(ds_full.size(), ds_collapsed.size());
+  for (std::size_t i = 0; i < ds_full.size(); ++i) {
+    EXPECT_EQ(ds_full.nodes[i], ds_collapsed.nodes[i]);
+    EXPECT_DOUBLE_EQ(ds_full.score[i], ds_collapsed.score[i]);
+    EXPECT_EQ(ds_full.label[i], ds_collapsed.label[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, CollapseEquivalenceTest,
+                         ::testing::Values("sdram_ctrl", "or1200_icfsm"));
+
+TEST(Collapse, RatioIsMeaningfulOnStyleMappedDesigns) {
+  const auto d = designs::build_sdram_ctrl();
+  const auto c = collapse_faults(d.netlist);
+  // The style mapper emits many INV(NAND)/INV(NOR) pairs; expect at least
+  // a few percent reduction.
+  EXPECT_LT(c.collapse_ratio(), 0.97);
+  EXPECT_GT(c.collapse_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace fcrit::fault

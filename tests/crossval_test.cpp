@@ -1,0 +1,105 @@
+#include "src/ml/crossval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::ml {
+namespace {
+
+struct Toy {
+  SparseMatrix adj;
+  Matrix x;
+  std::vector<int> labels;
+  std::vector<int> candidates;
+
+  Toy() {
+    const int n = 40;
+    std::vector<Coo> entries;
+    for (int i = 0; i < n; ++i) entries.push_back({i, i, 0.5f});
+    for (int i = 0; i + 1 < n; ++i) {
+      entries.push_back({i, i + 1, 0.5f});
+      entries.push_back({i + 1, i, 0.5f});
+    }
+    adj = SparseMatrix::from_coo(n, n, entries);
+    util::Rng rng(2);
+    x = Matrix::randn(n, 3, rng, 0.2f);
+    labels.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      if (i >= n / 2) {
+        labels[static_cast<std::size_t>(i)] = 1;
+        x(i, 0) += 2.0f;
+      }
+      candidates.push_back(i);
+    }
+  }
+};
+
+GcnConfig small_config() {
+  GcnConfig cfg = GcnConfig::classifier();
+  cfg.hidden = {8};
+  cfg.dropout = 0.0;
+  return cfg;
+}
+
+TEST(CrossVal, FoldsCoverEveryCandidateExactlyOnce) {
+  Toy toy;
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.patience = 0;
+  const auto result = cross_validate_gcn(toy.adj, toy.x, toy.labels,
+                                         toy.candidates, 5, small_config(),
+                                         tc, 3);
+  EXPECT_EQ(result.fold_accuracy.size(), 5u);
+  EXPECT_EQ(result.fold_auc.size(), 5u);
+}
+
+TEST(CrossVal, SeparableTaskScoresHigh) {
+  Toy toy;
+  TrainConfig tc;
+  tc.epochs = 120;
+  tc.patience = 0;
+  const auto result = cross_validate_gcn(toy.adj, toy.x, toy.labels,
+                                         toy.candidates, 4, small_config(),
+                                         tc, 5);
+  EXPECT_GE(result.mean_accuracy, 0.85);
+  EXPECT_GE(result.mean_auc, 0.85);
+  EXPECT_LE(result.stddev_accuracy, 0.25);
+}
+
+TEST(CrossVal, DeterministicPerSeed) {
+  Toy toy;
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.patience = 0;
+  const auto a = cross_validate_gcn(toy.adj, toy.x, toy.labels,
+                                    toy.candidates, 3, small_config(), tc, 7);
+  const auto b = cross_validate_gcn(toy.adj, toy.x, toy.labels,
+                                    toy.candidates, 3, small_config(), tc, 7);
+  EXPECT_EQ(a.fold_accuracy, b.fold_accuracy);
+}
+
+TEST(CrossVal, RejectsBadArguments) {
+  Toy toy;
+  TrainConfig tc;
+  tc.epochs = 5;
+  EXPECT_THROW(cross_validate_gcn(toy.adj, toy.x, toy.labels, toy.candidates,
+                                  1, small_config(), tc, 1),
+               std::runtime_error);
+  const std::vector<int> tiny{0, 1};
+  EXPECT_THROW(cross_validate_gcn(toy.adj, toy.x, toy.labels, tiny, 3,
+                                  small_config(), tc, 1),
+               std::runtime_error);
+}
+
+TEST(CrossVal, ToStringSummarizes) {
+  CrossValResult r;
+  r.fold_accuracy = {0.9, 0.8};
+  r.mean_accuracy = 0.85;
+  r.stddev_accuracy = 0.05;
+  r.mean_auc = 0.9;
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("85.00%"), std::string::npos);
+  EXPECT_NE(s.find("90.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

@@ -1,0 +1,68 @@
+#include "src/netlist/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcrit::netlist {
+namespace {
+
+Netlist sample() {
+  Netlist nl("dut");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kNand2, {a, a}, "g");
+  const NodeId ff = nl.add_gate(CellKind::kDff, {g}, "ff");
+  nl.add_output("q", ff);
+  return nl;
+}
+
+TEST(DotExport, EmitsNodesEdgesAndPorts) {
+  const auto nl = sample();
+  const std::string dot = to_dot(nl);
+  EXPECT_NE(dot.find("digraph \"dut\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("g\\nND2"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);       // DFF
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);  // PO
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("-> po0"), std::string::npos);
+}
+
+TEST(DotExport, NodeColorsAndEdgeWeights) {
+  const auto nl = sample();
+  DotOptions opts;
+  opts.node_color[1] = "salmon";
+  opts.edge_weight[{0, 1}] = 0.9;
+  const std::string dot = to_dot(nl, opts);
+  EXPECT_NE(dot.find("fillcolor=\"salmon\""), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=3.60"), std::string::npos);
+}
+
+TEST(DotExport, SubsetRestrictsRendering) {
+  const auto nl = sample();
+  DotOptions opts;
+  opts.subset = {0, 1};  // input + gate; DFF and port excluded
+  const std::string dot = to_dot(nl, opts);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_EQ(dot.find("shape=box"), std::string::npos);
+  EXPECT_EQ(dot.find("po0"), std::string::npos);
+}
+
+TEST(DotExport, HideCellKinds) {
+  const auto nl = sample();
+  DotOptions opts;
+  opts.show_cell_kinds = false;
+  const std::string dot = to_dot(nl, opts);
+  EXPECT_EQ(dot.find("\\nND2"), std::string::npos);
+}
+
+TEST(DotExport, SubsetRangeChecked) {
+  const auto nl = sample();
+  DotOptions opts;
+  opts.subset = {99};
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(nl, os, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcrit::netlist

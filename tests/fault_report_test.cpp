@@ -1,0 +1,86 @@
+#include "src/fault/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::fault {
+namespace {
+
+using netlist::NodeId;
+
+struct Fixture {
+  netlist::Netlist nl;
+  CampaignResult result;
+
+  Fixture() {
+    rtl::Builder b(nl, 1);
+    const NodeId a = b.input("a");
+    const NodeId g = b.inv(a);
+    const NodeId orphan = b.inv(a);
+    b.output("y", g);
+    (void)orphan;
+    sim::StimulusSpec spec;
+    CampaignConfig cfg;
+    cfg.cycles = 32;
+    FaultCampaign campaign(nl, spec, cfg);
+    result = campaign.run_all();
+  }
+};
+
+TEST(FaultReport, CoverageSummaryCountsAreConsistent) {
+  Fixture f;
+  const auto s = summarize_coverage(f.result);
+  EXPECT_EQ(s.total_faults, f.result.faults.size());
+  EXPECT_EQ(s.detected + s.undetected, s.total_faults);
+  EXPECT_LE(s.dangerous, s.detected);
+  EXPECT_GT(s.detected, 0u);    // the observed inverter's faults
+  EXPECT_GT(s.undetected, 0u);  // the orphan's faults
+  EXPECT_GT(s.detection_coverage, 0.0);
+  EXPECT_LT(s.detection_coverage, 1.0);
+}
+
+TEST(FaultReport, DetectionLatencyIsEarlyForDirectFaults) {
+  Fixture f;
+  for (const FaultResult& fr : f.result.faults) {
+    if (fr.detected_lanes) {
+      EXPECT_GE(fr.first_detect_cycle, 0);
+      EXPECT_LE(fr.first_detect_cycle, 2);  // direct PO corruption
+    } else {
+      EXPECT_EQ(fr.first_detect_cycle, -1);
+    }
+  }
+}
+
+TEST(FaultReport, TextContainsStatusesAndSummary) {
+  Fixture f;
+  const std::string text = fault_report(f.nl, f.result);
+  EXPECT_NE(text.find("DANGEROUS"), std::string::npos);
+  EXPECT_NE(text.find("UNDETECTED"), std::string::npos);
+  EXPECT_NE(text.find("coverage:"), std::string::npos);
+  EXPECT_NE(text.find("/SA0"), std::string::npos);
+  EXPECT_NE(text.find("/SA1"), std::string::npos);
+}
+
+TEST(FaultReport, MaxRowsTruncates) {
+  Fixture f;
+  const std::string text = fault_report(f.nl, f.result, 1);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+}
+
+TEST(FaultReport, SummaryStringMentionsEverything) {
+  CoverageSummary s;
+  s.total_faults = 10;
+  s.detected = 7;
+  s.dangerous = 3;
+  s.undetected = 3;
+  s.detection_coverage = 0.7;
+  s.avg_detection_latency = 4.5;
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("faults: 10"), std::string::npos);
+  EXPECT_NE(text.find("coverage: 70.00%"), std::string::npos);
+  EXPECT_NE(text.find("4.5 cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::fault

@@ -1,0 +1,206 @@
+#include "src/fault/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/designs/designs.hpp"
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::fault {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// A small sequential circuit: 4-bit counter with enable, plus an
+/// unobserved side gate (no path to any PO).
+struct TestCircuit {
+  Netlist nl;
+  NodeId en = 0;
+  NodeId orphan = 0;  // gate with no PO in its fanout cone
+  rtl::Bus cnt;
+
+  TestCircuit() {
+    rtl::Builder b(nl, 1);
+    en = b.input("en");
+    cnt = b.reg_placeholder_bus(4);
+    const rtl::Bus inc = b.increment(cnt);
+    b.connect_reg_bus(cnt, b.mux_bus(cnt, inc, en));
+    b.output_bus("q", cnt);
+    // Orphan logic: consumes en but drives nothing.
+    orphan = b.inv(en);
+    nl.validate();
+  }
+};
+
+sim::StimulusSpec default_spec() {
+  sim::StimulusSpec spec;
+  spec.default_profile.p1 = 0.5;
+  return spec;
+}
+
+TEST(FaultCampaign, GoldenTraceIsRecorded) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  cfg.cycles = 16;
+  FaultCampaign camp(c.nl, default_spec(), cfg);
+  camp.run_golden();
+  // Cycle-consistency: the counter bit traces change only when en was high.
+  // (Just verify values exist and the enable input trace is nontrivial.)
+  bool saw_one = false, saw_zero = false;
+  for (int t = 0; t < 16; ++t) {
+    const auto w = camp.golden_value(t, c.en);
+    if (w != 0) saw_one = true;
+    if (w != ~0ULL) saw_zero = true;
+  }
+  EXPECT_TRUE(saw_one);
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(FaultCampaign, OrphanFaultIsNeverDangerous) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  cfg.cycles = 32;
+  FaultCampaign camp(c.nl, default_spec(), cfg);
+  camp.run_golden();
+  const FaultResult r0 = camp.simulate_fault({c.orphan, false});
+  const FaultResult r1 = camp.simulate_fault({c.orphan, true});
+  EXPECT_EQ(r0.dangerous_lanes, 0u);
+  EXPECT_EQ(r1.dangerous_lanes, 0u);
+  EXPECT_EQ(r0.detected_lanes, 0u);
+}
+
+TEST(FaultCampaign, CounterBitStuckIsDetected) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  cfg.cycles = 64;
+  cfg.dangerous_cycle_fraction = 0.0;  // any corruption counts
+  FaultCampaign camp(c.nl, default_spec(), cfg);
+  camp.run_golden();
+  // Counter bit 0 stuck at 0: every lane that ever enables counting sees a
+  // wrong q eventually.
+  const FaultResult r = camp.simulate_fault({c.cnt[0], false});
+  EXPECT_GT(r.dangerous_count(), 48);
+}
+
+TEST(FaultCampaign, SimulateBeforeGoldenThrows) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  FaultCampaign camp(c.nl, default_spec(), cfg);
+  EXPECT_THROW(camp.simulate_fault({c.cnt[0], false}), std::runtime_error);
+}
+
+TEST(FaultCampaign, RunAllCoversFullUniverse) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  cfg.cycles = 16;
+  FaultCampaign camp(c.nl, default_spec(), cfg);
+  const CampaignResult result = camp.run_all();
+  EXPECT_EQ(result.faults.size(), full_fault_list(c.nl).size());
+  EXPECT_GT(result.fault_seconds, 0.0);
+}
+
+TEST(FaultCampaign, DeterministicAcrossRuns) {
+  TestCircuit c;
+  CampaignConfig cfg;
+  cfg.cycles = 32;
+  cfg.seed = 5;
+  FaultCampaign a(c.nl, default_spec(), cfg);
+  FaultCampaign b(c.nl, default_spec(), cfg);
+  const auto ra = a.run_all();
+  const auto rb = b.run_all();
+  ASSERT_EQ(ra.faults.size(), rb.faults.size());
+  for (std::size_t i = 0; i < ra.faults.size(); ++i) {
+    EXPECT_EQ(ra.faults[i].dangerous_lanes, rb.faults[i].dangerous_lanes);
+    EXPECT_EQ(ra.faults[i].mismatch_cycles, rb.faults[i].mismatch_cycles);
+  }
+}
+
+TEST(FaultCampaign, MinMismatchCyclesFromFraction) {
+  CampaignConfig cfg;
+  cfg.cycles = 256;
+  cfg.dangerous_cycle_fraction = 0.10;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 25);
+  cfg.dangerous_cycle_fraction = 0.0;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 1);
+  cfg.cycles = 10;
+  cfg.dangerous_cycle_fraction = 0.01;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 1);
+}
+
+TEST(FaultCampaign, HigherThresholdNeverIncreasesDanger) {
+  TestCircuit c;
+  CampaignConfig lo;
+  lo.cycles = 64;
+  lo.dangerous_cycle_fraction = 0.0;
+  CampaignConfig hi = lo;
+  hi.dangerous_cycle_fraction = 0.25;
+  FaultCampaign ca(c.nl, default_spec(), lo);
+  FaultCampaign cb(c.nl, default_spec(), hi);
+  const auto ra = ca.run_all();
+  const auto rb = cb.run_all();
+  for (std::size_t i = 0; i < ra.faults.size(); ++i) {
+    // Lanes dangerous under the high threshold must be dangerous under the
+    // low one too.
+    EXPECT_EQ(rb.faults[i].dangerous_lanes & ~ra.faults[i].dangerous_lanes,
+              0u);
+  }
+}
+
+TEST(FaultCampaign, ThreadedRunMatchesSerial) {
+  TestCircuit c;
+  CampaignConfig serial_cfg;
+  serial_cfg.cycles = 48;
+  serial_cfg.num_threads = 1;
+  CampaignConfig threaded_cfg = serial_cfg;
+  threaded_cfg.num_threads = 4;
+
+  FaultCampaign serial(c.nl, default_spec(), serial_cfg);
+  FaultCampaign threaded(c.nl, default_spec(), threaded_cfg);
+  const auto rs = serial.run_all();
+  const auto rt = threaded.run_all();
+  ASSERT_EQ(rs.faults.size(), rt.faults.size());
+  for (std::size_t i = 0; i < rs.faults.size(); ++i) {
+    EXPECT_EQ(rs.faults[i].fault, rt.faults[i].fault);
+    EXPECT_EQ(rs.faults[i].dangerous_lanes, rt.faults[i].dangerous_lanes);
+    EXPECT_EQ(rs.faults[i].mismatch_cycles, rt.faults[i].mismatch_cycles);
+    EXPECT_EQ(rs.faults[i].first_detect_cycle,
+              rt.faults[i].first_detect_cycle);
+  }
+}
+
+/// The central correctness property of the fast path: cone-restricted
+/// differential simulation must match the naive full re-simulation exactly.
+class ConeEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConeEquivalenceTest, ConeMatchesNaiveOnRealDesign) {
+  auto design = designs::build_design(GetParam());
+  CampaignConfig fast;
+  fast.cycles = 24;
+  fast.use_cone_restriction = true;
+  CampaignConfig naive = fast;
+  naive.use_cone_restriction = false;
+
+  FaultCampaign cf(design.netlist, design.stimulus, fast);
+  FaultCampaign cn(design.netlist, design.stimulus, naive);
+  cf.run_golden();
+  cn.run_golden();
+
+  // Check a deterministic sample of faults (every 7th site, both kinds).
+  const auto faults = full_fault_list(design.netlist);
+  for (std::size_t i = 0; i < faults.size(); i += 7) {
+    const FaultResult rf = cf.simulate_fault(faults[i]);
+    const FaultResult rn = cn.simulate_fault(faults[i]);
+    EXPECT_EQ(rf.dangerous_lanes, rn.dangerous_lanes)
+        << fault_name(design.netlist, faults[i]);
+    EXPECT_EQ(rf.detected_lanes, rn.detected_lanes);
+    EXPECT_EQ(rf.mismatch_cycles, rn.mismatch_cycles);
+    EXPECT_LE(rf.cone_size, rn.cone_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ConeEquivalenceTest,
+                         ::testing::Values("sdram_ctrl", "or1200_icfsm"));
+
+}  // namespace
+}  // namespace fcrit::fault

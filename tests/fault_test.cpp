@@ -1,0 +1,61 @@
+#include "src/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::fault {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist sample() {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_const(false);
+  const NodeId g = nl.add_gate(CellKind::kInv, {a}, "U_INV");
+  nl.add_gate(CellKind::kDff, {g});
+  return nl;
+}
+
+TEST(Fault, SitesExcludeInputsAndConstants) {
+  const auto nl = sample();
+  const auto sites = fault_sites(nl);
+  ASSERT_EQ(sites.size(), 2u);  // INV and DFF only
+  for (const NodeId s : sites) {
+    EXPECT_NE(nl.kind(s), CellKind::kInput);
+    EXPECT_NE(nl.kind(s), CellKind::kConst0);
+  }
+}
+
+TEST(Fault, IsFaultSitePredicate) {
+  const auto nl = sample();
+  EXPECT_FALSE(is_fault_site(nl, nl.inputs()[0]));
+  EXPECT_TRUE(is_fault_site(nl, *nl.find("U_INV")));
+}
+
+TEST(Fault, FullListHasBothPolarities) {
+  const auto nl = sample();
+  const auto faults = full_fault_list(nl);
+  ASSERT_EQ(faults.size(), 4u);  // 2 sites x 2 polarities
+  EXPECT_EQ(faults[0].node, faults[1].node);
+  EXPECT_FALSE(faults[0].stuck_value);
+  EXPECT_TRUE(faults[1].stuck_value);
+}
+
+TEST(Fault, NameEncodesPolarity) {
+  const auto nl = sample();
+  const NodeId inv = *nl.find("U_INV");
+  EXPECT_EQ(fault_name(nl, {inv, false}), "U_INV/SA0");
+  EXPECT_EQ(fault_name(nl, {inv, true}), "U_INV/SA1");
+}
+
+TEST(Fault, Equality) {
+  const Fault a{3, false}, b{3, false}, c{3, true}, d{4, false};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+}  // namespace
+}  // namespace fcrit::fault

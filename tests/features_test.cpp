@@ -1,0 +1,130 @@
+#include "src/graphir/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::graphir {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+struct Fixture {
+  Netlist nl;
+  NodeId a, g1, g2, ff;
+  sim::SignalStats stats;
+
+  Fixture() {
+    a = nl.add_input("a");
+    g1 = nl.add_gate(CellKind::kNand2, {a, a});
+    g2 = nl.add_gate(CellKind::kBuf, {g1});
+    ff = nl.add_gate(CellKind::kDff, {g2});
+    stats.p1 = {0.5, 0.6, 0.6, 0.6};
+    stats.p_transition = {0.5, 0.2, 0.2, 0.1};
+  }
+};
+
+TEST(Features, ColumnsMatchSection31) {
+  Fixture f;
+  const auto x = extract_features(f.nl, f.stats);
+  EXPECT_EQ(x.rows(), 4);
+  EXPECT_EQ(x.cols(), kNumBaseFeatures);
+  // g1: 2 fanins (a twice) + 1 fanout = 3 connections.
+  EXPECT_EQ(x(static_cast<int>(f.g1), 0), 3.0f);
+  EXPECT_NEAR(x(static_cast<int>(f.g1), 1), 0.4f, 1e-6f);  // P0
+  EXPECT_NEAR(x(static_cast<int>(f.g1), 2), 0.6f, 1e-6f);  // P1
+  EXPECT_NEAR(x(static_cast<int>(f.g1), 3), 0.2f, 1e-6f);  // transition
+  EXPECT_EQ(x(static_cast<int>(f.g1), 4), 1.0f);  // NAND inverts
+  EXPECT_EQ(x(static_cast<int>(f.g2), 4), 0.0f);  // BUF does not
+}
+
+TEST(Features, FeatureNamesAlignWithTable2) {
+  const auto& names = base_feature_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "Number of connections");
+  EXPECT_EQ(names[1], "Intrinsic state probability of 0");
+  EXPECT_EQ(names[2], "Intrinsic state probability of 1");
+  EXPECT_EQ(names[3], "State transition probability");
+  EXPECT_EQ(names[4], "Boolean inverting tag");
+}
+
+TEST(Features, StatsSizeMismatchThrows) {
+  Fixture f;
+  sim::SignalStats bad;
+  bad.p1 = {0.5};
+  bad.p_transition = {0.5};
+  EXPECT_THROW(extract_features(f.nl, bad), std::runtime_error);
+}
+
+TEST(Features, ExtendedAddsStructuralColumns) {
+  Fixture f;
+  const auto x = extract_extended_features(f.nl, f.stats);
+  EXPECT_EQ(x.cols(), kNumBaseFeatures + 3);
+  EXPECT_EQ(extended_feature_names().size(),
+            static_cast<std::size_t>(x.cols()));
+  // Logic depth: g1 at level 1, g2 at level 2.
+  EXPECT_EQ(x(static_cast<int>(f.g1), 5), 1.0f);
+  EXPECT_EQ(x(static_cast<int>(f.g2), 5), 2.0f);
+  // is-FF flag.
+  EXPECT_EQ(x(static_cast<int>(f.ff), 6), 1.0f);
+  EXPECT_EQ(x(static_cast<int>(f.g1), 6), 0.0f);
+  // fanin count.
+  EXPECT_EQ(x(static_cast<int>(f.g1), 7), 2.0f);
+}
+
+TEST(Features, TestabilitySetAppendsScoapColumns) {
+  Fixture f;
+  f.nl.add_output("q", f.ff);  // give SCOAP an observation point
+  const auto x = extract_testability_features(f.nl, f.stats);
+  EXPECT_EQ(x.cols(), kNumBaseFeatures + 6);
+  EXPECT_EQ(testability_feature_names().size(),
+            static_cast<std::size_t>(x.cols()));
+  // SCOAP columns are log-scaled: CC >= 1 -> log >= 0; observable nodes
+  // carry finite CO.
+  for (int i = 0; i < x.rows(); ++i) {
+    EXPECT_GE(x(i, kNumBaseFeatures + 3), 0.0f);  // log CC0
+    EXPECT_GE(x(i, kNumBaseFeatures + 4), 0.0f);  // log CC1
+  }
+  // The output-driving flop has CO 0 -> log1p(0) = 0.
+  EXPECT_EQ(x(static_cast<int>(f.ff), kNumBaseFeatures + 5), 0.0f);
+}
+
+TEST(Standardizer, ZeroMeanUnitVarianceOnFitRows) {
+  ml::Matrix x(4, 2);
+  x(0, 0) = 1.0f;
+  x(1, 0) = 3.0f;
+  x(2, 0) = 5.0f;
+  x(3, 0) = 100.0f;  // not in fit rows
+  for (int i = 0; i < 4; ++i) x(i, 1) = 7.0f;  // constant column
+
+  const std::vector<int> fit_rows{0, 1, 2};
+  const auto s = Standardizer::fit(x, fit_rows);
+  const auto z = s.transform(x);
+
+  double mean = 0.0, var = 0.0;
+  for (const int r : fit_rows) mean += z(r, 0);
+  mean /= 3.0;
+  for (const int r : fit_rows) var += (z(r, 0) - mean) * (z(r, 0) - mean);
+  var /= 3.0;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-4);
+  // Constant column passes through shifted by its mean (stddev fallback 1).
+  EXPECT_NEAR(z(0, 1), 0.0f, 1e-6f);
+  // Row 3 transformed with the same statistics.
+  EXPECT_GT(z(3, 0), 10.0f);
+}
+
+TEST(Standardizer, EmptyFitThrows) {
+  ml::Matrix x(2, 2);
+  EXPECT_THROW(Standardizer::fit(x, {}), std::runtime_error);
+}
+
+TEST(Standardizer, TransformChecksColumns) {
+  ml::Matrix x(2, 2);
+  const auto s = Standardizer::fit(x, {0, 1});
+  ml::Matrix wrong(2, 3);
+  EXPECT_THROW(s.transform(wrong), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcrit::graphir

@@ -1,0 +1,152 @@
+#include "src/ml/gcn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/trainer.hpp"
+
+namespace fcrit::ml {
+namespace {
+
+SparseMatrix chain_adjacency(int n) {
+  std::vector<Coo> entries;
+  for (int i = 0; i < n; ++i) entries.push_back({i, i, 0.5f});
+  for (int i = 0; i + 1 < n; ++i) {
+    entries.push_back({i, i + 1, 0.5f});
+    entries.push_back({i + 1, i, 0.5f});
+  }
+  return SparseMatrix::from_coo(n, n, entries);
+}
+
+TEST(GcnModel, Table1ArchitectureDescribe) {
+  GcnModel model(5, GcnConfig::classifier());
+  const std::string desc = model.describe();
+  EXPECT_NE(desc.find("GCNConv(5 -> 16)"), std::string::npos);
+  EXPECT_NE(desc.find("GCNConv(16 -> 32)"), std::string::npos);
+  EXPECT_NE(desc.find("Dropout(0.3"), std::string::npos);
+  EXPECT_NE(desc.find("GCNConv(32 -> 64)"), std::string::npos);
+  EXPECT_NE(desc.find("GCNConv(64 -> 2)"), std::string::npos);
+  EXPECT_NE(desc.find("LogSoftmax"), std::string::npos);
+  // Dropout sits after the second conv's ReLU (Table 1 layer 5).
+  const auto drop_pos = desc.find("Dropout");
+  const auto conv3_pos = desc.find("GCNConv(32 -> 64)");
+  EXPECT_LT(drop_pos, conv3_pos);
+}
+
+TEST(GcnModel, RegressorHasSingleOutputNoSoftmax) {
+  GcnModel model(5, GcnConfig::regressor());
+  const std::string desc = model.describe();
+  EXPECT_NE(desc.find("GCNConv(64 -> 1)"), std::string::npos);
+  EXPECT_EQ(desc.find("LogSoftmax"), std::string::npos);
+}
+
+TEST(GcnModel, ForwardShapes) {
+  const auto adj = chain_adjacency(7);
+  GcnModel model(4, GcnConfig::classifier());
+  model.set_adjacency(&adj);
+  util::Rng rng(1);
+  const Matrix x = Matrix::randn(7, 4, rng, 1.0f);
+  const Matrix y = model.forward(x, false);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 2);
+  // Log-probabilities: rows sum to 1 in prob space.
+  for (int i = 0; i < y.rows(); ++i) {
+    const double p = std::exp(y(i, 0)) + std::exp(y(i, 1));
+    EXPECT_NEAR(p, 1.0, 1e-5);
+  }
+}
+
+TEST(GcnModel, DeterministicForSameSeed) {
+  const auto adj = chain_adjacency(5);
+  GcnConfig cfg = GcnConfig::classifier();
+  cfg.seed = 99;
+  GcnModel a(3, cfg), b(3, cfg);
+  a.set_adjacency(&adj);
+  b.set_adjacency(&adj);
+  util::Rng rng(2);
+  const Matrix x = Matrix::randn(5, 3, rng, 1.0f);
+  const Matrix ya = a.forward(x, false);
+  const Matrix yb = b.forward(x, false);
+  for (int i = 0; i < ya.rows(); ++i)
+    for (int j = 0; j < ya.cols(); ++j) EXPECT_EQ(ya(i, j), yb(i, j));
+}
+
+TEST(GcnModel, CopyParamsTransfersBehaviour) {
+  const auto adj = chain_adjacency(5);
+  GcnConfig c1 = GcnConfig::classifier();
+  c1.seed = 1;
+  GcnConfig c2 = GcnConfig::classifier();
+  c2.seed = 2;
+  GcnModel a(3, c1), b(3, c2);
+  a.set_adjacency(&adj);
+  b.set_adjacency(&adj);
+  util::Rng rng(3);
+  const Matrix x = Matrix::randn(5, 3, rng, 1.0f);
+  b.copy_params_from(a);
+  const Matrix ya = a.forward(x, false);
+  const Matrix yb = b.forward(x, false);
+  for (int i = 0; i < ya.rows(); ++i)
+    for (int j = 0; j < ya.cols(); ++j) EXPECT_EQ(ya(i, j), yb(i, j));
+}
+
+TEST(GcnModel, ZeroGradClearsAllParams) {
+  GcnModel model(3, GcnConfig::classifier());
+  for (const Param& p : model.params()) p.grad->fill(1.0f);
+  model.zero_grad();
+  for (const Param& p : model.params()) EXPECT_EQ(p.grad->frob2(), 0.0);
+}
+
+TEST(GcnModel, ParamCountMatchesArchitecture) {
+  // 4 convs x (W + b) = 8 params for the default config.
+  GcnModel model(5, GcnConfig::classifier());
+  EXPECT_EQ(model.params().size(), 8u);
+}
+
+TEST(GcnModel, EmptyHiddenRejected) {
+  GcnConfig cfg;
+  cfg.hidden.clear();
+  EXPECT_THROW(GcnModel(3, cfg), std::runtime_error);
+}
+
+TEST(PredictHelpers, LabelsAndProbabilities) {
+  Matrix out(2, 2);
+  out(0, 0) = std::log(0.9f);
+  out(0, 1) = std::log(0.1f);
+  out(1, 0) = std::log(0.2f);
+  out(1, 1) = std::log(0.8f);
+  EXPECT_EQ(predict_labels(out), (std::vector<int>{0, 1}));
+  const auto p1 = class1_probability(out);
+  EXPECT_NEAR(p1[0], 0.1, 1e-6);
+  EXPECT_NEAR(p1[1], 0.8, 1e-6);
+}
+
+TEST(GcnModel, LearnsNeighborhoodMajorityTask) {
+  // Two communities on a chain: nodes 0-9 labeled 0, nodes 10-19 labeled 1.
+  // Features are pure noise except a weak signal on a few seed nodes; the
+  // GCN must propagate neighborhood information to classify the rest.
+  const int n = 20;
+  const auto adj = chain_adjacency(n);
+  util::Rng rng(4);
+  Matrix x = Matrix::randn(n, 3, rng, 0.1f);
+  // Strong signal at nodes 2, 5, 12, 17.
+  for (const int s : {2, 5}) x(s, 0) = -2.0f;
+  for (const int s : {12, 17}) x(s, 0) = 2.0f;
+  std::vector<int> labels(n, 0);
+  for (int i = 10; i < n; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  std::vector<int> train{0, 2, 4, 5, 7, 9, 10, 12, 14, 15, 17, 19};
+  std::vector<int> val{1, 3, 6, 8, 11, 13, 16, 18};
+
+  GcnConfig cfg = GcnConfig::classifier();
+  cfg.hidden = {8, 8};
+  cfg.dropout = 0.0;
+  GcnModel model(3, cfg);
+  TrainConfig tc;
+  tc.epochs = 300;
+  tc.patience = 0;
+  const auto h = train_classifier(model, adj, x, labels, train, val, tc);
+  EXPECT_GE(h.best_val_metric, 0.85);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

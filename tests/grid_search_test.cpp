@@ -1,0 +1,80 @@
+#include "src/ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::ml {
+namespace {
+
+struct Toy {
+  SparseMatrix adj;
+  Matrix x;
+  std::vector<int> labels;
+  std::vector<int> train, val;
+
+  Toy() {
+    const int n = 20;
+    std::vector<Coo> entries;
+    for (int i = 0; i < n; ++i) entries.push_back({i, i, 0.5f});
+    for (int i = 0; i + 1 < n; ++i) {
+      entries.push_back({i, i + 1, 0.5f});
+      entries.push_back({i + 1, i, 0.5f});
+    }
+    adj = SparseMatrix::from_coo(n, n, entries);
+    util::Rng rng(1);
+    x = Matrix::randn(n, 3, rng, 0.2f);
+    labels.assign(static_cast<std::size_t>(n), 0);
+    for (int i = n / 2; i < n; ++i) {
+      labels[static_cast<std::size_t>(i)] = 1;
+      x(i, 0) += 2.0f;
+    }
+    for (int i = 0; i < n; ++i) (i % 4 == 0 ? val : train).push_back(i);
+  }
+};
+
+TEST(GridSearch, ExploresFullSpaceAndPicksBest) {
+  Toy toy;
+  GridSearchSpace space;
+  space.hidden_options = {{8}, {8, 8}};
+  space.dropout_options = {0.0, 0.3};
+  space.lr_options = {0.01};
+  TrainConfig base;
+  base.epochs = 60;
+  base.patience = 0;
+
+  const auto result =
+      grid_search(toy.adj, toy.x, toy.labels, toy.train, toy.val, space, base);
+  EXPECT_EQ(result.trials.size(), 4u);
+  double best_seen = -1.0;
+  for (const auto& trial : result.trials)
+    best_seen = std::max(best_seen, trial.val_accuracy);
+  EXPECT_DOUBLE_EQ(result.best.val_accuracy, best_seen);
+  EXPECT_GE(result.best.val_accuracy, 0.8);
+}
+
+TEST(GridSearch, TrialDescriptionIsReadable) {
+  GridTrial trial;
+  trial.model_config.hidden = {16, 32};
+  trial.model_config.dropout = 0.3;
+  trial.train_config.lr = 0.01;
+  trial.val_accuracy = 0.9;
+  const std::string s = trial.to_string();
+  EXPECT_NE(s.find("hidden=[16,32]"), std::string::npos);
+  EXPECT_NE(s.find("dropout=0.30"), std::string::npos);
+  EXPECT_NE(s.find("val_acc=0.9000"), std::string::npos);
+}
+
+TEST(GridSearch, DropoutPositionStaysInsideStack) {
+  Toy toy;
+  GridSearchSpace space;
+  space.hidden_options = {{8}};
+  space.dropout_options = {0.3};
+  space.lr_options = {0.01};
+  TrainConfig base;
+  base.epochs = 10;
+  const auto result =
+      grid_search(toy.adj, toy.x, toy.labels, toy.train, toy.val, space, base);
+  EXPECT_EQ(result.best.model_config.dropout_after, 0);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

@@ -1,0 +1,186 @@
+#include "src/netlist/harden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/designs/designs.hpp"
+#include "src/designs/random_circuit.hpp"
+#include "src/fault/dataset.hpp"
+#include "src/fault/fault_sim.hpp"
+#include "src/netlist/levelize.hpp"
+#include "src/sim/packed_sim.hpp"
+#include "src/sim/stimulus.hpp"
+
+namespace fcrit::netlist {
+namespace {
+
+TEST(Harden, RejectsNonGateTargets) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c = nl.add_const(false);
+  nl.add_output("y", nl.add_gate(CellKind::kBuf, {a}));
+  EXPECT_THROW(triplicate_nodes(nl, {a}), std::runtime_error);
+  EXPECT_THROW(triplicate_nodes(nl, {c}), std::runtime_error);
+  EXPECT_THROW(triplicate_nodes(nl, {999}), std::runtime_error);
+}
+
+TEST(Harden, AddsReplicasAndVoter) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(CellKind::kNand2, {a, b}, "g");
+  nl.add_output("y", g);
+
+  const auto h = triplicate_nodes(nl, {g});
+  // 2 replicas + 3 AND + 1 OR3 = 6 added gates.
+  EXPECT_EQ(h.added_gates, 6u);
+  EXPECT_TRUE(h.netlist.find("g_tmr1").has_value());
+  EXPECT_TRUE(h.netlist.find("g_tmr2").has_value());
+  EXPECT_TRUE(h.netlist.find("g_vote").has_value());
+  // The output port now reads the voter.
+  EXPECT_EQ(h.netlist.outputs()[0].driver, h.voter_of.at(g));
+  EXPECT_TRUE(is_combinationally_acyclic(h.netlist));
+}
+
+/// Fault-free equivalence: TMR must not change behaviour.
+class HardenEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HardenEquivalence, FaultFreeBehaviourUnchanged) {
+  const auto d = designs::build_design(GetParam());
+  // Harden a deterministic sample of nodes, including flip-flops.
+  std::vector<NodeId> targets;
+  for (NodeId id = 0; id < d.netlist.num_nodes(); ++id) {
+    if (!fault::is_fault_site(d.netlist, id)) continue;
+    if (id % 11 == 0) targets.push_back(id);
+  }
+  ASSERT_FALSE(targets.empty());
+  const auto h = triplicate_nodes(d.netlist, targets);
+
+  sim::PackedSimulator sim_a(d.netlist);
+  sim::PackedSimulator sim_b(h.netlist);
+  sim::StimulusGenerator stim(d.netlist, d.stimulus, 21);
+  std::vector<std::uint64_t> words;
+  for (int t = 0; t < 96; ++t) {
+    stim.next_cycle(words);
+    sim_a.eval_comb(words);
+    sim_b.eval_comb(words);
+    for (std::size_t o = 0; o < d.netlist.outputs().size(); ++o)
+      EXPECT_EQ(sim_a.output_word(o), sim_b.output_word(o))
+          << "output " << d.netlist.outputs()[o].name << " cycle " << t;
+    sim_a.clock();
+    sim_b.clock();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, HardenEquivalence,
+                         ::testing::Values("or1200_icfsm", "sdram_ctrl"));
+
+TEST(Harden, MasksSingleFaultsAtHardenedNodes) {
+  const auto d = designs::build_or1200_icfsm();
+  // Harden the five most critical nodes per a quick campaign.
+  fault::CampaignConfig cfg;
+  cfg.cycles = 96;
+  cfg.dangerous_cycle_fraction = d.dangerous_cycle_fraction;
+  fault::FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+  const auto before = campaign.run_all();
+  const auto ds = fault::generate_dataset(before, 0.5);
+
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    ranked.push_back({ds.score[i], ds.nodes[i]});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 5; ++i) targets.push_back(ranked[i].second);
+
+  const auto h = triplicate_nodes(d.netlist, targets);
+  fault::FaultCampaign hardened(h.netlist, d.stimulus, cfg);
+  hardened.run_golden();
+  // A stuck-at on the hardened copy is outvoted: zero dangerous lanes.
+  for (const NodeId t : targets) {
+    for (const bool sa : {false, true}) {
+      const auto fr = hardened.simulate_fault({h.node_map[t], sa});
+      EXPECT_EQ(fr.dangerous_lanes, 0u)
+          << d.netlist.node(t).name << (sa ? "/SA1" : "/SA0");
+    }
+  }
+}
+
+TEST(Harden, ChainedTargetsCompose) {
+  // g1 feeds g2; hardening both must keep behaviour and remain acyclic.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(CellKind::kInv, {a}, "g1");
+  const NodeId g2 = nl.add_gate(CellKind::kInv, {g1}, "g2");
+  nl.add_output("y", g2);
+  const auto h = triplicate_nodes(nl, {g1, g2});
+  EXPECT_TRUE(is_combinationally_acyclic(h.netlist));
+
+  sim::PackedSimulator sim(h.netlist);
+  sim.eval_comb(std::vector<std::uint64_t>{0xF0F0});
+  EXPECT_EQ(sim.output_word(0), 0xF0F0ULL);  // double inversion
+  // g2's replicas must read g1's voter, not g1 directly.
+  const auto g2r1 = h.netlist.find("g2_tmr1");
+  ASSERT_TRUE(g2r1.has_value());
+  EXPECT_EQ(h.netlist.fanins(*g2r1)[0], h.voter_of.at(g1));
+}
+
+TEST(Harden, DffTargetsKeepSequentialSemantics) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId ff = nl.add_gate(CellKind::kDff, {a}, "ff");
+  nl.add_output("q", ff);
+  const auto h = triplicate_nodes(nl, {ff});
+  sim::PackedSimulator sim(h.netlist);
+  sim.step(std::vector<std::uint64_t>{0xAAAAULL});
+  sim.eval_comb(std::vector<std::uint64_t>{0});
+  EXPECT_EQ(sim.output_word(0), 0xAAAAULL);  // one-cycle delay preserved
+}
+
+/// Property sweep: hardening random target sets of random circuits keeps
+/// fault-free behaviour bit-exact.
+class HardenRandomCircuits : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HardenRandomCircuits, EquivalentUnderRandomTargets) {
+  designs::RandomCircuitConfig rc;
+  rc.seed = GetParam();
+  rc.num_gates = 100;
+  rc.num_flops = 8;
+  const auto d = designs::build_random_circuit(rc);
+  util::Rng rng(GetParam() ^ 0xdead);
+  std::vector<NodeId> targets;
+  for (const NodeId s : fault::fault_sites(d.netlist))
+    if (rng.next_bool(0.15)) targets.push_back(s);
+  if (targets.empty()) targets.push_back(fault::fault_sites(d.netlist)[0]);
+
+  const auto h = triplicate_nodes(d.netlist, targets);
+  EXPECT_TRUE(is_combinationally_acyclic(h.netlist));
+  sim::PackedSimulator sim_a(d.netlist);
+  sim::PackedSimulator sim_b(h.netlist);
+  sim::StimulusGenerator stim(d.netlist, d.stimulus, GetParam());
+  std::vector<std::uint64_t> words;
+  for (int t = 0; t < 48; ++t) {
+    stim.next_cycle(words);
+    sim_a.eval_comb(words);
+    sim_b.eval_comb(words);
+    for (std::size_t o = 0; o < d.netlist.outputs().size(); ++o)
+      EXPECT_EQ(sim_a.output_word(o), sim_b.output_word(o)) << t;
+    sim_a.clock();
+    sim_b.clock();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardenRandomCircuits,
+                         ::testing::Values(101, 202, 303));
+
+TEST(Harden, OverheadAccounting) {
+  const auto d = designs::build_or1200_icfsm();
+  std::vector<NodeId> targets;
+  for (const NodeId s : fault::fault_sites(d.netlist))
+    if (targets.size() < 10) targets.push_back(s);
+  const auto h = triplicate_nodes(d.netlist, targets);
+  EXPECT_EQ(h.added_gates, 60u);  // 6 per target
+  EXPECT_NEAR(h.overhead(d.netlist), 60.0 / d.netlist.num_gates(), 1e-12);
+}
+
+}  // namespace
+}  // namespace fcrit::netlist

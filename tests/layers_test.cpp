@@ -1,0 +1,367 @@
+#include "src/ml/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace fcrit::ml {
+namespace {
+
+/// Scalar loss used by all gradient checks: weighted sum of the output so
+/// dL/dY is a fixed random matrix.
+struct LossProbe {
+  Matrix weight;  // same shape as the layer output
+
+  explicit LossProbe(const Matrix& y, util::Rng& rng)
+      : weight(Matrix::randn(y.rows(), y.cols(), rng, 1.0f)) {}
+
+  double value(const Matrix& y) const {
+    double s = 0.0;
+    for (int i = 0; i < y.rows(); ++i)
+      for (int j = 0; j < y.cols(); ++j)
+        s += static_cast<double>(weight(i, j)) * y(i, j);
+    return s;
+  }
+};
+
+/// Central-difference numeric gradient of loss(layer(x)) w.r.t. x(i,j).
+double numeric_grad_x(Layer& layer, const Matrix& x, const LossProbe& probe,
+                      int i, int j, float eps = 1e-3f) {
+  Matrix xp = x;
+  xp(i, j) += eps;
+  Matrix xm = x;
+  xm(i, j) -= eps;
+  const double lp = probe.value(layer.forward(xp, false));
+  const double lm = probe.value(layer.forward(xm, false));
+  return (lp - lm) / (2.0 * eps);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  Matrix x(1, 4);
+  x(0, 0) = -1.0f;
+  x(0, 1) = 2.0f;
+  x(0, 2) = 0.0f;
+  x(0, 3) = -0.5f;
+  const Matrix y = relu.forward(x, false);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 1), 2.0f);
+  EXPECT_EQ(y(0, 2), 0.0f);
+  EXPECT_EQ(y(0, 3), 0.0f);
+}
+
+TEST(Relu, BackwardGradientCheck) {
+  util::Rng rng(1);
+  Relu relu;
+  const Matrix x = Matrix::randn(3, 5, rng, 1.0f);
+  const Matrix y = relu.forward(x, false);
+  LossProbe probe(y, rng);
+  const Matrix dx = relu.backward(probe.weight);
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < x.cols(); ++j) {
+      if (std::fabs(x(i, j)) < 5e-3f) continue;  // kink
+      EXPECT_NEAR(dx(i, j), numeric_grad_x(relu, x, probe, i, j), 1e-2)
+          << i << "," << j;
+    }
+}
+
+TEST(LogSoftmax, RowsAreLogProbabilities) {
+  util::Rng rng(2);
+  LogSoftmax ls;
+  const Matrix x = Matrix::randn(4, 3, rng, 2.0f);
+  const Matrix y = ls.forward(x, false);
+  for (int i = 0; i < y.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < y.cols(); ++j) {
+      EXPECT_LE(y(i, j), 0.0f);
+      sum += std::exp(static_cast<double>(y(i, j)));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(LogSoftmax, InvariantToRowShift) {
+  LogSoftmax ls;
+  Matrix x(1, 3);
+  x(0, 0) = 100.0f;
+  x(0, 1) = 101.0f;
+  x(0, 2) = 99.0f;
+  Matrix x2 = x;
+  for (int j = 0; j < 3; ++j) x2(0, j) -= 100.0f;
+  const Matrix y1 = ls.forward(x, false);
+  const Matrix y2 = ls.forward(x2, false);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(y1(0, j), y2(0, j), 1e-5f);
+}
+
+TEST(LogSoftmax, BackwardGradientCheck) {
+  util::Rng rng(3);
+  LogSoftmax ls;
+  const Matrix x = Matrix::randn(3, 4, rng, 1.0f);
+  const Matrix y = ls.forward(x, false);
+  LossProbe probe(y, rng);
+  ls.forward(x, false);  // refresh cache
+  const Matrix dx = ls.backward(probe.weight);
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < x.cols(); ++j)
+      EXPECT_NEAR(dx(i, j), numeric_grad_x(ls, x, probe, i, j), 1e-2);
+}
+
+TEST(Dropout, IdentityAtInference) {
+  util::Rng rng(4);
+  Dropout drop(0.5, rng);
+  const Matrix x = Matrix::randn(4, 4, rng, 1.0f);
+  const Matrix y = drop.forward(x, /*training=*/false);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(y(i, j), x(i, j));
+}
+
+TEST(Dropout, TrainingZerosAndRescales) {
+  util::Rng rng(5);
+  Dropout drop(0.5, rng);
+  const Matrix x = Matrix::full(50, 50, 1.0f);
+  const Matrix y = drop.forward(x, /*training=*/true);
+  int zeros = 0;
+  double sum = 0.0;
+  for (int i = 0; i < 50; ++i)
+    for (int j = 0; j < 50; ++j) {
+      if (y(i, j) == 0.0f)
+        ++zeros;
+      else
+        EXPECT_NEAR(y(i, j), 2.0f, 1e-5f);  // 1/keep scaling
+      sum += y(i, j);
+    }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2500.0, 0.5, 0.05);
+  EXPECT_NEAR(sum / 2500.0, 1.0, 0.1);  // expectation preserved
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  util::Rng rng(6);
+  Dropout drop(0.5, rng);
+  const Matrix x = Matrix::full(10, 10, 1.0f);
+  const Matrix y = drop.forward(x, true);
+  const Matrix g = drop.backward(Matrix::full(10, 10, 1.0f));
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) EXPECT_EQ(g(i, j), y(i, j));
+}
+
+TEST(Linear, ForwardAffine) {
+  util::Rng rng(7);
+  Linear lin(2, 3, rng);
+  const Matrix x = Matrix::randn(4, 2, rng, 1.0f);
+  const Matrix y = lin.forward(x, false);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(Linear, InputGradientCheck) {
+  util::Rng rng(8);
+  Linear lin(3, 2, rng);
+  const Matrix x = Matrix::randn(4, 3, rng, 1.0f);
+  const Matrix y = lin.forward(x, false);
+  LossProbe probe(y, rng);
+  lin.forward(x, false);
+  const Matrix dx = lin.backward(probe.weight);
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < x.cols(); ++j)
+      EXPECT_NEAR(dx(i, j), numeric_grad_x(lin, x, probe, i, j), 1e-2);
+}
+
+TEST(Linear, WeightGradientCheck) {
+  util::Rng rng(9);
+  Linear lin(3, 2, rng);
+  std::vector<Param> params;
+  lin.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  Matrix& w = *params[0].value;
+  Matrix& wg = *params[0].grad;
+
+  const Matrix x = Matrix::randn(4, 3, rng, 1.0f);
+  const Matrix y = lin.forward(x, false);
+  LossProbe probe(y, rng);
+  lin.forward(x, false);
+  wg.set_zero();
+  lin.backward(probe.weight);
+
+  const float eps = 1e-3f;
+  for (int i = 0; i < w.rows(); ++i)
+    for (int j = 0; j < w.cols(); ++j) {
+      const float orig = w(i, j);
+      w(i, j) = orig + eps;
+      const double lp = probe.value(lin.forward(x, false));
+      w(i, j) = orig - eps;
+      const double lm = probe.value(lin.forward(x, false));
+      w(i, j) = orig;
+      EXPECT_NEAR(wg(i, j), (lp - lm) / (2.0 * eps), 1e-2);
+    }
+}
+
+// ---- GcnConv gradient checks (the load-bearing layer) ------------------------
+
+SparseMatrix ring_adjacency(int n) {
+  // Symmetric ring with self-loops, arbitrary positive weights.
+  std::vector<Coo> entries;
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    entries.push_back({i, j, 0.4f});
+    entries.push_back({j, i, 0.4f});
+    entries.push_back({i, i, 0.6f});
+  }
+  return SparseMatrix::from_coo(n, n, entries);
+}
+
+TEST(GcnConv, InputGradientCheck) {
+  util::Rng rng(10);
+  const auto adj = ring_adjacency(5);
+  GcnConv conv(3, 2, rng);
+  conv.set_adjacency(&adj);
+  const Matrix x = Matrix::randn(5, 3, rng, 1.0f);
+  const Matrix y = conv.forward(x, false);
+  LossProbe probe(y, rng);
+  conv.forward(x, false);
+  const Matrix dx = conv.backward(probe.weight);
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < x.cols(); ++j)
+      EXPECT_NEAR(dx(i, j), numeric_grad_x(conv, x, probe, i, j), 1e-2);
+}
+
+TEST(GcnConv, WeightAndBiasGradientCheck) {
+  util::Rng rng(11);
+  const auto adj = ring_adjacency(4);
+  GcnConv conv(2, 3, rng);
+  conv.set_adjacency(&adj);
+  std::vector<Param> params;
+  conv.collect_params(params);
+  const Matrix x = Matrix::randn(4, 2, rng, 1.0f);
+  const Matrix y = conv.forward(x, false);
+  LossProbe probe(y, rng);
+
+  for (const Param& p : params) {
+    conv.forward(x, false);
+    p.grad->set_zero();
+    conv.backward(probe.weight);
+    const float eps = 1e-3f;
+    for (int i = 0; i < p.value->rows(); ++i)
+      for (int j = 0; j < p.value->cols(); ++j) {
+        const float orig = (*p.value)(i, j);
+        (*p.value)(i, j) = orig + eps;
+        const double lp = probe.value(conv.forward(x, false));
+        (*p.value)(i, j) = orig - eps;
+        const double lm = probe.value(conv.forward(x, false));
+        (*p.value)(i, j) = orig;
+        EXPECT_NEAR((*p.grad)(i, j), (lp - lm) / (2.0 * eps), 1e-2);
+      }
+  }
+}
+
+TEST(GcnConv, EdgeGradientCheck) {
+  util::Rng rng(12);
+  auto adj = ring_adjacency(4);
+  GcnConv conv(2, 2, rng);
+  conv.set_adjacency(&adj);
+  const Matrix x = Matrix::randn(4, 2, rng, 1.0f);
+  const Matrix y = conv.forward(x, false);
+  LossProbe probe(y, rng);
+
+  std::vector<float> edge_grad(adj.nnz(), 0.0f);
+  conv.set_edge_grad_buffer(&edge_grad);
+  conv.forward(x, false);
+  conv.backward(probe.weight);
+  conv.set_edge_grad_buffer(nullptr);
+
+  const float eps = 1e-3f;
+  for (std::size_t k = 0; k < adj.nnz(); ++k) {
+    auto vals = adj.values();
+    vals[k] += eps;
+    const auto adj_p = adj.with_values(vals);
+    conv.set_adjacency(&adj_p);
+    const double lp = probe.value(conv.forward(x, false));
+    vals[k] -= 2 * eps;
+    const auto adj_m = adj.with_values(vals);
+    conv.set_adjacency(&adj_m);
+    const double lm = probe.value(conv.forward(x, false));
+    conv.set_adjacency(&adj);
+    EXPECT_NEAR(edge_grad[k], (lp - lm) / (2.0 * eps), 1e-2) << "entry " << k;
+  }
+}
+
+TEST(GcnConv, WithoutBiasHasSingleParam) {
+  util::Rng rng(15);
+  GcnConv conv(3, 2, rng, /*with_bias=*/false);
+  std::vector<Param> params;
+  conv.collect_params(params);
+  EXPECT_EQ(params.size(), 1u);
+  // Zero input -> zero output without a bias.
+  const auto adj = ring_adjacency(3);
+  conv.set_adjacency(&adj);
+  const Matrix y = conv.forward(Matrix(3, 3), false);
+  EXPECT_EQ(y.frob2(), 0.0);
+}
+
+TEST(GcnConv, RequiresAdjacency) {
+  util::Rng rng(13);
+  GcnConv conv(2, 2, rng);
+  const Matrix x = Matrix::full(3, 2, 1.0f);
+  EXPECT_THROW(conv.forward(x, false), std::runtime_error);
+}
+
+TEST(GcnConv, FeatureDimMismatchThrows) {
+  util::Rng rng(14);
+  const auto adj = ring_adjacency(3);
+  GcnConv conv(2, 2, rng);
+  conv.set_adjacency(&adj);
+  const Matrix x = Matrix::full(3, 5, 1.0f);
+  EXPECT_THROW(conv.forward(x, false), std::runtime_error);
+}
+
+// ---- losses -------------------------------------------------------------------
+
+TEST(MaskedNll, ValueAndGradient) {
+  Matrix logp(3, 2);
+  logp(0, 0) = std::log(0.8f);
+  logp(0, 1) = std::log(0.2f);
+  logp(1, 0) = std::log(0.3f);
+  logp(1, 1) = std::log(0.7f);
+  logp(2, 0) = std::log(0.5f);
+  logp(2, 1) = std::log(0.5f);
+  const std::vector<int> labels{0, 1, 1};
+  const std::vector<int> mask{0, 1};
+  Matrix grad;
+  const double loss = masked_nll(logp, labels, mask, grad);
+  EXPECT_NEAR(loss, -(std::log(0.8) + std::log(0.7)) / 2.0, 1e-5);
+  EXPECT_NEAR(grad(0, 0), -0.5f, 1e-6f);
+  EXPECT_EQ(grad(0, 1), 0.0f);
+  EXPECT_NEAR(grad(1, 1), -0.5f, 1e-6f);
+  EXPECT_EQ(grad(2, 0), 0.0f);  // outside mask
+  EXPECT_EQ(grad(2, 1), 0.0f);
+}
+
+TEST(MaskedNll, EmptyMaskThrows) {
+  Matrix logp(1, 2);
+  Matrix grad;
+  EXPECT_THROW(masked_nll(logp, {0}, {}, grad), std::runtime_error);
+}
+
+TEST(MaskedMse, ValueAndGradient) {
+  Matrix pred(3, 1);
+  pred(0, 0) = 0.5f;
+  pred(1, 0) = 1.0f;
+  pred(2, 0) = 0.0f;
+  const std::vector<double> target{0.0, 1.0, 0.7};
+  const std::vector<int> mask{0, 1};
+  Matrix grad;
+  const double loss = masked_mse(pred, target, mask, grad);
+  EXPECT_NEAR(loss, (0.25 + 0.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad(0, 0), 0.5f, 1e-5f);  // 2*(0.5-0)/2
+  EXPECT_NEAR(grad(1, 0), 0.0f, 1e-5f);
+  EXPECT_EQ(grad(2, 0), 0.0f);
+}
+
+TEST(MaskedMse, RequiresSingleColumn) {
+  Matrix pred(2, 2);
+  Matrix grad;
+  EXPECT_THROW(masked_mse(pred, {0.0, 0.0}, {0}, grad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

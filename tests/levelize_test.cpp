@@ -1,0 +1,112 @@
+#include "src/netlist/levelize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fcrit::netlist {
+namespace {
+
+TEST(Levelize, ChainHasIncreasingLevels) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(CellKind::kInv, {a});
+  const NodeId g2 = nl.add_gate(CellKind::kInv, {g1});
+  const NodeId g3 = nl.add_gate(CellKind::kInv, {g2});
+  const auto lev = levelize(nl);
+  EXPECT_EQ(lev.level[a], 0);
+  EXPECT_EQ(lev.level[g1], 1);
+  EXPECT_EQ(lev.level[g2], 2);
+  EXPECT_EQ(lev.level[g3], 3);
+  EXPECT_EQ(lev.max_level, 3);
+  EXPECT_EQ(lev.order, (std::vector<NodeId>{g1, g2, g3}));
+}
+
+TEST(Levelize, OrderRespectsDependencies) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(CellKind::kAnd2, {a, b});
+  const NodeId g2 = nl.add_gate(CellKind::kOr2, {g1, a});
+  const NodeId g3 = nl.add_gate(CellKind::kXor2, {g2, g1});
+  const auto lev = levelize(nl);
+  auto pos = [&](NodeId id) {
+    return std::find(lev.order.begin(), lev.order.end(), id) -
+           lev.order.begin();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_LT(pos(g2), pos(g3));
+}
+
+TEST(Levelize, DffBreaksCycles) {
+  // q feeds back through an inverter into its own D: legal (a toggler).
+  Netlist nl;
+  const NodeId ff = nl.add_gate(CellKind::kDff, {kNoNode});
+  const NodeId inv = nl.add_gate(CellKind::kInv, {ff});
+  nl.set_fanin(ff, 0, inv);
+  EXPECT_NO_THROW(levelize(nl));
+  EXPECT_TRUE(is_combinationally_acyclic(nl));
+  const auto lev = levelize(nl);
+  EXPECT_EQ(lev.level[inv], 1);
+}
+
+TEST(Levelize, CombinationalCycleDetected) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  // g1 -> g2 -> g1 without any DFF.
+  const NodeId g1 = nl.add_gate(CellKind::kAnd2, {a, kNoNode});
+  const NodeId g2 = nl.add_gate(CellKind::kInv, {g1});
+  nl.set_fanin(g1, 1, g2);
+  EXPECT_THROW(levelize(nl), std::runtime_error);
+  EXPECT_FALSE(is_combinationally_acyclic(nl));
+}
+
+TEST(Levelize, CycleErrorNamesNode) {
+  Netlist nl;
+  const NodeId g1 = nl.add_gate(CellKind::kInv, {kNoNode}, "loop_gate");
+  nl.set_fanin(g1, 0, g1);
+  try {
+    levelize(nl);
+    FAIL() << "expected cycle error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("loop_gate"), std::string::npos);
+  }
+}
+
+TEST(Levelize, DffIsLevelZeroSource) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId ff = nl.add_gate(CellKind::kDff, {a});
+  const NodeId g = nl.add_gate(CellKind::kInv, {ff});
+  const auto lev = levelize(nl);
+  EXPECT_EQ(lev.level[ff], 0);
+  EXPECT_EQ(lev.level[g], 1);
+  // DFFs are not in the combinational order.
+  EXPECT_EQ(lev.order, (std::vector<NodeId>{g}));
+}
+
+TEST(Levelize, EmptyAndInputOnlyNetlists) {
+  Netlist empty;
+  EXPECT_NO_THROW(levelize(empty));
+  Netlist inputs_only;
+  inputs_only.add_input("a");
+  const auto lev = levelize(inputs_only);
+  EXPECT_TRUE(lev.order.empty());
+  EXPECT_EQ(lev.max_level, 0);
+}
+
+TEST(Levelize, DeterministicOrder) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  std::vector<NodeId> gates;
+  for (int i = 0; i < 10; ++i) gates.push_back(nl.add_gate(CellKind::kInv, {a}));
+  const auto lev1 = levelize(nl);
+  const auto lev2 = levelize(nl);
+  EXPECT_EQ(lev1.order, lev2.order);
+  // Same level -> ordered by id.
+  EXPECT_TRUE(std::is_sorted(lev1.order.begin(), lev1.order.end()));
+}
+
+}  // namespace
+}  // namespace fcrit::netlist

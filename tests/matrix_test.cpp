@@ -1,0 +1,144 @@
+#include "src/ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fcrit::ml {
+namespace {
+
+Matrix from_rows(std::initializer_list<std::initializer_list<float>> rows) {
+  const int r = static_cast<int>(rows.size());
+  const int c = static_cast<int>(rows.begin()->size());
+  Matrix m(r, c);
+  int i = 0;
+  for (const auto& row : rows) {
+    int j = 0;
+    for (const float v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(Matrix, ConstructionZeroInitializes) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0f);
+}
+
+TEST(Matrix, FullAndFill) {
+  Matrix m = Matrix::full(2, 2, 3.5f);
+  EXPECT_EQ(m(1, 1), 3.5f);
+  m.set_zero();
+  EXPECT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(Matrix, MatmulMatchesHandComputation) {
+  const Matrix a = from_rows({{1, 2}, {3, 4}});
+  const Matrix b = from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MatmulTnEqualsTransposeThenMultiply) {
+  util::Rng rng(1);
+  const Matrix a = Matrix::randn(5, 3, rng, 1.0f);
+  const Matrix b = Matrix::randn(5, 4, rng, 1.0f);
+  const Matrix expect = matmul(transpose(a), b);
+  const Matrix got = matmul_tn(a, b);
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  for (int i = 0; i < got.rows(); ++i)
+    for (int j = 0; j < got.cols(); ++j)
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-4f);
+}
+
+TEST(Matrix, MatmulNtEqualsMultiplyByTranspose) {
+  util::Rng rng(2);
+  const Matrix a = Matrix::randn(4, 3, rng, 1.0f);
+  const Matrix b = Matrix::randn(6, 3, rng, 1.0f);
+  const Matrix expect = matmul(a, transpose(b));
+  const Matrix got = matmul_nt(a, b);
+  for (int i = 0; i < got.rows(); ++i)
+    for (int j = 0; j < got.cols(); ++j)
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-4f);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  util::Rng rng(3);
+  const Matrix a = Matrix::randn(3, 7, rng, 2.0f);
+  const Matrix t = transpose(transpose(a));
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) EXPECT_EQ(a(i, j), t(i, j));
+}
+
+TEST(Matrix, ColSum) {
+  const Matrix a = from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix s = col_sum(a);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s(0, 0), 5);
+  EXPECT_EQ(s(0, 1), 7);
+  EXPECT_EQ(s(0, 2), 9);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a = from_rows({{1, 2}, {3, 4}});
+  const Matrix b = from_rows({{10, 20}, {30, 40}});
+  a += b;
+  EXPECT_EQ(a(1, 1), 44);
+  a -= b;
+  EXPECT_EQ(a(1, 1), 4);
+  a *= 2.0f;
+  EXPECT_EQ(a(0, 1), 4);
+  a.hadamard_(b);
+  EXPECT_EQ(a(0, 0), 20);
+}
+
+TEST(Matrix, Frob2) {
+  const Matrix a = from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.frob2(), 25.0);
+}
+
+TEST(Matrix, RandnMoments) {
+  util::Rng rng(4);
+  const Matrix m = Matrix::randn(100, 100, rng, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < m.rows(); ++i)
+    for (int j = 0; j < m.cols(); ++j) {
+      sum += m(i, j);
+      sum2 += static_cast<double>(m(i, j)) * m(i, j);
+    }
+  const double n = 1e4;
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sum2 / n, 4.0, 0.2);
+}
+
+TEST(Matrix, XavierWithinBound) {
+  util::Rng rng(5);
+  const Matrix m = Matrix::xavier(10, 20, rng);
+  const float bound = std::sqrt(6.0f / 30.0f);
+  for (int i = 0; i < m.rows(); ++i)
+    for (int j = 0; j < m.cols(); ++j) {
+      EXPECT_LE(m(i, j), bound);
+      EXPECT_GE(m(i, j), -bound);
+    }
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto r = m.row(1);
+  r[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+}
+
+TEST(Matrix, ShapeString) {
+  EXPECT_EQ(Matrix(3, 4).shape_string(), "[3 x 4]");
+}
+
+}  // namespace
+}  // namespace fcrit::ml

@@ -1,0 +1,123 @@
+#include "src/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::ml {
+namespace {
+
+TEST(Confusion, CountsAndDerivedRates) {
+  const std::vector<int> pred{1, 1, 0, 0, 1, 0};
+  const std::vector<int> truth{1, 0, 0, 1, 1, 0};
+  const std::vector<int> subset{0, 1, 2, 3, 4, 5};
+  const Confusion c = confusion(pred, truth, subset);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.fpr(), 1.0 / 3.0);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Confusion, SubsetRestricts) {
+  const std::vector<int> pred{1, 0, 1};
+  const std::vector<int> truth{1, 1, 1};
+  const Confusion c = confusion(pred, truth, {0, 2});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth, {1}), 0.0);
+}
+
+TEST(Confusion, DegenerateRatesAreZero) {
+  const Confusion empty;
+  EXPECT_EQ(empty.accuracy(), 0.0);
+  EXPECT_EQ(empty.precision(), 0.0);
+  EXPECT_EQ(empty.recall(), 0.0);
+  EXPECT_EQ(empty.f1(), 0.0);
+}
+
+TEST(Roc, PerfectClassifierHasUnitAuc) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  const std::vector<int> subset{0, 1, 2, 3};
+  const auto curve = roc_curve(scores, labels, subset);
+  EXPECT_DOUBLE_EQ(auc(curve), 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+}
+
+TEST(Roc, InvertedClassifierHasZeroAuc) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels, {0, 1, 2, 3}), 0.0);
+}
+
+TEST(Roc, TiedScoresFormDiagonal) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_NEAR(roc_auc(scores, labels, {0, 1, 2, 3}), 0.5, 1e-12);
+}
+
+TEST(Roc, KnownSmallCase) {
+  // scores: 0.9(+) 0.7(-) 0.6(+) 0.3(-): AUC = 3/4.
+  const std::vector<double> scores{0.9, 0.7, 0.6, 0.3};
+  const std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_NEAR(roc_auc(scores, labels, {0, 1, 2, 3}), 0.75, 1e-12);
+}
+
+TEST(Roc, SingleClassThrows) {
+  const std::vector<double> scores{0.5, 0.6};
+  const std::vector<int> labels{1, 1};
+  EXPECT_THROW(roc_curve(scores, labels, {0, 1}), std::runtime_error);
+  EXPECT_THROW(roc_curve(scores, labels, {}), std::runtime_error);
+}
+
+TEST(Roc, MonotoneCurve) {
+  const std::vector<double> scores{0.9, 0.8, 0.75, 0.6, 0.5, 0.4, 0.2};
+  const std::vector<int> labels{1, 0, 1, 1, 0, 0, 1};
+  const std::vector<int> subset{0, 1, 2, 3, 4, 5, 6};
+  const auto curve = roc_curve(scores, labels, subset);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Pearson, PerfectAndAntiCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantVectorGivesZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), std::runtime_error);
+  EXPECT_THROW(pearson({}, {}), std::runtime_error);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{1, 8, 27, 64, 125};  // a^3
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesViaAverageRanks) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

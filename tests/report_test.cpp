@@ -1,0 +1,68 @@
+#include "src/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::core {
+namespace {
+
+TEST(TextTable, PadsColumnsAndSeparatesHeader) {
+  TextTable t({"Design", "Acc"});
+  t.add_row({"sdram_ctrl", "90.34"});
+  t.add_row({"if", "93.7"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  int lines = 0;
+  for (const char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(s.find("Design      Acc"), std::string::npos);
+  EXPECT_NE(s.find("----------  -----"), std::string::npos);
+  EXPECT_NE(s.find("sdram_ctrl  90.34"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Summaries, PipelineReportMentionsEveryModel) {
+  // A minimal pipeline run drives summarize()/model_names()/accuracy_row().
+  PipelineConfig cfg;
+  cfg.campaign_cycles = 64;
+  cfg.probability_cycles = 64;
+  cfg.train.epochs = 15;
+  cfg.regressor_train.epochs = 15;
+  FaultCriticalityAnalyzer analyzer(cfg);
+  const auto r = analyzer.analyze_design("or1200_icfsm");
+
+  const std::string s = summarize(r);
+  for (const char* token : {"or1200_icfsm", "GCN", "MLP", "LoR", "RFC",
+                            "SVM", "EBM", "regressor", "conformity"})
+    EXPECT_NE(s.find(token), std::string::npos) << token;
+
+  const auto names = model_names(r);
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "GCN");
+
+  const auto row = accuracy_row(r);
+  EXPECT_EQ(row.size(), 7u);  // design + 6 models
+  EXPECT_EQ(row.front(), "or1200_icfsm");
+}
+
+TEST(TextTable, NoTrailingWhitespace) {
+  TextTable t({"A", "B"});
+  t.add_row({"xxx", "y"});
+  const std::string s = t.to_string();
+  std::size_t pos = 0;
+  while ((pos = s.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) {
+      EXPECT_NE(s[pos - 1], ' ');
+    }
+    ++pos;
+  }
+}
+
+}  // namespace
+}  // namespace fcrit::core

@@ -1,0 +1,90 @@
+#include "src/ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcrit::ml {
+namespace {
+
+SparseMatrix chain(int n) {
+  std::vector<Coo> entries;
+  for (int i = 0; i < n; ++i) entries.push_back({i, i, 0.5f});
+  for (int i = 0; i + 1 < n; ++i) {
+    entries.push_back({i, i + 1, 0.5f});
+    entries.push_back({i + 1, i, 0.5f});
+  }
+  return SparseMatrix::from_coo(n, n, entries);
+}
+
+TEST(Serialize, GcnRoundTripPreservesPredictions) {
+  const auto adj = chain(9);
+  GcnConfig cfg = GcnConfig::classifier();
+  cfg.hidden = {8, 4};
+  cfg.seed = 3;
+  GcnModel original(4, cfg);
+  original.set_adjacency(&adj);
+  util::Rng rng(1);
+  const Matrix x = Matrix::randn(9, 4, rng, 1.0f);
+  const Matrix expect = original.forward(x, false);
+
+  std::stringstream buffer;
+  save_gcn(original, buffer);
+  GcnModel loaded = load_gcn(buffer);
+  loaded.set_adjacency(&adj);
+  const Matrix got = loaded.forward(x, false);
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  for (int i = 0; i < got.rows(); ++i)
+    for (int j = 0; j < got.cols(); ++j)
+      EXPECT_FLOAT_EQ(got(i, j), expect(i, j));
+}
+
+TEST(Serialize, RegressorConfigRoundTrips) {
+  GcnConfig cfg = GcnConfig::regressor();
+  cfg.hidden = {6};
+  GcnModel original(3, cfg);
+  std::stringstream buffer;
+  save_gcn(original, buffer);
+  const GcnModel loaded = load_gcn(buffer);
+  EXPECT_EQ(loaded.config().output_dim, 1);
+  EXPECT_FALSE(loaded.config().log_softmax);
+  EXPECT_EQ(loaded.config().hidden, std::vector<int>{6});
+  EXPECT_EQ(loaded.in_features(), 3);
+}
+
+TEST(Serialize, RejectsCorruptInput) {
+  std::stringstream bad("not-a-model at all");
+  EXPECT_THROW(load_gcn(bad), std::runtime_error);
+
+  GcnModel model(3, GcnConfig::classifier());
+  std::stringstream buffer;
+  save_gcn(model, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);  // truncate weights
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_gcn(truncated), std::runtime_error);
+}
+
+TEST(Serialize, StandardizerRoundTrips) {
+  graphir::Standardizer s;
+  s.mean = {1.5, -2.25, 0.0};
+  s.stddev = {0.5, 3.0, 1.0};
+  std::stringstream buffer;
+  save_standardizer(s, buffer);
+  const auto loaded = load_standardizer(buffer);
+  EXPECT_EQ(loaded.mean, s.mean);
+  EXPECT_EQ(loaded.stddev, s.stddev);
+}
+
+TEST(Serialize, FileWrappersWork) {
+  GcnModel model(3, GcnConfig::classifier());
+  const std::string path = "/tmp/fcrit_serialize_test.gcn";
+  save_gcn_file(model, path);
+  const GcnModel loaded = load_gcn_file(path);
+  EXPECT_EQ(loaded.in_features(), 3);
+  EXPECT_THROW(load_gcn_file("/nonexistent/dir/x.gcn"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcrit::ml

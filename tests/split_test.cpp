@@ -1,0 +1,96 @@
+#include "src/graphir/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fcrit::graphir {
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+TEST(Split, PartitionsWithoutOverlapOrLoss) {
+  const auto candidates = iota_vec(100);
+  std::vector<int> labels(100);
+  for (int i = 0; i < 100; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+  const auto split = stratified_split(candidates, labels, 0.8, 1);
+
+  std::set<int> all(split.train.begin(), split.train.end());
+  for (const int v : split.val) {
+    EXPECT_FALSE(all.contains(v));
+    all.insert(v);
+  }
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.val.size(), 20u);
+}
+
+TEST(Split, PreservesClassRatio) {
+  const auto candidates = iota_vec(100);
+  std::vector<int> labels(100, 0);
+  for (int i = 0; i < 30; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  const auto split = stratified_split(candidates, labels, 0.8, 2);
+  int train_pos = 0;
+  for (const int i : split.train)
+    train_pos += labels[static_cast<std::size_t>(i)];
+  int val_pos = 0;
+  for (const int i : split.val) val_pos += labels[static_cast<std::size_t>(i)];
+  EXPECT_EQ(train_pos, 24);
+  EXPECT_EQ(val_pos, 6);
+}
+
+TEST(Split, DeterministicPerSeed) {
+  const auto candidates = iota_vec(50);
+  std::vector<int> labels(50);
+  for (int i = 0; i < 50; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+  const auto a = stratified_split(candidates, labels, 0.8, 7);
+  const auto b = stratified_split(candidates, labels, 0.8, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.val, b.val);
+  const auto c = stratified_split(candidates, labels, 0.8, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(Split, SubsetOfCandidatesOnly) {
+  const std::vector<int> candidates{5, 10, 15, 20};
+  std::vector<int> labels(25, 0);
+  labels[5] = 1;
+  labels[10] = 1;
+  const auto split = stratified_split(candidates, labels, 0.5, 3);
+  std::set<int> all(split.train.begin(), split.train.end());
+  all.insert(split.val.begin(), split.val.end());
+  EXPECT_EQ(all, (std::set<int>{5, 10, 15, 20}));
+}
+
+TEST(Split, InvalidFractionThrows) {
+  const auto candidates = iota_vec(10);
+  const std::vector<int> labels(10, 0);
+  EXPECT_THROW(stratified_split(candidates, labels, 0.0, 1),
+               std::runtime_error);
+  EXPECT_THROW(stratified_split(candidates, labels, 1.0, 1),
+               std::runtime_error);
+}
+
+TEST(Split, NonBinaryLabelThrows) {
+  const std::vector<int> candidates{0};
+  const std::vector<int> labels{2};
+  EXPECT_THROW(stratified_split(candidates, labels, 0.8, 1),
+               std::runtime_error);
+}
+
+TEST(Split, OutputsAreSorted) {
+  const auto candidates = iota_vec(40);
+  std::vector<int> labels(40);
+  for (int i = 0; i < 40; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+  const auto split = stratified_split(candidates, labels, 0.75, 11);
+  EXPECT_TRUE(std::is_sorted(split.train.begin(), split.train.end()));
+  EXPECT_TRUE(std::is_sorted(split.val.begin(), split.val.end()));
+}
+
+}  // namespace
+}  // namespace fcrit::graphir

@@ -1,0 +1,58 @@
+#include "src/netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::netlist {
+namespace {
+
+Netlist small_circuit() {
+  Netlist nl("small");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(CellKind::kNand2, {a, b});
+  const NodeId g2 = nl.add_gate(CellKind::kInv, {g1});
+  const NodeId ff = nl.add_gate(CellKind::kDff, {g2});
+  nl.add_output("q", ff);
+  return nl;
+}
+
+TEST(Stats, CountsAreCorrect) {
+  const auto nl = small_circuit();
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.name, "small");
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_gates, 3u);
+  EXPECT_EQ(s.num_inputs, 2u);
+  EXPECT_EQ(s.num_outputs, 1u);
+  EXPECT_EQ(s.num_flops, 1u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.logic_depth, 2);  // nand at 1, inv at 2; dff is a source
+  EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(CellKind::kNand2)], 1u);
+  EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(CellKind::kInv)], 1u);
+  EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(CellKind::kInput)], 2u);
+}
+
+TEST(Stats, FanoutStats) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellKind::kInv, {a});
+  nl.add_gate(CellKind::kBuf, {g});
+  nl.add_gate(CellKind::kBuf, {g});
+  nl.add_gate(CellKind::kBuf, {g});
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.max_fanout, 3u);
+  // 4 gates: inv fans out 3, bufs 0 -> avg 0.75.
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 0.75);
+}
+
+TEST(Stats, ToStringMentionsKeyFields) {
+  const auto s = compute_stats(small_circuit());
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("small"), std::string::npos);
+  EXPECT_NE(str.find("3 gates"), std::string::npos);
+  EXPECT_NE(str.find("ND2=1"), std::string::npos);
+  EXPECT_NE(str.find("FD1=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::netlist

@@ -1,0 +1,156 @@
+#include "src/sim/stimulus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace fcrit::sim {
+namespace {
+
+netlist::Netlist three_input_netlist() {
+  netlist::Netlist nl;
+  nl.add_input("rst");
+  nl.add_input("req");
+  nl.add_input("addr_0");
+  return nl;
+}
+
+TEST(Stimulus, DeterministicForSameSeed) {
+  const auto nl = three_input_netlist();
+  StimulusSpec spec;
+  StimulusGenerator a(nl, spec, 42), b(nl, spec, 42);
+  std::vector<std::uint64_t> wa, wb;
+  for (int t = 0; t < 20; ++t) {
+    a.next_cycle(wa);
+    b.next_cycle(wb);
+    EXPECT_EQ(wa, wb) << "cycle " << t;
+  }
+}
+
+TEST(Stimulus, RestartReplaysExactly) {
+  const auto nl = three_input_netlist();
+  StimulusSpec spec;
+  StimulusGenerator gen(nl, spec, 7);
+  std::vector<std::vector<std::uint64_t>> first;
+  std::vector<std::uint64_t> w;
+  for (int t = 0; t < 10; ++t) {
+    gen.next_cycle(w);
+    first.push_back(w);
+  }
+  gen.restart();
+  EXPECT_EQ(gen.cycle(), 0);
+  for (int t = 0; t < 10; ++t) {
+    gen.next_cycle(w);
+    EXPECT_EQ(w, first[static_cast<std::size_t>(t)]) << "cycle " << t;
+  }
+}
+
+TEST(Stimulus, HoldCyclesPinValue) {
+  const auto nl = three_input_netlist();
+  StimulusSpec spec;
+  spec.profiles["rst"] = {.p1 = 0.5, .hold_cycles = 3, .hold_value = true};
+  StimulusGenerator gen(nl, spec, 1);
+  std::vector<std::uint64_t> w;
+  for (int t = 0; t < 3; ++t) {
+    gen.next_cycle(w);
+    EXPECT_EQ(w[0], ~0ULL) << "cycle " << t;  // rst held high in all lanes
+  }
+}
+
+TEST(Stimulus, ZeroProbabilityStaysLow) {
+  const auto nl = three_input_netlist();
+  StimulusSpec spec;
+  spec.default_profile.p1 = 0.0;
+  StimulusGenerator gen(nl, spec, 3);
+  std::vector<std::uint64_t> w;
+  for (int t = 0; t < 50; ++t) {
+    gen.next_cycle(w);
+    for (const auto word : w) EXPECT_EQ(word, 0u);
+  }
+}
+
+TEST(Stimulus, OneProbabilitySticksHighAfterToggle) {
+  const auto nl = three_input_netlist();
+  StimulusSpec spec;
+  spec.default_profile.p1 = 1.0;
+  spec.p1_scale_min = 1.0;
+  spec.p1_scale_max = 1.0;
+  spec.activity_min = 1.0;
+  spec.activity_max = 1.0;
+  StimulusGenerator gen(nl, spec, 3);
+  std::vector<std::uint64_t> w;
+  gen.next_cycle(w);
+  for (const auto word : w) EXPECT_EQ(word, ~0ULL);
+}
+
+TEST(Stimulus, PrefixMatchCoversBusMembers) {
+  netlist::Netlist nl;
+  nl.add_input("addr_0");
+  nl.add_input("addr_1");
+  nl.add_input("other");
+  StimulusSpec spec;
+  spec.profiles["addr"] = {.p1 = 0.0, .hold_cycles = 0, .hold_value = false};
+  spec.default_profile.p1 = 1.0;
+  StimulusGenerator gen(nl, spec, 5);
+  EXPECT_EQ(gen.profile(0).p1, 0.0);
+  EXPECT_EQ(gen.profile(1).p1, 0.0);
+  EXPECT_EQ(gen.profile(2).p1, 1.0);
+}
+
+TEST(Stimulus, LongestPrefixWins) {
+  netlist::Netlist nl;
+  nl.add_input("addr_0");
+  StimulusSpec spec;
+  spec.profiles["addr"] = {.p1 = 0.1, .hold_cycles = 0, .hold_value = false};
+  spec.profiles["addr_0"] = {.p1 = 0.9, .hold_cycles = 0, .hold_value = false};
+  StimulusGenerator gen(nl, spec, 5);
+  EXPECT_EQ(gen.profile(0).p1, 0.9);
+}
+
+TEST(Stimulus, EmpiricalRateTracksP1) {
+  netlist::Netlist nl;
+  nl.add_input("x");
+  StimulusSpec spec;
+  spec.default_profile.p1 = 0.25;
+  spec.p1_scale_min = 1.0;
+  spec.p1_scale_max = 1.0;
+  spec.activity_min = 1.0;  // re-randomize every cycle
+  spec.activity_max = 1.0;
+  StimulusGenerator gen(nl, spec, 11);
+  std::vector<std::uint64_t> w;
+  std::uint64_t ones = 0;
+  const int cycles = 2000;
+  for (int t = 0; t < cycles; ++t) {
+    gen.next_cycle(w);
+    ones += static_cast<std::uint64_t>(std::popcount(w[0]));
+  }
+  const double rate = static_cast<double>(ones) / (64.0 * cycles);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Stimulus, LowActivityLanesToggleLess) {
+  netlist::Netlist nl;
+  nl.add_input("x");
+  StimulusSpec spec;
+  spec.default_profile.p1 = 0.5;
+  spec.activity_min = 0.05;
+  spec.activity_max = 1.0;
+  StimulusGenerator gen(nl, spec, 13);
+  std::vector<std::uint64_t> w;
+  std::uint64_t prev = 0;
+  int toggles_low = 0, toggles_high = 0;
+  const int cycles = 3000;
+  for (int t = 0; t < cycles; ++t) {
+    gen.next_cycle(w);
+    if (t > 0) {
+      const std::uint64_t x = w[0] ^ prev;
+      toggles_low += static_cast<int>(x & 1);          // lane 0: min activity
+      toggles_high += static_cast<int>((x >> 63) & 1); // lane 63: max
+    }
+    prev = w[0];
+  }
+  EXPECT_LT(toggles_low * 4, toggles_high);
+}
+
+}  // namespace
+}  // namespace fcrit::sim

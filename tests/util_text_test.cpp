@@ -1,0 +1,67 @@
+#include "src/util/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcrit::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nfoo\r "), "foo");
+  EXPECT_EQ(trim("bare"), "bare");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, SplitsOnDelimiterKeepingEmpties) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWs, DropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a  b\tc\n"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("addr_12", "addr"));
+  EXPECT_FALSE(starts_with("addr", "addr_12"));
+  EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+  EXPECT_FALSE(ends_with("cpp", "file.cpp"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Join, ConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("ND2_U42"), "nd2_u42");
+  EXPECT_EQ(to_lower("abc"), "abc");
+}
+
+TEST(IsIdentifier, AcceptsVerilogStyleNames) {
+  EXPECT_TRUE(is_identifier("ND2_U42"));
+  EXPECT_TRUE(is_identifier("_wire"));
+  EXPECT_TRUE(is_identifier("n$1"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier("$x"));
+}
+
+}  // namespace
+}  // namespace fcrit::util

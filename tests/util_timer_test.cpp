@@ -1,0 +1,46 @@
+#include "src/util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace fcrit::util {
+namespace {
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(b, 0.004);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.009);
+}
+
+TEST(Timer, MillisMatchesSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_NEAR(ms, s * 1e3, 1.0);  // small skew between the two calls
+}
+
+TEST(Timer, PrettyPicksUnits) {
+  Timer t;
+  // Fresh timer: microseconds range.
+  const std::string us = t.pretty();
+  EXPECT_NE(us.find("us"), std::string::npos);
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  const std::string ms = t.pretty();
+  EXPECT_NE(ms.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::util

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/designs/designs.hpp"
+#include "src/netlist/verilog_parser.hpp"
+#include "src/netlist/verilog_writer.hpp"
+
+namespace fcrit::netlist {
+namespace {
+
+Netlist sample() {
+  Netlist nl("sample");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c0 = nl.add_const(false);
+  const NodeId g1 = nl.add_gate(CellKind::kNand2, {a, b});
+  const NodeId g2 = nl.add_gate(CellKind::kMux2, {g1, a, b});
+  const NodeId ff = nl.add_gate(CellKind::kDff, {g2});
+  const NodeId g3 = nl.add_gate(CellKind::kOai21, {ff, c0, g1});
+  nl.add_output("y", g3);
+  nl.add_output("q", ff);
+  return nl;
+}
+
+TEST(VerilogWriter, EmitsModuleSkeleton) {
+  const std::string text = to_verilog(sample());
+  EXPECT_NE(text.find("module sample ("), std::string::npos);
+  EXPECT_NE(text.find("input clk"), std::string::npos);
+  EXPECT_NE(text.find("input a"), std::string::npos);
+  EXPECT_NE(text.find("output y"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("ND2"), std::string::npos);
+  EXPECT_NE(text.find(".CP(clk)"), std::string::npos);
+  EXPECT_NE(text.find("assign"), std::string::npos);
+}
+
+TEST(VerilogWriter, PinNamesPerKind) {
+  EXPECT_EQ(pin_names(CellKind::kNand2),
+            (std::vector<std::string>{"A", "B", "Y"}));
+  EXPECT_EQ(pin_names(CellKind::kMux2),
+            (std::vector<std::string>{"A", "B", "S", "Y"}));
+  EXPECT_EQ(pin_names(CellKind::kDff), (std::vector<std::string>{"D", "Q"}));
+  EXPECT_EQ(pin_names(CellKind::kInv), (std::vector<std::string>{"A", "Y"}));
+  EXPECT_EQ(pin_names(CellKind::kAoi22),
+            (std::vector<std::string>{"A", "B", "C", "D", "Y"}));
+}
+
+/// Constants have no instance name in Verilog (they are emitted as assign
+/// statements), so their auto-generated TIE names cannot round-trip; every
+/// other node's identity is preserved through its instance name.
+std::string canonical_name(const Netlist& nl, NodeId id) {
+  switch (nl.kind(id)) {
+    case CellKind::kConst0:
+      return "<TIE0>";
+    case CellKind::kConst1:
+      return "<TIE1>";
+    default:
+      return nl.node(id).name;
+  }
+}
+
+void expect_equivalent(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  for (NodeId id = 0; id < a.num_nodes(); ++id) {
+    if (a.kind(id) == CellKind::kConst0 || a.kind(id) == CellKind::kConst1)
+      continue;  // compared implicitly through their consumers' fanins
+    const auto found = b.find(a.node(id).name);
+    ASSERT_TRUE(found.has_value()) << "missing node " << a.node(id).name;
+    EXPECT_EQ(a.kind(id), b.kind(*found));
+    const auto fa = a.fanins(id);
+    const auto fb = b.fanins(*found);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); ++i)
+      EXPECT_EQ(canonical_name(a, fa[i]), canonical_name(b, fb[i]));
+  }
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    EXPECT_EQ(a.outputs()[i].name, b.outputs()[i].name);
+    EXPECT_EQ(canonical_name(a, a.outputs()[i].driver),
+              canonical_name(b, b.outputs()[i].driver));
+  }
+}
+
+TEST(VerilogRoundTrip, SampleCircuit) {
+  const Netlist original = sample();
+  const Netlist reparsed = parse_verilog(to_verilog(original));
+  expect_equivalent(original, reparsed);
+}
+
+class DesignRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DesignRoundTrip, WriteParsePreservesStructure) {
+  const auto design = designs::build_design(GetParam());
+  const Netlist reparsed = parse_verilog(to_verilog(design.netlist));
+  expect_equivalent(design.netlist, reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignRoundTrip,
+                         ::testing::Values("sdram_ctrl", "or1200_if",
+                                           "or1200_icfsm"));
+
+TEST(VerilogParser, ParsesHandWrittenModule) {
+  const std::string text = R"(
+// comment
+module top (input clk, input a, input b, output y);
+  wire n1; /* block
+               comment */
+  wire n2;
+  ND2 u1 (.Y(n1), .A(a), .B(b));
+  FD1 r1 (.Q(n2), .D(n1), .CP(clk));
+  assign y = n2;
+endmodule
+)";
+  const Netlist nl = parse_verilog(text);
+  EXPECT_EQ(nl.name(), "top");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.kind(nl.outputs()[0].driver), CellKind::kDff);
+}
+
+TEST(VerilogParser, ForwardReferencesResolve) {
+  // r1 consumes u1's output that is defined later in the file.
+  const std::string text = R"(
+module fwd (input clk, input a, output q);
+  wire w1;
+  wire w2;
+  FD1 r1 (.Q(w2), .D(w1), .CP(clk));
+  IV u1 (.Y(w1), .A(a));
+  assign q = w2;
+endmodule
+)";
+  const Netlist nl = parse_verilog(text);
+  const auto r1 = nl.find("r1");
+  const auto u1 = nl.find("u1");
+  ASSERT_TRUE(r1 && u1);
+  EXPECT_EQ(nl.fanins(*r1)[0], *u1);
+}
+
+TEST(VerilogParser, SequentialLoopAllowed) {
+  const std::string text = R"(
+module toggle (input clk, output q);
+  wire w1;
+  wire w2;
+  FD1 r1 (.Q(w1), .D(w2), .CP(clk));
+  IV u1 (.Y(w2), .A(w1));
+  assign q = w1;
+endmodule
+)";
+  EXPECT_NO_THROW(parse_verilog(text));
+}
+
+TEST(VerilogParser, ConstAssigns) {
+  const std::string text = R"(
+module consts (input clk, output y);
+  wire t0;
+  wire t1;
+  wire n;
+  assign t0 = 1'b0;
+  assign t1 = 1'b1;
+  AN2 u1 (.Y(n), .A(t0), .B(t1));
+  assign y = n;
+endmodule
+)";
+  const Netlist nl = parse_verilog(text);
+  const auto u1 = nl.find("u1");
+  ASSERT_TRUE(u1);
+  EXPECT_EQ(nl.kind(nl.fanins(*u1)[0]), CellKind::kConst0);
+  EXPECT_EQ(nl.kind(nl.fanins(*u1)[1]), CellKind::kConst1);
+}
+
+TEST(VerilogParser, UnknownCellRejected) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n  XYZ u1 (.Y(n), .A(a));\n  assign y = n;\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text), std::runtime_error);
+}
+
+TEST(VerilogParser, MultipleDriversRejected) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n"
+      "  IV u1 (.Y(n), .A(a));\n"
+      "  IV u2 (.Y(n), .A(a));\n"
+      "  assign y = n;\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text), std::runtime_error);
+}
+
+TEST(VerilogParser, UndrivenNetRejected) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n  IV u1 (.Y(y2), .A(n));\n  assign y = y2;\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text), std::runtime_error);
+}
+
+TEST(VerilogParser, BadPinRejected) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n  IV u1 (.Y(n), .Z(a));\n  assign y = n;\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text), std::runtime_error);
+}
+
+TEST(VerilogParser, ErrorCarriesLineNumber) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n"
+      "  BOGUS u1 (.Y(n), .A(a));\n"
+      "  assign y = n;\nendmodule\n";
+  try {
+    parse_verilog(text);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fcrit::netlist
