@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_roc.dir/bench/bench_fig4_roc.cpp.o"
+  "CMakeFiles/bench_fig4_roc.dir/bench/bench_fig4_roc.cpp.o.d"
+  "bench/bench_fig4_roc"
+  "bench/bench_fig4_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_explainability.dir/bench/bench_fig5_explainability.cpp.o"
+  "CMakeFiles/bench_fig5_explainability.dir/bench/bench_fig5_explainability.cpp.o.d"
+  "bench/bench_fig5_explainability"
+  "bench/bench_fig5_explainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_explainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

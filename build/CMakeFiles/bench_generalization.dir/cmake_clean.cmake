@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generalization.dir/bench/bench_generalization.cpp.o"
+  "CMakeFiles/bench_generalization.dir/bench/bench_generalization.cpp.o.d"
+  "bench/bench_generalization"
+  "bench/bench_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

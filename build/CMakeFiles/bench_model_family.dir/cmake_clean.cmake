@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_family.dir/bench/bench_model_family.cpp.o"
+  "CMakeFiles/bench_model_family.dir/bench/bench_model_family.cpp.o.d"
+  "bench/bench_model_family"
+  "bench/bench_model_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

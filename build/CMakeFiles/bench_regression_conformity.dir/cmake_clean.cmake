@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regression_conformity.dir/bench/bench_regression_conformity.cpp.o"
+  "CMakeFiles/bench_regression_conformity.dir/bench/bench_regression_conformity.cpp.o.d"
+  "bench/bench_regression_conformity"
+  "bench/bench_regression_conformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regression_conformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

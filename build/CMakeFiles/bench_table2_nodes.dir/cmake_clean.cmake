@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_nodes.dir/bench/bench_table2_nodes.cpp.o"
+  "CMakeFiles/bench_table2_nodes.dir/bench/bench_table2_nodes.cpp.o.d"
+  "bench/bench_table2_nodes"
+  "bench/bench_table2_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcrit_cli.dir/fcrit_cli.cpp.o"
+  "CMakeFiles/fcrit_cli.dir/fcrit_cli.cpp.o.d"
+  "fcrit"
+  "fcrit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcrit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fcrit_cli.
+# This may be replaced when dependencies are built.

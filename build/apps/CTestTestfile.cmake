@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/apps
+# Build directory: /root/repo/build/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/apps/fcrit" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;6;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/apps/fcrit" "stats" "or1200_icfsm")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;7;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_scoap "/root/repo/build/apps/fcrit" "scoap" "or1200_icfsm" "--top" "5")
+set_tests_properties(cli_scoap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;8;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build/apps/fcrit" "campaign" "or1200_icfsm" "--cycles" "64" "--threads" "2")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;9;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_export_bench "/root/repo/build/apps/fcrit" "export" "or1200_icfsm" "--format" "bench")
+set_tests_properties(cli_export_bench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;11;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_autopsy "/root/repo/build/apps/fcrit" "autopsy" "or1200_icfsm" "--node" "FD1_U19" "--sa" "1" "--cycles" "64")
+set_tests_properties(cli_autopsy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;13;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_wave "/root/repo/build/apps/fcrit" "wave" "or1200_icfsm" "--cycles" "16")
+set_tests_properties(cli_wave PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;16;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/apps/fcrit")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;17;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_unknown_design "/root/repo/build/apps/fcrit" "stats" "no_such_design")
+set_tests_properties(cli_unknown_design PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;19;add_test;/root/repo/apps/CMakeLists.txt;0;")

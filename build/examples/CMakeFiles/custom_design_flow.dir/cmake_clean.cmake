@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_design_flow.dir/custom_design_flow.cpp.o"
+  "CMakeFiles/custom_design_flow.dir/custom_design_flow.cpp.o.d"
+  "custom_design_flow"
+  "custom_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_report.dir/explain_report.cpp.o"
+  "CMakeFiles/explain_report.dir/explain_report.cpp.o.d"
+  "explain_report"
+  "explain_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

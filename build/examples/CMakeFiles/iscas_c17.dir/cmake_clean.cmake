@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iscas_c17.dir/iscas_c17.cpp.o"
+  "CMakeFiles/iscas_c17.dir/iscas_c17.cpp.o.d"
+  "iscas_c17"
+  "iscas_c17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iscas_c17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iscas_c17.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for iscas_c17.
+# This may be replaced when dependencies are built.

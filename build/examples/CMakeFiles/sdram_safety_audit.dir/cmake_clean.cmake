@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdram_safety_audit.dir/sdram_safety_audit.cpp.o"
+  "CMakeFiles/sdram_safety_audit.dir/sdram_safety_audit.cpp.o.d"
+  "sdram_safety_audit"
+  "sdram_safety_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdram_safety_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/fcrit.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/fcrit.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/core/report.cpp.o.d"
+  "/root/repo/src/designs/or1200_genpc.cpp" "src/CMakeFiles/fcrit.dir/designs/or1200_genpc.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/or1200_genpc.cpp.o.d"
+  "/root/repo/src/designs/or1200_icfsm.cpp" "src/CMakeFiles/fcrit.dir/designs/or1200_icfsm.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/or1200_icfsm.cpp.o.d"
+  "/root/repo/src/designs/or1200_if.cpp" "src/CMakeFiles/fcrit.dir/designs/or1200_if.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/or1200_if.cpp.o.d"
+  "/root/repo/src/designs/random_circuit.cpp" "src/CMakeFiles/fcrit.dir/designs/random_circuit.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/random_circuit.cpp.o.d"
+  "/root/repo/src/designs/registry.cpp" "src/CMakeFiles/fcrit.dir/designs/registry.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/registry.cpp.o.d"
+  "/root/repo/src/designs/sdram_ctrl.cpp" "src/CMakeFiles/fcrit.dir/designs/sdram_ctrl.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/designs/sdram_ctrl.cpp.o.d"
+  "/root/repo/src/explain/aggregate.cpp" "src/CMakeFiles/fcrit.dir/explain/aggregate.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/explain/aggregate.cpp.o.d"
+  "/root/repo/src/explain/gnn_explainer.cpp" "src/CMakeFiles/fcrit.dir/explain/gnn_explainer.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/explain/gnn_explainer.cpp.o.d"
+  "/root/repo/src/fault/autopsy.cpp" "src/CMakeFiles/fcrit.dir/fault/autopsy.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/autopsy.cpp.o.d"
+  "/root/repo/src/fault/collapse.cpp" "src/CMakeFiles/fcrit.dir/fault/collapse.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/collapse.cpp.o.d"
+  "/root/repo/src/fault/dataset.cpp" "src/CMakeFiles/fcrit.dir/fault/dataset.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/dataset.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/fcrit.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/CMakeFiles/fcrit.dir/fault/fault_sim.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/fault_sim.cpp.o.d"
+  "/root/repo/src/fault/report.cpp" "src/CMakeFiles/fcrit.dir/fault/report.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/fault/report.cpp.o.d"
+  "/root/repo/src/graphir/features.cpp" "src/CMakeFiles/fcrit.dir/graphir/features.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/graphir/features.cpp.o.d"
+  "/root/repo/src/graphir/graph.cpp" "src/CMakeFiles/fcrit.dir/graphir/graph.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/graphir/graph.cpp.o.d"
+  "/root/repo/src/graphir/split.cpp" "src/CMakeFiles/fcrit.dir/graphir/split.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/graphir/split.cpp.o.d"
+  "/root/repo/src/ml/baselines/baseline.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/baseline.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/baseline.cpp.o.d"
+  "/root/repo/src/ml/baselines/dtree.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/dtree.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/dtree.cpp.o.d"
+  "/root/repo/src/ml/baselines/ebm.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/ebm.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/ebm.cpp.o.d"
+  "/root/repo/src/ml/baselines/logreg.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/logreg.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/logreg.cpp.o.d"
+  "/root/repo/src/ml/baselines/mlp.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/mlp.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/mlp.cpp.o.d"
+  "/root/repo/src/ml/baselines/rforest.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/rforest.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/rforest.cpp.o.d"
+  "/root/repo/src/ml/baselines/svm.cpp" "src/CMakeFiles/fcrit.dir/ml/baselines/svm.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/baselines/svm.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/CMakeFiles/fcrit.dir/ml/crossval.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/crossval.cpp.o.d"
+  "/root/repo/src/ml/gcn.cpp" "src/CMakeFiles/fcrit.dir/ml/gcn.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/gcn.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/CMakeFiles/fcrit.dir/ml/grid_search.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/grid_search.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/fcrit.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/fcrit.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/fcrit.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/fcrit.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/sgc.cpp" "src/CMakeFiles/fcrit.dir/ml/sgc.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/sgc.cpp.o.d"
+  "/root/repo/src/ml/sparse.cpp" "src/CMakeFiles/fcrit.dir/ml/sparse.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/sparse.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/CMakeFiles/fcrit.dir/ml/trainer.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/ml/trainer.cpp.o.d"
+  "/root/repo/src/netlist/bench_format.cpp" "src/CMakeFiles/fcrit.dir/netlist/bench_format.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/bench_format.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/fcrit.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/dot_export.cpp" "src/CMakeFiles/fcrit.dir/netlist/dot_export.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/dot_export.cpp.o.d"
+  "/root/repo/src/netlist/harden.cpp" "src/CMakeFiles/fcrit.dir/netlist/harden.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/harden.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/fcrit.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/fcrit.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/fcrit.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/CMakeFiles/fcrit.dir/netlist/transform.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/transform.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/CMakeFiles/fcrit.dir/netlist/verilog_parser.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/verilog_parser.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/CMakeFiles/fcrit.dir/netlist/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/netlist/verilog_writer.cpp.o.d"
+  "/root/repo/src/rtl/builder.cpp" "src/CMakeFiles/fcrit.dir/rtl/builder.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/rtl/builder.cpp.o.d"
+  "/root/repo/src/rtl/fsm.cpp" "src/CMakeFiles/fcrit.dir/rtl/fsm.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/rtl/fsm.cpp.o.d"
+  "/root/repo/src/sim/packed_sim.cpp" "src/CMakeFiles/fcrit.dir/sim/packed_sim.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/sim/packed_sim.cpp.o.d"
+  "/root/repo/src/sim/probability.cpp" "src/CMakeFiles/fcrit.dir/sim/probability.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/sim/probability.cpp.o.d"
+  "/root/repo/src/sim/scoap.cpp" "src/CMakeFiles/fcrit.dir/sim/scoap.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/sim/scoap.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/CMakeFiles/fcrit.dir/sim/stimulus.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/sim/stimulus.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/fcrit.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/fcrit.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/text.cpp" "src/CMakeFiles/fcrit.dir/util/text.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/util/text.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/fcrit.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/fcrit.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

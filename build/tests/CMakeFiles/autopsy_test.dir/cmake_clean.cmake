@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopsy_test.dir/autopsy_test.cpp.o"
+  "CMakeFiles/autopsy_test.dir/autopsy_test.cpp.o.d"
+  "autopsy_test"
+  "autopsy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopsy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_library_test.dir/cell_library_test.cpp.o"
+  "CMakeFiles/cell_library_test.dir/cell_library_test.cpp.o.d"
+  "cell_library_test"
+  "cell_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

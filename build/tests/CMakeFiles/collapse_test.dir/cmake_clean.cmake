@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapse_test.dir/collapse_test.cpp.o"
+  "CMakeFiles/collapse_test.dir/collapse_test.cpp.o.d"
+  "collapse_test"
+  "collapse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

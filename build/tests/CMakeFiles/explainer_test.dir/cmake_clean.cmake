@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainer_test.dir/explainer_test.cpp.o"
+  "CMakeFiles/explainer_test.dir/explainer_test.cpp.o.d"
+  "explainer_test"
+  "explainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_report_test.dir/fault_report_test.cpp.o"
+  "CMakeFiles/fault_report_test.dir/fault_report_test.cpp.o.d"
+  "fault_report_test"
+  "fault_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

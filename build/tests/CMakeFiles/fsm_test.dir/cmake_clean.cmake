@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_test.dir/fsm_test.cpp.o"
+  "CMakeFiles/fsm_test.dir/fsm_test.cpp.o.d"
+  "fsm_test"
+  "fsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_test.dir/harden_test.cpp.o"
+  "CMakeFiles/harden_test.dir/harden_test.cpp.o.d"
+  "harden_test"
+  "harden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelize_test.dir/levelize_test.cpp.o"
+  "CMakeFiles/levelize_test.dir/levelize_test.cpp.o.d"
+  "levelize_test"
+  "levelize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_sim_test.dir/packed_sim_test.cpp.o"
+  "CMakeFiles/packed_sim_test.dir/packed_sim_test.cpp.o.d"
+  "packed_sim_test"
+  "packed_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

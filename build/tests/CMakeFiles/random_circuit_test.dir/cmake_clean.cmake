@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_circuit_test.dir/random_circuit_test.cpp.o"
+  "CMakeFiles/random_circuit_test.dir/random_circuit_test.cpp.o.d"
+  "random_circuit_test"
+  "random_circuit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

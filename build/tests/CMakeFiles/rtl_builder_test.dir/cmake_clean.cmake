@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_builder_test.dir/rtl_builder_test.cpp.o"
+  "CMakeFiles/rtl_builder_test.dir/rtl_builder_test.cpp.o.d"
+  "rtl_builder_test"
+  "rtl_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

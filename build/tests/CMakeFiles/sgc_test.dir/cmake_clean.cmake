@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgc_test.dir/sgc_test.cpp.o"
+  "CMakeFiles/sgc_test.dir/sgc_test.cpp.o.d"
+  "sgc_test"
+  "sgc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stimulus_test.dir/stimulus_test.cpp.o"
+  "CMakeFiles/stimulus_test.dir/stimulus_test.cpp.o.d"
+  "stimulus_test"
+  "stimulus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stimulus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
