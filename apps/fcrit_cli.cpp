@@ -7,22 +7,34 @@
 //   fcrit campaign <design|file> [--cycles N] [--seed S] [--fraction F]
 //   fcrit analyze <design|file> [--top N] [--no-baselines] [--explain K]
 //   fcrit scoap   <design|file> [--top N]
+//   fcrit pack    <design|file> -o bundle.fcm
+//   fcrit score   <bundle.fcm> <design|file|@list> [--top N] [--strict]
+//   fcrit serve   <bundle-dir> [--port P] [--threads T]
 //
 // A "design" argument is a registered name (sdram_ctrl, or1200_if,
 // or1200_icfsm); anything ending in .v or .bench is parsed from disk. The
 // built-in designs carry protocol-aware stimulus; parsed netlists use a
 // generic profile (reset pulse on any input named rst*, uniform elsewhere).
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/pipeline.hpp"
 #include "src/core/report.hpp"
+#include "src/serve/bundle.hpp"
+#include "src/serve/engine.hpp"
+#include "src/serve/server.hpp"
 #include "src/explain/aggregate.hpp"
 #include "src/explain/gnn_explainer.hpp"
 #include "src/fault/collapse.hpp"
@@ -44,24 +56,36 @@ namespace {
 
 using namespace fcrit;
 
+constexpr const char* kVersion = "0.2.0";
+
+constexpr const char* kUsageText =
+    "usage: fcrit <command> [args]\n"
+    "  list                              registered designs\n"
+    "  stats <design|file>               netlist statistics\n"
+    "  export <design> --format F [-o FILE]   F: verilog|bench|dot\n"
+    "  sweep <file> [-o FILE]            remove dead logic\n"
+    "  campaign <design|file> [--cycles N] [--seed S]\n"
+    "           [--fraction F] [--threads T] [--report FILE]\n"
+    "  analyze <design|file> [--top N] [--no-baselines]\n"
+    "           [--explain K] [--save-model FILE] [--csv FILE]\n"
+    "  scoap <design|file> [--top N]     testability report\n"
+    "  wave <design|file> [--cycles N] [--lane L] [-o FILE]\n"
+    "                                    dump a VCD waveform\n"
+    "  autopsy <design|file> --node NAME [--sa 0|1] [--cycles N]\n"
+    "                                    debug one fault\n"
+    "  harden <design|file> [--top K] [-o FILE]\n"
+    "                                    TMR the predicted top-K\n"
+    "  pack <design|file> [-o FILE.fcm] [--cycles N] [--prob-cycles N]\n"
+    "           [--epochs N]             train + package a model bundle\n"
+    "  score <bundle.fcm> <design|file|@list> [--top N] [--strict]\n"
+    "           [--threads T]            inference only, no FI campaign\n"
+    "  serve <bundle-dir> [--port P] [--threads T] [--cache N]\n"
+    "                                    scoring daemon on 127.0.0.1\n"
+    "  help | --help                     this text\n"
+    "  version                           print the fcrit version\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: fcrit <command> [args]\n"
-               "  list                              registered designs\n"
-               "  stats <design|file>               netlist statistics\n"
-               "  export <design> --format F [-o FILE]   F: verilog|bench|dot\n"
-               "  sweep <file> [-o FILE]            remove dead logic\n"
-               "  campaign <design|file> [--cycles N] [--seed S]\n"
-               "           [--fraction F] [--threads T] [--report FILE]\n"
-               "  analyze <design|file> [--top N] [--no-baselines]\n"
-               "           [--explain K] [--save-model FILE] [--csv FILE]\n"
-               "  scoap <design|file> [--top N]     testability report\n"
-               "  wave <design|file> [--cycles N] [--lane L] [-o FILE]\n"
-               "                                    dump a VCD waveform\n"
-               "  autopsy <design|file> --node NAME [--sa 0|1] [--cycles N]\n"
-               "                                    debug one fault\n"
-               "  harden <design|file> [--top K] [-o FILE]\n"
-               "                                    TMR the predicted top-K\n");
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -381,15 +405,179 @@ int cmd_harden(const std::string& target,
   return 0;
 }
 
+int cmd_pack(const std::string& target,
+             const std::map<std::string, std::string>& flags) {
+  core::PipelineConfig cfg;
+  cfg.train_baselines = false;  // the bundle ships only the GCNs
+  if (flags.contains("--cycles"))
+    cfg.campaign_cycles = std::stoi(flags.at("--cycles"));
+  if (flags.contains("--prob-cycles"))
+    cfg.probability_cycles = std::stoi(flags.at("--prob-cycles"));
+  if (flags.contains("--epochs")) {
+    cfg.train.epochs = std::stoi(flags.at("--epochs"));
+    cfg.regressor_train.epochs = cfg.train.epochs;
+  }
+  core::FaultCriticalityAnalyzer analyzer(cfg);
+  const auto r = analyzer.analyze(load_target(target));
+
+  const auto bundle = serve::pack_bundle(r);
+  const auto out_it = flags.find("-o");
+  const std::string path =
+      out_it != flags.end() ? out_it->second : r.design.name + ".fcm";
+  serve::save_bundle_file(bundle, path);
+  std::printf("packed %s -> %s\n", r.design.name.c_str(), path.c_str());
+  std::printf("  netlist hash %016llx, %d features, regressor %s\n",
+              static_cast<unsigned long long>(bundle.manifest.netlist_hash),
+              bundle.manifest.feature_width,
+              bundle.regressor ? "yes" : "no");
+  std::printf("  classifier val accuracy %.1f%%, val AUC %.3f\n",
+              100.0 * r.gcn_eval.val_accuracy, r.gcn_eval.val_auc);
+  return 0;
+}
+
+void print_score(const serve::ScoreResult& r, int top_n) {
+  std::printf("%s scored with bundle '%s' (%zu nodes, netlist %s)\n",
+              r.target_name.c_str(), r.bundle_design.c_str(),
+              r.node_names.size(),
+              r.netlist_matched ? "matched" : "DIFFERS from training");
+  const auto ranked = serve::top_sites(r, top_n);
+  core::TextTable table({"Rank", "Node", "P(Critical)", "Class", "Score"});
+  int rank = 1;
+  for (const auto id : ranked)
+    table.add_row({std::to_string(rank++), r.node_names[id],
+                   util::format_double(r.proba[id], 3),
+                   r.predicted[id] ? "Critical" : "Non-critical",
+                   util::format_double(r.score[id], 3)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("stats %.3fs, forward %.3fs\n", r.stats_seconds,
+              r.forward_seconds);
+}
+
+int cmd_score(const std::string& bundle_path, const std::string& target,
+              const std::map<std::string, std::string>& flags) {
+  serve::EngineConfig ec;
+  ec.threads =
+      flags.contains("--threads") ? std::stoi(flags.at("--threads")) : 2;
+  serve::ScoringEngine engine(ec);
+  serve::ScoreOptions opts;
+  opts.strict_hash = flags.contains("--strict");
+  const int top_n =
+      flags.contains("--top") ? std::stoi(flags.at("--top")) : 10;
+
+  // @list: one netlist per line, scored concurrently through the pool.
+  if (util::starts_with(target, "@")) {
+    std::ifstream list(target.substr(1));
+    if (!list) throw std::runtime_error("cannot open " + target.substr(1));
+    std::vector<std::pair<std::string, std::future<serve::ScoreResult>>>
+        futures;
+    std::string line;
+    while (std::getline(list, line)) {
+      const auto path = std::string(util::trim(line));
+      if (path.empty() || path[0] == '#') continue;
+      futures.emplace_back(path, engine.submit(bundle_path, path, opts));
+    }
+    int failures = 0;
+    for (auto& [path, future] : futures) {
+      try {
+        print_score(future.get(), top_n);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fcrit score: %s: %s\n", path.c_str(),
+                     e.what());
+        ++failures;
+      }
+    }
+    const auto m = engine.metrics();
+    std::printf("%zu netlists, %llu served, %llu errors, cache %llu/%llu "
+                "hits\n",
+                futures.size(),
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.errors),
+                static_cast<unsigned long long>(m.cache_hits),
+                static_cast<unsigned long long>(m.cache_hits +
+                                                m.cache_misses));
+    return failures == 0 ? 0 : 1;
+  }
+
+  print_score(engine.score_path(bundle_path, target, opts), top_n);
+  return 0;
+}
+
+// SIGINT/SIGTERM -> one byte down a self-pipe; the serve loop blocks on
+// the read end and runs the orderly shutdown outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void serve_signal_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const std::string& bundle_dir,
+              const std::map<std::string, std::string>& flags) {
+  serve::EngineConfig ec;
+  if (flags.contains("--threads"))
+    ec.threads = std::stoi(flags.at("--threads"));
+  if (flags.contains("--cache"))
+    ec.cache_capacity =
+        static_cast<std::size_t>(std::stoi(flags.at("--cache")));
+  serve::ScoringEngine engine(ec);
+
+  serve::ServerConfig sc;
+  sc.bundle_dir = bundle_dir;
+  if (flags.contains("--port"))
+    sc.port = static_cast<std::uint16_t>(std::stoi(flags.at("--port")));
+  serve::Server server(engine, sc);
+  server.start();
+  std::printf("fcrit serve: 127.0.0.1:%d, %d worker threads, bundles from "
+              "%s\n",
+              server.port(), ec.threads, bundle_dir.c_str());
+  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] | STATS | "
+              "QUIT; Ctrl-C drains and exits\n");
+
+  if (pipe(g_signal_pipe) != 0)
+    throw std::runtime_error("cannot create signal pipe");
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("\nfcrit serve: shutting down (draining in-flight "
+              "requests)\n");
+  server.stop();
+  engine.shutdown();
+  const auto m = engine.metrics();
+  std::printf("served %llu requests (%llu errors), cache %llu hits / %llu "
+              "misses, peak queue %zu\n",
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.errors),
+              static_cast<unsigned long long>(m.cache_hits),
+              static_cast<unsigned long long>(m.cache_misses),
+              m.queue_high_water);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::fputs(kUsageText, stdout);
+    return 0;
+  }
+  if (command == "version" || command == "--version") {
+    std::printf("fcrit %s\n", kVersion);
+    return 0;
+  }
   try {
     if (command == "list") return cmd_list();
     if (argc < 3) return usage();
     const std::string target = argv[2];
+    if (command == "score") {
+      // score takes two positionals: <bundle> <target>, then flags.
+      if (argc < 4 || argv[3][0] == '-') return usage();
+      return cmd_score(target, argv[3], parse_flags(argc, argv, 4));
+    }
     const auto flags = parse_flags(argc, argv, 3);
     if (command == "stats") return cmd_stats(target);
     if (command == "export") return cmd_export(target, flags);
@@ -400,6 +588,8 @@ int main(int argc, char** argv) {
     if (command == "wave") return cmd_wave(target, flags);
     if (command == "autopsy") return cmd_autopsy(target, flags);
     if (command == "harden") return cmd_harden(target, flags);
+    if (command == "pack") return cmd_pack(target, flags);
+    if (command == "serve") return cmd_serve(target, flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fcrit: %s\n", e.what());

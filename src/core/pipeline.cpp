@@ -35,6 +35,7 @@ ModelEval evaluate_model(std::string name, std::vector<double> proba,
 PipelineResult FaultCriticalityAnalyzer::analyze(
     designs::Design design) const {
   PipelineResult r;
+  r.config = config_;
   r.design = std::move(design);
   const netlist::Netlist& nl = r.design.netlist;
   nl.validate();

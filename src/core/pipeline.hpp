@@ -86,6 +86,11 @@ struct RegressionEval {
 };
 
 struct PipelineResult {
+  /// The exact configuration that produced this result — deployment
+  /// provenance (serve::pack_bundle records the pieces the score path
+  /// must replay: probability seed/cycles, criticality threshold).
+  PipelineConfig config;
+
   designs::Design design;
   sim::SignalStats stats;
   /// First campaign batch (additional batches in extra_campaigns).

@@ -11,6 +11,7 @@ namespace fcrit::ml {
 namespace {
 constexpr const char* kMagic = "fcrit-gcn-v1";
 constexpr const char* kStdMagic = "fcrit-standardizer-v1";
+}  // namespace
 
 void expect_token(std::istream& is, const std::string& expected) {
   std::string token;
@@ -19,7 +20,6 @@ void expect_token(std::istream& is, const std::string& expected) {
     throw std::runtime_error("load: expected '" + expected + "', got '" +
                              token + "'");
 }
-}  // namespace
 
 void save_gcn(const GcnModel& model, std::ostream& os) {
   const GcnConfig& cfg = model.config();
@@ -125,6 +125,27 @@ GcnModel load_gcn_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_gcn_file: cannot open " + path);
   return load_gcn(is);
+}
+
+void save_standardizer_file(const graphir::Standardizer& s,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("save_standardizer_file: cannot open " + path);
+  save_standardizer(s, os);
+}
+
+graphir::Standardizer load_standardizer_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("load_standardizer_file: cannot open " + path);
+  return load_standardizer(is);
+}
+
+GcnModel clone_gcn(const GcnModel& model) {
+  GcnModel copy(model.in_features(), model.config());
+  copy.copy_params_from(model);
+  return copy;
 }
 
 }  // namespace fcrit::ml

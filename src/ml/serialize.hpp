@@ -22,5 +22,19 @@ graphir::Standardizer load_standardizer(std::istream& is);
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.
 void save_gcn_file(const GcnModel& model, const std::string& path);
 GcnModel load_gcn_file(const std::string& path);
+void save_standardizer_file(const graphir::Standardizer& s,
+                            const std::string& path);
+graphir::Standardizer load_standardizer_file(const std::string& path);
+
+/// Deep copy via a fresh model of the same architecture. Serving uses this
+/// to give each request its own forward-pass workspace (GcnModel caches
+/// activations between forward and backward, so sharing one instance
+/// across threads would race).
+GcnModel clone_gcn(const GcnModel& model);
+
+/// Read one whitespace-delimited token and require it to equal `expected`;
+/// throws std::runtime_error otherwise. Exposed so composite formats
+/// (serve::ModelBundle) parse their section headers the same way.
+void expect_token(std::istream& is, const std::string& expected);
 
 }  // namespace fcrit::ml

@@ -1,0 +1,255 @@
+#include "src/serve/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/fault/fault.hpp"
+#include "src/graphir/graph.hpp"
+#include "src/ml/serialize.hpp"
+#include "src/netlist/bench_format.hpp"
+#include "src/netlist/verilog_parser.hpp"
+#include "src/sim/probability.hpp"
+#include "src/util/text.hpp"
+#include "src/util/timer.hpp"
+
+namespace fcrit::serve {
+
+namespace {
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw BundleError(BundleErrorCode::kIo, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path) {
+  const std::string bytes = read_file_bytes(path);
+  const std::uint64_t key = fnv1a64(bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return lru_.front().second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Parse outside the lock: concurrent first-touch requests may duplicate
+  // the work, but never block each other behind a cold load.
+  std::istringstream is(bytes);
+  auto bundle = std::make_shared<const ModelBundle>(load_bundle(is));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;  // another thread won the race
+  }
+  lru_.emplace_front(key, bundle);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return bundle;
+}
+
+std::size_t BundleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<netlist::NodeId> top_sites(const ScoreResult& result, int n) {
+  std::vector<netlist::NodeId> ranked = result.sites;
+  std::sort(ranked.begin(), ranked.end(),
+            [&](netlist::NodeId a, netlist::NodeId b) {
+              if (result.score[a] != result.score[b])
+                return result.score[a] > result.score[b];
+              return a < b;  // deterministic tie-break
+            });
+  if (n > 0 && ranked.size() > static_cast<std::size_t>(n))
+    ranked.resize(static_cast<std::size_t>(n));
+  return ranked;
+}
+
+designs::Design load_score_target(const std::string& arg) {
+  const bool is_file =
+      util::ends_with(arg, ".v") || util::ends_with(arg, ".bench");
+  if (!is_file) return designs::build_design(arg);
+  std::ifstream in(arg);
+  if (!in) throw std::runtime_error("cannot open " + arg);
+  designs::Design d;
+  d.name = arg;
+  d.netlist = util::ends_with(arg, ".bench") ? netlist::parse_bench(in)
+                                             : netlist::parse_verilog(in);
+  return d;
+}
+
+ScoringEngine::ScoringEngine(EngineConfig config)
+    : config_(config), cache_(config.cache_capacity) {
+  config_.threads = std::max(1, config_.threads);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ScoringEngine::~ScoringEngine() { shutdown(); }
+
+ScoreResult ScoringEngine::score(const std::string& bundle_path,
+                                 const designs::Design& target,
+                                 ScoreOptions opts) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    util::Timer load_timer;
+    const auto bundle = cache_.get(bundle_path);
+    load_nanos_.fetch_add(
+        static_cast<std::int64_t>(load_timer.seconds() * 1e9),
+        std::memory_order_relaxed);
+    const BundleManifest& m = bundle->manifest;
+
+    const netlist::Netlist& nl = target.netlist;
+    nl.validate();
+
+    ScoreResult r;
+    r.target_name = target.name;
+    r.bundle_design = m.design_name;
+    r.netlist_matched = netlist_content_hash(nl) == m.netlist_hash;
+    if (!r.netlist_matched && opts.strict_hash)
+      throw BundleError(BundleErrorCode::kNetlistHashMismatch,
+                        "'" + target.name + "' is not the netlist '" +
+                            m.design_name + "' was trained on");
+
+    util::Timer stats_timer;
+    const auto stats = sim::estimate_by_simulation(
+        nl, bundle->stimulus, m.probability_seed, m.probability_cycles);
+    const ml::Matrix raw = graphir::extract_features(nl, stats);
+    if (raw.cols() != m.feature_width)
+      throw BundleError(BundleErrorCode::kFeatureWidthMismatch,
+                        "extracted " + std::to_string(raw.cols()) +
+                            " features, bundle expects " +
+                            std::to_string(m.feature_width));
+    const ml::Matrix x = bundle->standardizer.transform(raw);
+    const graphir::CircuitGraph graph = graphir::build_graph(nl);
+    r.stats_seconds = stats_timer.seconds();
+    stats_nanos_.fetch_add(static_cast<std::int64_t>(r.stats_seconds * 1e9),
+                           std::memory_order_relaxed);
+
+    util::Timer forward_timer;
+    ml::GcnModel classifier = ml::clone_gcn(*bundle->classifier);
+    classifier.set_adjacency(&graph.normalized_adjacency);
+    const ml::Matrix out = classifier.forward(x, /*training=*/false);
+    r.proba = ml::class1_probability(out);
+    r.predicted = ml::predict_labels(out);
+    if (bundle->regressor) {
+      r.has_regressor = true;
+      ml::GcnModel regressor = ml::clone_gcn(*bundle->regressor);
+      regressor.set_adjacency(&graph.normalized_adjacency);
+      const ml::Matrix pred = regressor.forward(x, /*training=*/false);
+      r.score.resize(static_cast<std::size_t>(pred.rows()));
+      for (int i = 0; i < pred.rows(); ++i)
+        r.score[static_cast<std::size_t>(i)] =
+            static_cast<double>(pred(i, 0));
+    } else {
+      r.score = r.proba;
+    }
+    r.forward_seconds = forward_timer.seconds();
+    forward_nanos_.fetch_add(
+        static_cast<std::int64_t>(r.forward_seconds * 1e9),
+        std::memory_order_relaxed);
+
+    r.sites = fault::fault_sites(nl);
+    r.node_names.reserve(nl.num_nodes());
+    for (netlist::NodeId id = 0; id < nl.num_nodes(); ++id)
+      r.node_names.push_back(nl.node(id).name);
+
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (...) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+ScoreResult ScoringEngine::score_path(const std::string& bundle_path,
+                                      const std::string& target_path,
+                                      ScoreOptions opts) {
+  return score(bundle_path, load_score_target(target_path), opts);
+}
+
+std::future<ScoreResult> ScoringEngine::submit(std::string bundle_path,
+                                               std::string target_path,
+                                               ScoreOptions opts) {
+  Job job{std::move(bundle_path), std::move(target_path), opts, {}};
+  std::future<ScoreResult> future = job.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_not_full_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stopping_)
+      throw std::runtime_error("ScoringEngine: submit after shutdown");
+    queue_.push_back(std::move(job));
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void ScoringEngine::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    try {
+      job.promise.set_value(
+          score_path(job.bundle_path, job.target_path, job.opts));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void ScoringEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+MetricsSnapshot ScoringEngine::metrics() const {
+  MetricsSnapshot s;
+  s.requests = requests_.load();
+  s.completed = completed_.load();
+  s.errors = errors_.load();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_high_water = queue_high_water_;
+  }
+  s.load_seconds = static_cast<double>(load_nanos_.load()) * 1e-9;
+  s.stats_seconds = static_cast<double>(stats_nanos_.load()) * 1e-9;
+  s.forward_seconds = static_cast<double>(forward_nanos_.load()) * 1e-9;
+  return s;
+}
+
+}  // namespace fcrit::serve

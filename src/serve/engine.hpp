@@ -1,0 +1,178 @@
+// The serving-side inference engine: netlist in, criticality scores out,
+// no fault campaign and no training anywhere on the path.
+//
+// score() maps a parsed netlist -> graph -> §3.1 features (golden
+// simulation replayed with the bundle's recorded stimulus/seed/cycles) ->
+// standardized matrix -> classifier probabilities + regressor scores.
+// Bundles are loaded through a thread-safe LRU cache keyed by file
+// content hash, so repeated requests against the same artifact skip the
+// parse. A fixed worker pool with a bounded queue serves concurrent
+// requests (submit() blocks when the queue is full — backpressure, not
+// unbounded memory), and atomic counters expose requests, cache hits and
+// misses, per-stage latency sums and the queue-depth high-water mark.
+// Every forward pass runs on a per-request clone of the bundle's models:
+// GcnModel caches activations internally, so instances must not be shared
+// across threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/designs/designs.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/serve/bundle.hpp"
+
+namespace fcrit::serve {
+
+struct EngineConfig {
+  int threads = 4;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 8;
+};
+
+struct ScoreOptions {
+  /// Refuse (BundleError kNetlistHashMismatch) to score a netlist whose
+  /// content hash differs from the one the bundle was trained on. Off by
+  /// default: cross-netlist scoring is the train-once/infer-cheap use
+  /// case; the flag guards bit-identical reproduction claims.
+  bool strict_hash = false;
+};
+
+struct ScoreResult {
+  std::string target_name;
+  std::string bundle_design;
+  bool netlist_matched = false;  // target hash == manifest hash
+  bool has_regressor = false;
+
+  /// Candidate fault sites (gates + flops), the rows worth ranking.
+  std::vector<netlist::NodeId> sites;
+  std::vector<std::string> node_names;  // per node id
+  std::vector<double> proba;            // classifier P(Critical) per node id
+  std::vector<int> predicted;           // classifier class per node id
+  std::vector<double> score;            // regressor (proba when absent)
+
+  double stats_seconds = 0.0;    // golden simulation + feature extraction
+  double forward_seconds = 0.0;  // model clone + forward passes
+};
+
+/// The `sites` of a result ranked by descending score, truncated to n
+/// (n <= 0 keeps all).
+std::vector<netlist::NodeId> top_sites(const ScoreResult& result, int n);
+
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;   // score attempts started
+  std::uint64_t completed = 0;  // finished without throwing
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t queue_high_water = 0;
+  double load_seconds = 0.0;  // bundle fetch (cache hit or parse)
+  double stats_seconds = 0.0;
+  double forward_seconds = 0.0;
+};
+
+/// Thread-safe LRU of parsed bundles keyed by file content hash. Sharing
+/// is by shared_ptr, so an entry evicted mid-request stays alive until
+/// the request drops it.
+class BundleCache {
+ public:
+  explicit BundleCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Read + hash the file at `path`, returning the cached parse when the
+  /// bytes were seen before. Throws BundleError on unreadable/invalid
+  /// files. Exactly one hit or miss is counted per call.
+  std::shared_ptr<const ModelBundle> get(const std::string& path);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::size_t size() const;
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const ModelBundle>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+class ScoringEngine {
+ public:
+  explicit ScoringEngine(EngineConfig config = {});
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Synchronous scoring of an in-memory design against a bundle file.
+  /// The bundle's stimulus profiles drive the golden simulation (they are
+  /// part of the deployed artifact), not the design's own.
+  ScoreResult score(const std::string& bundle_path,
+                    const designs::Design& target, ScoreOptions opts = {});
+
+  /// Synchronous scoring of a target path: a registered design name or a
+  /// .v/.bench netlist file.
+  ScoreResult score_path(const std::string& bundle_path,
+                         const std::string& target_path,
+                         ScoreOptions opts = {});
+
+  /// Enqueue onto the worker pool; blocks while the queue is at capacity.
+  /// Throws std::runtime_error after shutdown().
+  std::future<ScoreResult> submit(std::string bundle_path,
+                                  std::string target_path,
+                                  ScoreOptions opts = {});
+
+  /// Stop accepting work, drain every queued job, join the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  MetricsSnapshot metrics() const;
+
+ private:
+  struct Job {
+    std::string bundle_path;
+    std::string target_path;
+    ScoreOptions opts;
+    std::promise<ScoreResult> promise;
+  };
+
+  void worker_loop();
+
+  EngineConfig config_;
+  BundleCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Job> queue_;
+  std::size_t queue_high_water_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::int64_t> load_nanos_{0};
+  std::atomic<std::int64_t> stats_nanos_{0};
+  std::atomic<std::int64_t> forward_nanos_{0};
+};
+
+/// Resolve a score target: registered design name, or a .v/.bench file
+/// parsed from disk (same convention as the CLI).
+designs::Design load_score_target(const std::string& arg);
+
+}  // namespace fcrit::serve

@@ -1,0 +1,86 @@
+// The `fcrit serve` daemon: a POSIX-socket, line-oriented request/response
+// front end over a ScoringEngine and a directory of model bundles.
+//
+// Wire protocol (one request per line; every response ends with a line
+// holding a single "."):
+//   SCORE [<bundle>] <netlist-path> [<top-n>]
+//       <bundle> is a file name inside the bundle directory (".fcm"
+//       appended when missing) or an absolute/relative path; it may be
+//       omitted when the directory holds exactly one bundle. Replies
+//       "OK design=... bundle=... nodes=N matched=0|1 top=K" followed by
+//       K lines "<node> <proba> <class> <score>".
+//   STATS
+//       One "OK requests=... completed=... errors=... cache_hits=...
+//       cache_misses=... queue_high_water=... threads=..." line.
+//   QUIT
+//       Replies "BYE" and closes the connection.
+// Any failure replies "ERR <message>".
+//
+// stop() is a graceful shutdown: the listening socket closes first, then
+// every connection's read side is shut down — requests already in flight
+// still compute and write their responses before the threads are joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/serve/engine.hpp"
+
+namespace fcrit::serve {
+
+struct ServerConfig {
+  std::string bundle_dir;
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see Server::port).
+  std::uint16_t port = 7333;
+  int default_top = 10;
+};
+
+class Server {
+ public:
+  Server(ScoringEngine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and start the acceptor thread; throws std::runtime_error
+  /// on socket failure.
+  void start();
+
+  /// The actually-bound port (resolves port 0).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  /// Graceful shutdown: stop accepting, drain in-flight requests, join.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Process one protocol line (without the newline) into a full response
+  /// (terminator included). Public so tests can drive the protocol
+  /// without sockets.
+  std::string handle_line(const std::string& line);
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  std::string resolve_bundle(const std::string& token) const;
+
+  ScoringEngine& engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace fcrit::serve

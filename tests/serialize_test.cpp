@@ -40,6 +40,47 @@ TEST(Serialize, GcnRoundTripPreservesPredictions) {
       EXPECT_FLOAT_EQ(got(i, j), expect(i, j));
 }
 
+TEST(Serialize, RegressorRoundTripPreservesPredictions) {
+  const auto adj = chain(7);
+  GcnConfig cfg = GcnConfig::regressor();
+  cfg.hidden = {8, 4};
+  cfg.seed = 17;
+  GcnModel original(5, cfg);
+  original.set_adjacency(&adj);
+  util::Rng rng(2);
+  const Matrix x = Matrix::randn(7, 5, rng, 1.0f);
+  const Matrix expect = original.forward(x, false);
+  ASSERT_EQ(expect.cols(), 1);  // continuous criticality scores
+
+  std::stringstream buffer;
+  save_gcn(original, buffer);
+  GcnModel loaded = load_gcn(buffer);
+  EXPECT_FALSE(loaded.config().log_softmax);
+  loaded.set_adjacency(&adj);
+  const Matrix got = loaded.forward(x, false);
+  ASSERT_EQ(got.rows(), expect.rows());
+  for (int i = 0; i < got.rows(); ++i)
+    EXPECT_FLOAT_EQ(got(i, 0), expect(i, 0));
+}
+
+TEST(Serialize, CloneGcnMatchesOriginalForward) {
+  const auto adj = chain(6);
+  GcnConfig cfg = GcnConfig::classifier();
+  cfg.hidden = {6};
+  GcnModel original(4, cfg);
+  original.set_adjacency(&adj);
+  util::Rng rng(5);
+  const Matrix x = Matrix::randn(6, 4, rng, 1.0f);
+  const Matrix expect = original.forward(x, false);
+
+  GcnModel copy = clone_gcn(original);
+  copy.set_adjacency(&adj);
+  const Matrix got = copy.forward(x, false);
+  for (int i = 0; i < got.rows(); ++i)
+    for (int j = 0; j < got.cols(); ++j)
+      EXPECT_EQ(got(i, j), expect(i, j));
+}
+
 TEST(Serialize, RegressorConfigRoundTrips) {
   GcnConfig cfg = GcnConfig::regressor();
   cfg.hidden = {6};

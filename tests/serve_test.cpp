@@ -1,0 +1,436 @@
+// The serve subsystem: bundle round-trips (bit-identical to the training
+// pipeline), strict-validation failures, the LRU bundle cache, engine
+// concurrency/determinism, and the wire protocol of the daemon.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/designs/random_circuit.hpp"
+#include "src/netlist/verilog_writer.hpp"
+#include "src/serve/bundle.hpp"
+#include "src/serve/engine.hpp"
+#include "src/serve/server.hpp"
+
+namespace fcrit::serve {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  os << text;
+}
+
+template <typename Fn>
+BundleErrorCode error_code_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const BundleError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a BundleError";
+  return BundleErrorCode::kIo;
+}
+
+/// A small random design plus a hand-assembled (untrained) bundle for it —
+/// the cache/concurrency/protocol tests don't need a real pipeline run.
+designs::Design tiny_design(std::uint64_t seed) {
+  designs::RandomCircuitConfig cfg;
+  cfg.num_inputs = 4;
+  cfg.num_gates = 40;
+  cfg.num_flops = 6;
+  cfg.num_outputs = 4;
+  cfg.seed = seed;
+  return designs::build_random_circuit(cfg);
+}
+
+ModelBundle synthetic_bundle(const designs::Design& d, std::uint64_t seed) {
+  ModelBundle b;
+  b.manifest.design_name = d.name;
+  b.manifest.netlist_hash = netlist_content_hash(d.netlist);
+  b.manifest.feature_width = graphir::kNumBaseFeatures;
+  b.manifest.feature_names = graphir::base_feature_names();
+  b.manifest.probability_cycles = 32;
+  b.manifest.probability_seed = 5;
+  b.stimulus = d.stimulus;
+  b.standardizer.mean.assign(graphir::kNumBaseFeatures, 0.0);
+  b.standardizer.stddev.assign(graphir::kNumBaseFeatures, 1.0);
+  ml::GcnConfig cc = ml::GcnConfig::classifier();
+  cc.hidden = {8};
+  cc.seed = seed;
+  b.classifier = std::make_unique<ml::GcnModel>(graphir::kNumBaseFeatures, cc);
+  ml::GcnConfig rc = ml::GcnConfig::regressor();
+  rc.hidden = {8};
+  rc.seed = seed + 1;
+  b.regressor = std::make_unique<ml::GcnModel>(graphir::kNumBaseFeatures, rc);
+  return b;
+}
+
+// ---- pipeline-backed round trip -------------------------------------------
+
+/// One shared (fast) pipeline run packed into a bundle file.
+class BundleRoundTrip : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::PipelineConfig cfg;
+    cfg.campaign_cycles = 64;
+    cfg.probability_cycles = 128;
+    cfg.train.epochs = 60;
+    cfg.regressor_train.epochs = 60;
+    cfg.train_baselines = false;
+    core::FaultCriticalityAnalyzer analyzer(cfg);
+    result_ = new core::PipelineResult(analyzer.analyze_design("or1200_icfsm"));
+    bundle_path_ = new std::string(::testing::TempDir() +
+                                   "fcrit_serve_icfsm.fcm");
+    save_bundle_file(pack_bundle(*result_), *bundle_path_);
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+    delete bundle_path_;
+    bundle_path_ = nullptr;
+  }
+
+  static core::PipelineResult* result_;
+  static std::string* bundle_path_;
+};
+
+core::PipelineResult* BundleRoundTrip::result_ = nullptr;
+std::string* BundleRoundTrip::bundle_path_ = nullptr;
+
+TEST_F(BundleRoundTrip, ManifestRecordsProvenance) {
+  const ModelBundle b = load_bundle_file(*bundle_path_);
+  EXPECT_EQ(b.manifest.design_name, "or1200_icfsm");
+  EXPECT_EQ(b.manifest.netlist_hash,
+            netlist_content_hash(result_->design.netlist));
+  EXPECT_EQ(b.manifest.feature_width, graphir::kNumBaseFeatures);
+  EXPECT_EQ(b.manifest.probability_cycles, 128);
+  EXPECT_EQ(b.manifest.probability_seed, 99u);
+  EXPECT_EQ(b.manifest.feature_names, graphir::base_feature_names());
+  ASSERT_TRUE(b.classifier != nullptr);
+  ASSERT_TRUE(b.regressor != nullptr);
+  EXPECT_EQ(b.standardizer.mean, result_->standardizer.mean);
+  EXPECT_EQ(b.standardizer.stddev, result_->standardizer.stddev);
+}
+
+TEST_F(BundleRoundTrip, PackScoreIsBitIdenticalToPipeline) {
+  ScoringEngine engine({.threads = 1});
+  const ScoreResult r =
+      engine.score(*bundle_path_, designs::build_design("or1200_icfsm"));
+  EXPECT_TRUE(r.netlist_matched);
+  EXPECT_TRUE(r.has_regressor);
+  ASSERT_EQ(r.proba.size(), result_->gcn_eval.proba.size());
+  ASSERT_EQ(r.score.size(), result_->regression->predicted_score.size());
+  for (std::size_t i = 0; i < r.proba.size(); ++i) {
+    EXPECT_EQ(r.proba[i], result_->gcn_eval.proba[i]) << "node " << i;
+    EXPECT_EQ(r.predicted[i], result_->gcn_eval.predicted[i]) << "node " << i;
+    EXPECT_EQ(r.score[i], result_->regression->predicted_score[i])
+        << "node " << i;
+  }
+}
+
+TEST_F(BundleRoundTrip, StrictHashRejectsForeignNetlist) {
+  ScoringEngine engine({.threads = 1});
+  const auto foreign = designs::build_design("or1200_genpc");
+  EXPECT_EQ(error_code_of([&] {
+              engine.score(*bundle_path_, foreign, {.strict_hash = true});
+            }),
+            BundleErrorCode::kNetlistHashMismatch);
+  // Without strict mode the mismatch is reported, not fatal — that's the
+  // train-once/infer-on-new-netlists use case.
+  const ScoreResult r = engine.score(*bundle_path_, foreign);
+  EXPECT_FALSE(r.netlist_matched);
+  EXPECT_EQ(r.proba.size(), foreign.netlist.num_nodes());
+}
+
+TEST_F(BundleRoundTrip, TopSitesRanksByDescendingScore) {
+  ScoringEngine engine({.threads = 1});
+  const ScoreResult r =
+      engine.score(*bundle_path_, designs::build_design("or1200_icfsm"));
+  const auto top = top_sites(r, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(r.score[top[i - 1]], r.score[top[i]]);
+  const auto all = top_sites(r, 0);
+  EXPECT_EQ(all.size(), r.sites.size());
+}
+
+// ---- strict validation ----------------------------------------------------
+
+TEST(BundleValidation, RejectsGarbageAndForeignArtifacts) {
+  std::istringstream garbage("definitely not a bundle");
+  EXPECT_EQ(error_code_of([&] { load_bundle(garbage); }),
+            BundleErrorCode::kBadMagic);
+  std::istringstream gcn_file("fcrit-gcn-v1\nin_features 5\n");
+  EXPECT_EQ(error_code_of([&] { load_bundle(gcn_file); }),
+            BundleErrorCode::kBadMagic);
+  EXPECT_EQ(error_code_of([&] { load_bundle_file("/nonexistent/x.fcm"); }),
+            BundleErrorCode::kIo);
+}
+
+TEST(BundleValidation, RejectsWrongFormatVersion) {
+  const auto d = tiny_design(11);
+  std::ostringstream os;
+  save_bundle(synthetic_bundle(d, 1), os);
+  std::string text = os.str();
+  text.replace(text.find("fcrit-bundle-v1"), 15, "fcrit-bundle-v9");
+  std::istringstream is(text);
+  EXPECT_EQ(error_code_of([&] { load_bundle(is); }),
+            BundleErrorCode::kBadVersion);
+}
+
+TEST(BundleValidation, RejectsTruncatedFile) {
+  const auto d = tiny_design(12);
+  std::ostringstream os;
+  save_bundle(synthetic_bundle(d, 2), os);
+  std::string text = os.str();
+  text.resize(text.size() * 3 / 5);  // cut inside the classifier weights
+  std::istringstream is(text);
+  EXPECT_EQ(error_code_of([&] { load_bundle(is); }),
+            BundleErrorCode::kTruncated);
+}
+
+TEST(BundleValidation, RejectsFeatureWidthMismatch) {
+  const auto d = tiny_design(13);
+  ModelBundle narrow = synthetic_bundle(d, 3);
+  narrow.standardizer.mean.pop_back();
+  narrow.standardizer.stddev.pop_back();
+  std::ostringstream os1;
+  save_bundle(narrow, os1);
+  std::istringstream is1(os1.str());
+  EXPECT_EQ(error_code_of([&] { load_bundle(is1); }),
+            BundleErrorCode::kFeatureWidthMismatch);
+
+  ModelBundle wide_model = synthetic_bundle(d, 4);
+  ml::GcnConfig cc = wide_model.classifier->config();
+  wide_model.classifier = std::make_unique<ml::GcnModel>(
+      graphir::kNumBaseFeatures + 2, cc);
+  std::ostringstream os2;
+  save_bundle(wide_model, os2);
+  std::istringstream is2(os2.str());
+  EXPECT_EQ(error_code_of([&] { load_bundle(is2); }),
+            BundleErrorCode::kFeatureWidthMismatch);
+}
+
+// ---- LRU cache ------------------------------------------------------------
+
+TEST(BundleCacheTest, LruEvictsLeastRecentlyUsed) {
+  const std::string dir = ::testing::TempDir();
+  const auto d1 = tiny_design(21);
+  const auto d2 = tiny_design(22);
+  const std::string p1 = dir + "fcrit_cache_a.fcm";
+  const std::string p2 = dir + "fcrit_cache_b.fcm";
+  save_bundle_file(synthetic_bundle(d1, 5), p1);
+  save_bundle_file(synthetic_bundle(d2, 6), p2);
+
+  BundleCache cache(1);
+  cache.get(p1);                 // miss
+  cache.get(p1);                 // hit
+  cache.get(p2);                 // miss, evicts p1
+  cache.get(p1);                 // miss again
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  BundleCache roomy(2);
+  roomy.get(p1);
+  roomy.get(p2);
+  roomy.get(p1);
+  roomy.get(p2);
+  EXPECT_EQ(roomy.hits(), 2u);
+  EXPECT_EQ(roomy.misses(), 2u);
+}
+
+TEST(BundleCacheTest, IdenticalBytesShareOneEntry) {
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(23);
+  const std::string p1 = dir + "fcrit_cache_c1.fcm";
+  const std::string p2 = dir + "fcrit_cache_c2.fcm";
+  save_bundle_file(synthetic_bundle(d, 7), p1);
+  write_file(p2, read_file(p1));  // same content, different path
+
+  BundleCache cache(4);
+  cache.get(p1);
+  cache.get(p2);  // content hash matches -> hit
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---- engine concurrency ---------------------------------------------------
+
+TEST(ScoringEngineTest, ConcurrentCacheThrashIsDeterministic) {
+  const std::string dir = ::testing::TempDir();
+  constexpr int kBundles = 3;
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+
+  std::vector<std::string> bundle_paths;
+  std::vector<designs::Design> targets;
+  for (int i = 0; i < kBundles; ++i) {
+    const auto d = tiny_design(static_cast<std::uint64_t>(31 + i));
+    const std::string path =
+        dir + "fcrit_thrash_" + std::to_string(i) + ".fcm";
+    save_bundle_file(synthetic_bundle(d, static_cast<std::uint64_t>(i)),
+                     path);
+    bundle_paths.push_back(path);
+    targets.push_back(d);
+  }
+
+  // Single-threaded reference results.
+  std::vector<ScoreResult> reference;
+  {
+    ScoringEngine ref_engine({.threads = 1});
+    for (int i = 0; i < kBundles; ++i)
+      reference.push_back(ref_engine.score(bundle_paths[i], targets[i]));
+  }
+
+  // Cache capacity below the bundle count forces continuous eviction.
+  ScoringEngine engine(
+      {.threads = 8, .queue_capacity = 16, .cache_capacity = 2});
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < kPerClient; ++k) {
+        const int i = (c + k) % kBundles;
+        const ScoreResult r = engine.score(bundle_paths[i], targets[i]);
+        if (r.proba != reference[i].proba ||
+            r.score != reference[i].score ||
+            r.predicted != reference[i].predicted)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.requests, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.completed, m.requests);
+  EXPECT_EQ(m.errors, 0u);
+  EXPECT_EQ(m.cache_hits + m.cache_misses, m.requests);
+  EXPECT_GT(m.cache_hits, 0u);
+  EXPECT_GE(m.cache_misses, static_cast<std::uint64_t>(kBundles));
+}
+
+TEST(ScoringEngineTest, ShutdownDrainsQueuedJobs) {
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(41);
+  const std::string path = dir + "fcrit_drain.fcm";
+  save_bundle_file(synthetic_bundle(d, 9), path);
+  const std::string netlist_path = dir + "fcrit_drain.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  auto engine = std::make_unique<ScoringEngine>(
+      EngineConfig{.threads = 2, .queue_capacity = 4});
+  std::vector<std::future<ScoreResult>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(engine->submit(path, netlist_path));
+  engine->shutdown();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_THROW(engine->submit(path, netlist_path), std::runtime_error);
+  const MetricsSnapshot m = engine->metrics();
+  EXPECT_EQ(m.completed, 8u);
+  EXPECT_GT(m.queue_high_water, 0u);
+}
+
+// ---- daemon wire protocol -------------------------------------------------
+
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+std::string request(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  EXPECT_EQ(::send(fd, out.data(), out.size(), 0),
+            static_cast<ssize_t>(out.size()));
+  std::string acc;
+  char ch = 0;
+  while (acc != ".\n" &&
+         (acc.size() < 3 || acc.compare(acc.size() - 3, 3, "\n.\n") != 0)) {
+    if (::recv(fd, &ch, 1, 0) <= 0) break;
+    acc.push_back(ch);
+  }
+  return acc;
+}
+
+TEST(ServerTest, ProtocolSessionWithCacheHitsAndGracefulStop) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_bundles";
+  std::filesystem::create_directories(dir);
+  const auto d = tiny_design(51);
+  save_bundle_file(synthetic_bundle(d, 10), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  ScoringEngine engine({.threads = 2});
+  Server server(engine, {.bundle_dir = dir, .port = 0, .default_top = 5});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  // Two concurrent clients; the single bundle resolves implicitly.
+  const int fd1 = connect_to(server.port());
+  const int fd2 = connect_to(server.port());
+  const std::string r1 = request(fd1, "SCORE " + netlist_path + " 3");
+  const std::string r2 = request(fd2, "SCORE tiny.fcm " + netlist_path);
+  EXPECT_EQ(r1.substr(0, 2), "OK");
+  EXPECT_EQ(r2.substr(0, 2), "OK");
+  EXPECT_NE(r1.find("matched=1"), std::string::npos);
+  EXPECT_NE(r1.find("top=3"), std::string::npos);
+
+  const std::string stats = request(fd1, "STATS");
+  EXPECT_NE(stats.find("requests=2"), std::string::npos);
+  EXPECT_NE(stats.find("cache_hits=1"), std::string::npos);
+  EXPECT_NE(stats.find("cache_misses=1"), std::string::npos);
+
+  EXPECT_EQ(request(fd1, "NONSENSE").substr(0, 3), "ERR");
+  EXPECT_EQ(request(fd2, "QUIT").substr(0, 3), "BYE");
+  ::close(fd2);
+
+  // fd1 is still connected; stop() must drain it gracefully.
+  server.stop();
+  EXPECT_FALSE(server.running());
+  ::close(fd1);
+}
+
+TEST(ServerTest, HandleLineReportsUsageErrors) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_empty";
+  std::filesystem::create_directories(dir);
+  ScoringEngine engine({.threads = 1});
+  Server server(engine, {.bundle_dir = dir, .port = 0});
+  EXPECT_EQ(server.handle_line("SCORE").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("SCORE missing.fcm x.v").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("SCORE only.v").substr(0, 3), "ERR")
+      << "empty bundle dir cannot resolve an implicit bundle";
+  EXPECT_EQ(server.handle_line("STATS").substr(0, 2), "OK");
+}
+
+}  // namespace
+}  // namespace fcrit::serve
