@@ -22,6 +22,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -30,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/check/harness.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/report.hpp"
 #include "src/serve/bundle.hpp"
@@ -81,6 +83,10 @@ constexpr const char* kUsageText =
     "           [--threads T]            inference only, no FI campaign\n"
     "  serve <bundle-dir> [--port P] [--threads T] [--cache N]\n"
     "                                    scoring daemon on 127.0.0.1\n"
+    "  check [--trials N] [--seed S] [--cycles N] [--gates N] [--flops N]\n"
+    "        [--inputs N] [--outputs N] [--faults N] [--serve-every K]\n"
+    "        [--no-shrink] [--no-dump] [--self-test]\n"
+    "                                    differential-oracle fuzzing harness\n"
     "  help | --help                     this text\n"
     "  version                           print the fcrit version\n";
 
@@ -556,6 +562,50 @@ int cmd_serve(const std::string& bundle_dir,
   return 0;
 }
 
+int cmd_check(const std::map<std::string, std::string>& flags) {
+  check::CheckConfig cfg;
+  if (flags.contains("--trials")) cfg.trials = std::stoi(flags.at("--trials"));
+  if (flags.contains("--seed")) cfg.seed = std::stoull(flags.at("--seed"));
+  if (flags.contains("--cycles")) cfg.cycles = std::stoi(flags.at("--cycles"));
+  if (flags.contains("--gates")) cfg.gates = std::stoi(flags.at("--gates"));
+  if (flags.contains("--flops")) cfg.flops = std::stoi(flags.at("--flops"));
+  if (flags.contains("--inputs")) cfg.inputs = std::stoi(flags.at("--inputs"));
+  if (flags.contains("--outputs"))
+    cfg.outputs = std::stoi(flags.at("--outputs"));
+  if (flags.contains("--faults"))
+    cfg.max_faults = std::stoi(flags.at("--faults"));
+  if (flags.contains("--serve-every"))
+    cfg.serve_every = std::stoi(flags.at("--serve-every"));
+  if (flags.contains("--no-shrink")) cfg.shrink = false;
+  if (flags.contains("--no-dump")) cfg.dump_netlist = false;
+  // Self-test: plant a wrong-XOR defect in the scalar reference; the run
+  // must FAIL, proving the oracle can catch a broken simulator.
+  if (flags.contains("--self-test")) cfg.scalar_bug = check::ScalarBug::kXorAsOr;
+  cfg.scratch_dir =
+      (std::filesystem::temp_directory_path() / "fcrit_check").string();
+
+  const auto report = check::run_checks(cfg, &std::cerr);
+  std::printf(
+      "check: %d trials (%d packed-vs-scalar, %d fault-oracle, %d serve)\n",
+      report.trials_run, report.packed_checks, report.fault_checks,
+      report.serve_checks);
+  if (flags.contains("--self-test")) {
+    if (report.ok()) {
+      std::fprintf(stderr,
+                   "check: SELF-TEST FAILED: planted defect not caught\n");
+      return 1;
+    }
+    std::printf("check: self-test OK (planted defect caught)\n");
+    return 0;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "check: FAILED\n");
+    return 1;
+  }
+  std::printf("check: OK, all oracles bit-identical\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -571,6 +621,8 @@ int main(int argc, char** argv) {
   }
   try {
     if (command == "list") return cmd_list();
+    // check has no positional target, only flags.
+    if (command == "check") return cmd_check(parse_flags(argc, argv, 2));
     if (argc < 3) return usage();
     const std::string target = argv[2];
     if (command == "score") {

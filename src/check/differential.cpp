@@ -1,0 +1,326 @@
+#include "src/check/differential.hpp"
+
+#include <array>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/graphir/features.hpp"
+#include "src/graphir/graph.hpp"
+#include "src/ml/serialize.hpp"
+#include "src/netlist/verilog_writer.hpp"
+#include "src/serve/bundle.hpp"
+#include "src/serve/engine.hpp"
+#include "src/sim/packed_sim.hpp"
+#include "src/sim/probability.hpp"
+#include "src/sim/stimulus.hpp"
+
+namespace fcrit::check {
+
+using netlist::NodeId;
+
+std::string diff_packed_vs_scalar(const designs::Design& design, int cycles,
+                                  std::uint64_t seed, ScalarBug bug) {
+  const netlist::Netlist& nl = design.netlist;
+  const auto num_nodes = nl.num_nodes();
+
+  // One packed pass, recording the stimulus words and every node word per
+  // cycle so the 64 scalar replays can compare against them.
+  sim::PackedSimulator packed(nl);
+  sim::StimulusGenerator stim(nl, design.stimulus, seed);
+  std::vector<std::vector<std::uint64_t>> stim_words(
+      static_cast<std::size_t>(cycles));
+  std::vector<std::uint64_t> trace(
+      static_cast<std::size_t>(cycles) * num_nodes);
+  for (int t = 0; t < cycles; ++t) {
+    stim.next_cycle(stim_words[static_cast<std::size_t>(t)]);
+    packed.eval_comb(stim_words[static_cast<std::size_t>(t)]);
+    std::uint64_t* row = trace.data() +
+                         static_cast<std::size_t>(t) * num_nodes;
+    for (NodeId id = 0; id < num_nodes; ++id) row[id] = packed.value(id);
+    packed.clock();
+  }
+
+  // Scalar replay, one independent sequential simulation per lane.
+  std::vector<bool> bits(nl.inputs().size());
+  for (int lane = 0; lane < sim::kLanes; ++lane) {
+    ScalarSimulator scalar(nl, bug);
+    for (int t = 0; t < cycles; ++t) {
+      const auto& words = stim_words[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < words.size(); ++i)
+        bits[i] = (words[i] >> lane) & 1;
+      scalar.eval_comb(bits);
+      const std::uint64_t* row =
+          trace.data() + static_cast<std::size_t>(t) * num_nodes;
+      for (NodeId id = 0; id < num_nodes; ++id) {
+        const bool packed_bit = (row[id] >> lane) & 1;
+        if (packed_bit != scalar.value(id)) {
+          std::ostringstream os;
+          os << "packed-vs-scalar: node '" << nl.node(id).name << "' ("
+             << netlist::spec(nl.kind(id)).name << ") cycle " << t
+             << " lane " << lane << ": packed=" << packed_bit
+             << " scalar=" << scalar.value(id);
+          return os.str();
+        }
+      }
+      scalar.clock();
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Reference fault verdict: serial re-simulation of the whole netlist with
+/// the fault injected through PackedSimulator::inject, compared per cycle
+/// against the campaign's golden trace. Independent of simulate_fault's
+/// cone machinery and of its counter widths.
+fault::FaultResult injected_fault_result(const designs::Design& design,
+                                         const fault::CampaignConfig& config,
+                                         const fault::FaultCampaign& golden,
+                                         const fault::Fault& f) {
+  const netlist::Netlist& nl = design.netlist;
+  fault::FaultResult r;
+  r.fault = f;
+
+  sim::PackedSimulator simr(nl);
+  simr.inject(f.node, f.stuck_value);
+  sim::StimulusGenerator stim(nl, design.stimulus, config.seed);
+  std::vector<std::uint64_t> words;
+  std::array<std::uint32_t, sim::kLanes> lane_mismatch_cycles{};
+
+  for (int t = 0; t < config.cycles; ++t) {
+    stim.next_cycle(words);
+    simr.eval_comb(words);
+    std::uint64_t any_mismatch = 0;
+    for (const auto& po : nl.outputs())
+      any_mismatch |=
+          simr.value(po.driver) ^ golden.golden_value(t, po.driver);
+    if (any_mismatch) {
+      if (r.first_detect_cycle < 0) r.first_detect_cycle = t;
+      r.detected_lanes |= any_mismatch;
+      r.mismatch_cycles +=
+          static_cast<std::uint32_t>(std::popcount(any_mismatch));
+      std::uint64_t m = any_mismatch;
+      while (m) {
+        ++lane_mismatch_cycles[static_cast<std::size_t>(
+            std::countr_zero(m))];
+        m &= m - 1;
+      }
+    }
+    simr.clock();
+  }
+
+  const auto threshold =
+      static_cast<std::uint32_t>(config.min_mismatch_cycles());
+  for (int lane = 0; lane < sim::kLanes; ++lane) {
+    if (lane_mismatch_cycles[static_cast<std::size_t>(lane)] >= threshold)
+      r.dangerous_lanes |= (1ULL << lane);
+  }
+  return r;
+}
+
+std::string compare_fault_results(const netlist::Netlist& nl,
+                                  const fault::Fault& f,
+                                  const fault::FaultResult& a,
+                                  const fault::FaultResult& b,
+                                  const char* a_name, const char* b_name) {
+  std::ostringstream os;
+  os << std::hex;
+  if (a.dangerous_lanes != b.dangerous_lanes)
+    os << "dangerous_lanes " << a_name << "=" << a.dangerous_lanes << " "
+       << b_name << "=" << b.dangerous_lanes << "; ";
+  if (a.detected_lanes != b.detected_lanes)
+    os << "detected_lanes " << a_name << "=" << a.detected_lanes << " "
+       << b_name << "=" << b.detected_lanes << "; ";
+  os << std::dec;
+  if (a.mismatch_cycles != b.mismatch_cycles)
+    os << "mismatch_cycles " << a_name << "=" << a.mismatch_cycles << " "
+       << b_name << "=" << b.mismatch_cycles << "; ";
+  if (a.first_detect_cycle != b.first_detect_cycle)
+    os << "first_detect_cycle " << a_name << "=" << a.first_detect_cycle
+       << " " << b_name << "=" << b.first_detect_cycle << "; ";
+  std::string detail = os.str();
+  if (detail.empty()) return {};
+  return "fault-oracle: " + fault_name(nl, f) + ": " + detail;
+}
+
+}  // namespace
+
+std::string diff_fault_oracles(const designs::Design& design,
+                               const fault::CampaignConfig& config,
+                               int max_faults) {
+  const netlist::Netlist& nl = design.netlist;
+
+  fault::CampaignConfig cone_cfg = config;
+  cone_cfg.use_cone_restriction = true;
+  fault::CampaignConfig naive_cfg = config;
+  naive_cfg.use_cone_restriction = false;
+
+  fault::FaultCampaign cone(nl, design.stimulus, cone_cfg);
+  fault::FaultCampaign naive(nl, design.stimulus, naive_cfg);
+  cone.run_golden();
+  naive.run_golden();
+
+  const auto universe = fault::full_fault_list(nl);
+  if (universe.empty()) return {};
+  const std::size_t stride =
+      max_faults > 0
+          ? std::max<std::size_t>(
+                1, universe.size() / static_cast<std::size_t>(max_faults))
+          : 1;
+
+  for (std::size_t i = 0; i < universe.size(); i += stride) {
+    const fault::Fault& f = universe[i];
+    const fault::FaultResult rc = cone.simulate_fault(f);
+    const fault::FaultResult rn = naive.simulate_fault(f);
+    const fault::FaultResult ri =
+        injected_fault_result(design, config, cone, f);
+    if (auto msg = compare_fault_results(nl, f, rc, rn, "cone", "naive");
+        !msg.empty())
+      return msg;
+    if (auto msg = compare_fault_results(nl, f, rc, ri, "cone", "injected");
+        !msg.empty())
+      return msg;
+    if (rc.cone_size > rn.cone_size)
+      return "fault-oracle: " + fault_name(nl, f) +
+             ": cone_size exceeds naive re-simulation size";
+  }
+  return {};
+}
+
+namespace {
+
+/// A deterministic untrained bundle for the design: forward passes through
+/// freshly-initialized GCNs are as good as trained ones for a bit-identity
+/// oracle, and skip minutes of training per fuzz trial.
+serve::ModelBundle make_check_bundle(const designs::Design& design,
+                                     std::uint64_t seed) {
+  serve::ModelBundle b;
+  b.manifest.design_name = design.name;
+  b.manifest.netlist_hash = serve::netlist_content_hash(design.netlist);
+  b.manifest.feature_width = graphir::kNumBaseFeatures;
+  b.manifest.feature_names = graphir::base_feature_names();
+  b.manifest.probability_cycles = 24;
+  b.manifest.probability_seed = seed ^ 0x9e3779b9ULL;
+  b.stimulus = design.stimulus;
+  b.standardizer.mean.assign(graphir::kNumBaseFeatures, 0.0);
+  b.standardizer.stddev.assign(graphir::kNumBaseFeatures, 1.0);
+  ml::GcnConfig cc = ml::GcnConfig::classifier();
+  cc.hidden = {8};
+  cc.seed = seed;
+  b.classifier =
+      std::make_unique<ml::GcnModel>(graphir::kNumBaseFeatures, cc);
+  ml::GcnConfig rc = ml::GcnConfig::regressor();
+  rc.hidden = {8};
+  rc.seed = seed + 1;
+  b.regressor = std::make_unique<ml::GcnModel>(graphir::kNumBaseFeatures, rc);
+  return b;
+}
+
+struct DirectScore {
+  std::vector<double> proba;
+  std::vector<int> predicted;
+  std::vector<double> score;
+};
+
+/// In-process replay of the scoring pipeline straight from the bundle
+/// artifact — no engine, no cache, no worker pool.
+DirectScore direct_score(const designs::Design& design,
+                         const std::string& bundle_path) {
+  const serve::ModelBundle bundle = serve::load_bundle_file(bundle_path);
+  const netlist::Netlist& nl = design.netlist;
+  const auto stats = sim::estimate_by_simulation(
+      nl, bundle.stimulus, bundle.manifest.probability_seed,
+      bundle.manifest.probability_cycles);
+  const ml::Matrix x =
+      bundle.standardizer.transform(graphir::extract_features(nl, stats));
+  const graphir::CircuitGraph graph = graphir::build_graph(nl);
+
+  DirectScore d;
+  ml::GcnModel classifier = ml::clone_gcn(*bundle.classifier);
+  classifier.set_adjacency(&graph.normalized_adjacency);
+  const ml::Matrix out = classifier.forward(x, /*training=*/false);
+  d.proba = ml::class1_probability(out);
+  d.predicted = ml::predict_labels(out);
+  ml::GcnModel regressor = ml::clone_gcn(*bundle.regressor);
+  regressor.set_adjacency(&graph.normalized_adjacency);
+  const ml::Matrix pred = regressor.forward(x, /*training=*/false);
+  d.score.resize(static_cast<std::size_t>(pred.rows()));
+  for (int i = 0; i < pred.rows(); ++i)
+    d.score[static_cast<std::size_t>(i)] = static_cast<double>(pred(i, 0));
+  return d;
+}
+
+std::string compare_scores(const serve::ScoreResult& r,
+                           const DirectScore& ref, const char* leg) {
+  if (r.proba != ref.proba)
+    return std::string("serve-oracle: ") + leg +
+           ": classifier probabilities differ from direct scoring";
+  if (r.predicted != ref.predicted)
+    return std::string("serve-oracle: ") + leg +
+           ": predicted classes differ from direct scoring";
+  if (r.score != ref.score)
+    return std::string("serve-oracle: ") + leg +
+           ": regressor scores differ from direct scoring";
+  return {};
+}
+
+}  // namespace
+
+std::string diff_serve_vs_pipeline(const designs::Design& design,
+                                   const std::string& scratch_dir,
+                                   std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  fs::create_directories(scratch_dir);
+  const std::string tag = std::to_string(seed);
+  const std::string bundle_path =
+      (fs::path(scratch_dir) / ("check_" + tag + ".fcm")).string();
+  const std::string netlist_path =
+      (fs::path(scratch_dir) / ("check_" + tag + ".v")).string();
+  serve::save_bundle_file(make_check_bundle(design, seed), bundle_path);
+  {
+    std::ofstream os(netlist_path);
+    netlist::write_verilog(design.netlist, os);
+  }
+
+  const DirectScore ref = direct_score(design, bundle_path);
+
+  serve::ScoringEngine engine(
+      {.threads = 2, .queue_capacity = 8, .cache_capacity = 2});
+  const serve::ScoreResult r1 = engine.score(bundle_path, design);
+  if (!r1.netlist_matched)
+    return "serve-oracle: bundle reports netlist hash mismatch against the "
+           "very netlist it was packed from";
+  if (auto msg = compare_scores(r1, ref, "engine.score"); !msg.empty())
+    return msg;
+
+  // Second synchronous request must be served from the LRU cache and stay
+  // bit-identical.
+  const serve::ScoreResult r2 = engine.score(bundle_path, design);
+  if (auto msg = compare_scores(r2, ref, "cached engine.score");
+      !msg.empty())
+    return msg;
+  if (engine.metrics().cache_hits == 0)
+    return "serve-oracle: repeated score of one bundle produced no cache "
+           "hit";
+
+  // Worker-pool path on the Verilog round-trip of the same netlist: the
+  // writer/parser pair is exact, so results must still be bit-identical.
+  std::vector<std::future<serve::ScoreResult>> futures;
+  for (int i = 0; i < 2; ++i)
+    futures.push_back(engine.submit(bundle_path, netlist_path));
+  for (auto& fut : futures) {
+    const serve::ScoreResult rs = fut.get();
+    if (auto msg = compare_scores(rs, ref, "engine.submit on .v round-trip");
+        !msg.empty())
+      return msg;
+  }
+  return {};
+}
+
+}  // namespace fcrit::check

@@ -1,0 +1,59 @@
+// The three differential oracles of the correctness harness.
+//
+// Each check cross-examines a hand-optimized production path against an
+// independent (slower, simpler) reference on the same design and returns a
+// human-readable divergence description, or "" when the paths are
+// bit-identical:
+//
+//   diff_packed_vs_scalar     PackedSimulator lane L  vs  a scalar
+//                             single-pattern interpreter run per lane,
+//                             every node value, every cycle
+//   diff_fault_oracles        cone-restricted simulate_fault  vs  naive
+//                             full-netlist re-simulation
+//                             (use_cone_restriction=false)  vs  serial
+//                             fault injection through
+//                             PackedSimulator::inject
+//   diff_serve_vs_pipeline    serve::ScoringEngine (cache + worker pool)
+//                             vs  direct in-process scoring of the same
+//                             bundle artifact
+//
+// The harness (src/check/harness.hpp) drives these over a randomized
+// netlist fuzzer; tests also aim them at the registered designs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/check/scalar_sim.hpp"
+#include "src/designs/designs.hpp"
+#include "src/fault/fault_sim.hpp"
+
+namespace fcrit::check {
+
+/// Run `cycles` clock cycles of the design's stimulus (seeded with `seed`)
+/// through PackedSimulator and through one ScalarSimulator per lane and
+/// compare every node word bit-for-bit after each combinational settle.
+/// `bug` plants a deliberate defect in the scalar reference (self-test).
+std::string diff_packed_vs_scalar(const designs::Design& design, int cycles,
+                                  std::uint64_t seed,
+                                  ScalarBug bug = ScalarBug::kNone);
+
+/// For up to `max_faults` faults (deterministically strided across the full
+/// stuck-at universe), compare the cone-restricted campaign verdict against
+/// the naive full re-simulation and against serial re-simulation with
+/// PackedSimulator::inject: dangerous_lanes, detected_lanes,
+/// mismatch_cycles and first_detect_cycle must all agree exactly.
+std::string diff_fault_oracles(const designs::Design& design,
+                               const fault::CampaignConfig& config,
+                               int max_faults);
+
+/// Pack a deterministic (untrained) model bundle for the design into
+/// `scratch_dir`, score it through a multi-threaded ScoringEngine — twice
+/// synchronously (second hit must come from the LRU cache) and once through
+/// the worker-pool submit path — and compare every probability, class and
+/// score against a direct in-process replay of the scoring pipeline.
+std::string diff_serve_vs_pipeline(const designs::Design& design,
+                                   const std::string& scratch_dir,
+                                   std::uint64_t seed);
+
+}  // namespace fcrit::check

@@ -1,0 +1,141 @@
+#include "src/check/scalar_sim.hpp"
+
+#include <stdexcept>
+
+namespace fcrit::check {
+
+using netlist::CellKind;
+using netlist::NodeId;
+
+namespace {
+
+bool is_comb_source(CellKind k) {
+  return k == CellKind::kInput || k == CellKind::kConst0 ||
+         k == CellKind::kConst1 || k == CellKind::kDff;
+}
+
+}  // namespace
+
+ScalarSimulator::ScalarSimulator(const netlist::Netlist& nl, ScalarBug bug)
+    : nl_(&nl), bug_(bug) {
+  // Iterative post-order DFS over combinational gates; DFF/PI/const fanins
+  // are leaves (their values are state, not ordering constraints). This is
+  // a different algorithm from levelize()'s Kahn worklist on purpose.
+  const auto n = static_cast<NodeId>(nl.num_nodes());
+  std::vector<std::uint8_t> mark(n, 0);  // 0 new, 1 on stack, 2 done
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  order_.reserve(n);
+  for (NodeId root = 0; root < n; ++root) {
+    if (mark[root] || is_comb_source(nl.kind(root))) continue;
+    stack.emplace_back(root, 0);
+    mark[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, next_fanin] = stack.back();
+      const auto fanins = nl.fanins(id);
+      if (next_fanin < fanins.size()) {
+        const NodeId f = fanins[next_fanin++];
+        if (!mark[f] && !is_comb_source(nl.kind(f))) {
+          stack.emplace_back(f, 0);
+          mark[f] = 1;
+        } else if (mark[f] == 1) {
+          throw std::runtime_error(
+              "ScalarSimulator: combinational cycle through '" +
+              nl.node(f).name + "'");
+        }
+      } else {
+        mark[id] = 2;
+        order_.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+  value_.assign(n, 0);
+  reset();
+}
+
+void ScalarSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  for (NodeId id = 0; id < nl_->num_nodes(); ++id)
+    if (nl_->kind(id) == CellKind::kConst1) value_[id] = 1;
+}
+
+bool ScalarSimulator::eval_gate(NodeId id) const {
+  const netlist::Node& n = nl_->node(id);
+  bool in[netlist::kMaxFanins] = {};
+  for (std::size_t i = 0; i < n.fanin_count; ++i)
+    in[i] = value_[n.fanin[i]] != 0;
+
+  CellKind kind = n.kind;
+  if (bug_ == ScalarBug::kXorAsOr) {
+    if (kind == CellKind::kXor2) kind = CellKind::kOr2;
+    if (kind == CellKind::kXnor2) kind = CellKind::kNor2;
+  }
+
+  switch (kind) {
+    case CellKind::kBuf:
+      return in[0];
+    case CellKind::kInv:
+      return !in[0];
+    case CellKind::kAnd2:
+      return in[0] && in[1];
+    case CellKind::kAnd3:
+      return in[0] && in[1] && in[2];
+    case CellKind::kAnd4:
+      return in[0] && in[1] && in[2] && in[3];
+    case CellKind::kNand2:
+      return !(in[0] && in[1]);
+    case CellKind::kNand3:
+      return !(in[0] && in[1] && in[2]);
+    case CellKind::kNand4:
+      return !(in[0] && in[1] && in[2] && in[3]);
+    case CellKind::kOr2:
+      return in[0] || in[1];
+    case CellKind::kOr3:
+      return in[0] || in[1] || in[2];
+    case CellKind::kOr4:
+      return in[0] || in[1] || in[2] || in[3];
+    case CellKind::kNor2:
+      return !(in[0] || in[1]);
+    case CellKind::kNor3:
+      return !(in[0] || in[1] || in[2]);
+    case CellKind::kNor4:
+      return !(in[0] || in[1] || in[2] || in[3]);
+    case CellKind::kXor2:
+      return in[0] != in[1];
+    case CellKind::kXnor2:
+      return in[0] == in[1];
+    case CellKind::kAoi21:
+      return !((in[0] && in[1]) || in[2]);
+    case CellKind::kAoi22:
+      return !((in[0] && in[1]) || (in[2] && in[3]));
+    case CellKind::kOai21:
+      return !((in[0] || in[1]) && in[2]);
+    case CellKind::kOai22:
+      return !((in[0] || in[1]) && (in[2] || in[3]));
+    case CellKind::kMux2:
+      return in[2] ? in[1] : in[0];
+    default:
+      throw std::runtime_error("ScalarSimulator: non-evaluable cell '" +
+                               nl_->node(id).name + "'");
+  }
+}
+
+void ScalarSimulator::eval_comb(const std::vector<bool>& pi_bits) {
+  const auto& inputs = nl_->inputs();
+  if (pi_bits.size() != inputs.size())
+    throw std::runtime_error("ScalarSimulator::eval_comb: input bit count");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    value_[inputs[i]] = pi_bits[i] ? 1 : 0;
+  for (const NodeId id : order_) value_[id] = eval_gate(id) ? 1 : 0;
+}
+
+void ScalarSimulator::clock() {
+  if (bug_ == ScalarBug::kStaleDff) return;
+  const auto& flops = nl_->flops();
+  std::vector<std::uint8_t> next(flops.size(), 0);
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    next[i] = value_[nl_->node(flops[i]).fanin[0]];
+  for (std::size_t i = 0; i < flops.size(); ++i) value_[flops[i]] = next[i];
+}
+
+}  // namespace fcrit::check

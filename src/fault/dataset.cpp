@@ -112,22 +112,34 @@ CriticalityDataset load_dataset_csv(const netlist::Netlist& nl,
             std::stoi(std::string(trimmed.substr(wl_pos + 10)));
       continue;
     }
-    if (!header_seen) {  // column header row
+    if (!header_seen) {
       header_seen = true;
-      continue;
+      // Only a line that actually is the column header gets skipped;
+      // header-less CSVs keep their first data row.
+      if (trimmed == "node,name,score,label") continue;
     }
     const auto fields = util::split(trimmed, ',');
     if (fields.size() != 4)
       throw std::runtime_error("load_dataset_csv: malformed row '" +
                                std::string(trimmed) + "'");
-    const auto node = static_cast<NodeId>(std::stoul(fields[0]));
+    NodeId node = 0;
+    double score = 0.0;
+    int label = 0;
+    try {
+      node = static_cast<NodeId>(std::stoul(fields[0]));
+      score = std::stod(fields[2]);
+      label = std::stoi(fields[3]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_dataset_csv: non-numeric field in row '" +
+                               std::string(trimmed) + "'");
+    }
     if (node >= nl.num_nodes() || nl.node(node).name != fields[1])
       throw std::runtime_error(
           "load_dataset_csv: dataset does not match this netlist (node " +
           fields[0] + " / " + fields[1] + ")");
     ds.nodes.push_back(node);
-    ds.score.push_back(std::stod(fields[2]));
-    ds.label.push_back(std::stoi(fields[3]));
+    ds.score.push_back(score);
+    ds.label.push_back(label);
   }
   if (ds.nodes.empty())
     throw std::runtime_error("load_dataset_csv: no rows");

@@ -113,7 +113,9 @@ FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
       fault_kind == CellKind::kConst1 || fault_kind == CellKind::kDff;
 
   std::vector<std::uint64_t> val(num_nodes_, 0);  // cone values only
-  std::array<std::uint16_t, sim::kLanes> lane_mismatch_cycles{};
+  // uint32: a uint16 counter wraps at 65536 cycles and can flip a Dangerous
+  // lane back below the threshold on long campaigns.
+  std::array<std::uint32_t, sim::kLanes> lane_mismatch_cycles{};
   std::array<std::uint64_t, netlist::kMaxFanins> ins{};
   std::vector<std::uint64_t> ff_next(cone_ffs.size(), 0);
 
@@ -165,7 +167,8 @@ FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
     }
   }
 
-  const int threshold = config_.min_mismatch_cycles();
+  const auto threshold =
+      static_cast<std::uint32_t>(config_.min_mismatch_cycles());
   for (int lane = 0; lane < sim::kLanes; ++lane) {
     if (lane_mismatch_cycles[static_cast<std::size_t>(lane)] >= threshold)
       result.dangerous_lanes |= (1ULL << lane);

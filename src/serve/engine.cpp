@@ -91,9 +91,11 @@ designs::Design load_score_target(const std::string& arg) {
 }
 
 ScoringEngine::ScoringEngine(EngineConfig config)
-    : config_(config), cache_(config.cache_capacity) {
+    : config_(config),
+      cache_(std::max<std::size_t>(1, config.cache_capacity)) {
   config_.threads = std::max(1, config_.threads);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.cache_capacity = std::max<std::size_t>(1, config_.cache_capacity);
   workers_.reserve(static_cast<std::size_t>(config_.threads));
   for (int i = 0; i < config_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });

@@ -1,0 +1,213 @@
+// The differential-oracle harness: scalar-vs-packed agreement on real and
+// random circuits, fault-oracle triple agreement, serve-vs-pipeline bit
+// identity, the deterministic fuzz tranche, and — crucially — the planted
+// defects that prove the oracles are able to fail.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/check/differential.hpp"
+#include "src/check/harness.hpp"
+#include "src/check/scalar_sim.hpp"
+#include "src/designs/designs.hpp"
+#include "src/designs/random_circuit.hpp"
+#include "src/rtl/builder.hpp"
+
+namespace fcrit::check {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+sim::StimulusSpec random_spec() {
+  sim::StimulusSpec spec;
+  spec.default_profile.p1 = 0.5;
+  return spec;
+}
+
+designs::Design random_design(std::uint64_t seed, int gates = 80,
+                              int flops = 8) {
+  designs::RandomCircuitConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_gates = gates;
+  cfg.num_flops = flops;
+  cfg.num_outputs = 5;
+  cfg.seed = seed;
+  return designs::build_random_circuit(cfg);
+}
+
+/// a ^ b observed at a PO: the minimal circuit on which ScalarBug::kXorAsOr
+/// must diverge (unless a == b == 0 forever, which the stimulus excludes).
+designs::Design xor_design() {
+  designs::Design d;
+  d.name = "xor_pair";
+  rtl::Builder b(d.netlist, 1);
+  const NodeId a = b.input("a");
+  const NodeId c = b.input("b");
+  b.output("y", b.xor2(a, c));
+  d.netlist.validate();
+  d.stimulus = random_spec();
+  return d;
+}
+
+/// A 4-bit counter: state changes every cycle, so ScalarBug::kStaleDff
+/// (flops never clocking) must diverge.
+designs::Design counter_design() {
+  designs::Design d;
+  d.name = "counter4";
+  rtl::Builder b(d.netlist, 1);
+  const rtl::Bus cnt = b.reg_placeholder_bus(4);
+  b.connect_reg_bus(cnt, b.increment(cnt));
+  b.output_bus("q", cnt);
+  d.netlist.validate();
+  d.stimulus = random_spec();
+  return d;
+}
+
+TEST(ScalarVsPacked, AgreesOnRegisteredDesigns) {
+  for (const char* name : {"or1200_icfsm", "or1200_genpc"}) {
+    const auto d = designs::build_design(name);
+    EXPECT_EQ(diff_packed_vs_scalar(d, 48, 42), "") << name;
+  }
+}
+
+TEST(ScalarVsPacked, AgreesOnRandomCircuits) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const auto d = random_design(seed);
+    EXPECT_EQ(diff_packed_vs_scalar(d, 32, seed), "") << "seed " << seed;
+  }
+}
+
+TEST(ScalarVsPacked, AgreesOnPureCombinationalCircuit) {
+  const auto d = random_design(7, /*gates=*/60, /*flops=*/0);
+  EXPECT_EQ(diff_packed_vs_scalar(d, 16, 7), "");
+}
+
+TEST(ScalarVsPacked, PlantedXorDefectIsCaught) {
+  const auto msg = diff_packed_vs_scalar(xor_design(), 16, 3,
+                                         ScalarBug::kXorAsOr);
+  ASSERT_NE(msg, "");
+  EXPECT_NE(msg.find("packed-vs-scalar"), std::string::npos);
+}
+
+TEST(ScalarVsPacked, PlantedStaleDffDefectIsCaught) {
+  EXPECT_NE(diff_packed_vs_scalar(counter_design(), 16, 3,
+                                  ScalarBug::kStaleDff),
+            "");
+}
+
+TEST(FaultOracles, AgreeOnCounter) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 9;
+  EXPECT_EQ(diff_fault_oracles(counter_design(), cfg, /*max_faults=*/0), "");
+}
+
+TEST(FaultOracles, AgreeOnRandomCircuits) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 32;
+  for (std::uint64_t seed : {5u, 6u}) {
+    cfg.seed = seed;
+    EXPECT_EQ(diff_fault_oracles(random_design(seed), cfg, 12), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultOracles, AgreeOnRegisteredDesign) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 4;
+  const auto d = designs::build_design("or1200_icfsm");
+  EXPECT_EQ(diff_fault_oracles(d, cfg, 10), "");
+}
+
+TEST(ServeOracle, MatchesDirectScoring) {
+  const std::string scratch =
+      (std::filesystem::path(::testing::TempDir()) / "fcrit_check_serve")
+          .string();
+  const auto d = random_design(17, /*gates=*/50, /*flops=*/4);
+  EXPECT_EQ(diff_serve_vs_pipeline(d, scratch, 17), "");
+}
+
+CheckConfig tranche_config() {
+  CheckConfig cfg;
+  cfg.trials = 4;
+  cfg.seed = 21;
+  cfg.cycles = 24;
+  cfg.gates = 60;
+  cfg.flops = 6;
+  cfg.inputs = 5;
+  cfg.outputs = 4;
+  cfg.max_faults = 6;
+  cfg.serve_every = 0;  // serve oracle covered separately above
+  return cfg;
+}
+
+TEST(Harness, DeterministicTrancheRunsClean) {
+  const auto report = run_checks(tranche_config());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.trials_run, 4);
+  EXPECT_EQ(report.packed_checks, 4);
+  EXPECT_EQ(report.fault_checks, 4);
+  EXPECT_EQ(report.serve_checks, 0);
+}
+
+TEST(Harness, PlantedDefectFailsAndShrinksReproducibly) {
+  CheckConfig cfg = tranche_config();
+  cfg.scalar_bug = ScalarBug::kXorAsOr;  // broken simulator shim
+  const auto report = run_checks(cfg);
+  ASSERT_FALSE(report.ok());
+  const Divergence& d = report.divergences.front();
+  EXPECT_EQ(d.oracle, "packed-vs-scalar");
+  EXPECT_NE(d.message, "");
+  EXPECT_FALSE(d.netlist_verilog.empty());
+  EXPECT_LE(d.circuit.num_gates, cfg.gates);
+  EXPECT_LE(d.cycles, cfg.cycles);
+
+  // The report is a reproduction recipe: the same oracle on the same
+  // (shrunk) circuit and seed must diverge again.
+  const auto shrunk = designs::build_random_circuit(d.circuit);
+  EXPECT_NE(
+      diff_packed_vs_scalar(shrunk, d.cycles, d.seed, ScalarBug::kXorAsOr),
+      "");
+
+  const auto text = format_divergence(d);
+  EXPECT_NE(text.find("DIVERGENCE"), std::string::npos);
+  EXPECT_NE(text.find("reproduce:"), std::string::npos);
+}
+
+TEST(Harness, ShrinkCanBeDisabled) {
+  CheckConfig cfg = tranche_config();
+  cfg.scalar_bug = ScalarBug::kXorAsOr;
+  cfg.shrink = false;
+  cfg.dump_netlist = false;
+  const auto report = run_checks(cfg);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergences.front().shrink_steps, 0);
+  EXPECT_TRUE(report.divergences.front().netlist_verilog.empty());
+}
+
+TEST(Harness, StopsAtFirstDivergence) {
+  CheckConfig cfg = tranche_config();
+  cfg.scalar_bug = ScalarBug::kStaleDff;
+  const auto report = run_checks(cfg);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergences.size(), 1u);
+  EXPECT_LE(report.trials_run, cfg.trials);
+}
+
+TEST(ScalarSimulator, RejectsCombinationalCycle) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  // g = AND(a, h); h = BUF(g): a combinational loop, assembled via the
+  // parser-facing set_fanin escape hatch (builders refuse to make one).
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, netlist::kNoNode}, "g");
+  const NodeId h = nl.add_gate(CellKind::kBuf, {g}, "h");
+  nl.set_fanin(g, 1, h);
+  EXPECT_THROW(ScalarSimulator sim(nl), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcrit::check

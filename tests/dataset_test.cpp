@@ -134,5 +134,46 @@ TEST(Dataset, CsvRejectsGarbage) {
   EXPECT_THROW(load_dataset_csv(nl, malformed), std::runtime_error);
 }
 
+TEST(Dataset, HeaderlessCsvKeepsFirstRow) {
+  // Regression: the loader used to skip the first non-comment line
+  // unconditionally, silently dropping row 0 of header-less CSVs.
+  netlist::Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(netlist::CellKind::kInv, {a}, "g1");
+  const NodeId g2 = nl.add_gate(netlist::CellKind::kBuf, {g1}, "g2");
+
+  std::stringstream csv;
+  csv << g1 << ",g1,0.75,1\n" << g2 << ",g2,0.25,0\n";
+  const auto ds = load_dataset_csv(nl, csv);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.nodes[0], g1);
+  EXPECT_DOUBLE_EQ(ds.score[0], 0.75);
+  EXPECT_EQ(ds.label[0], 1);
+}
+
+TEST(Dataset, CsvWithHeaderStillSkipsIt) {
+  netlist::Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(netlist::CellKind::kInv, {a}, "g1");
+  std::stringstream csv;
+  csv << "node,name,score,label\n" << g1 << ",g1,0.5,1\n";
+  const auto ds = load_dataset_csv(nl, csv);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.nodes[0], g1);
+}
+
+TEST(Dataset, MalformedNumericFieldReportsRow) {
+  netlist::Netlist nl;
+  nl.add_input("a");
+  std::stringstream csv("oops,a,0.5,1\n");
+  try {
+    load_dataset_csv(nl, csv);
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The error must carry the offending row, not a bare stoul message.
+    EXPECT_NE(std::string(e.what()).find("oops,a,0.5,1"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace fcrit::fault

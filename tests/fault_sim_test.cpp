@@ -202,5 +202,33 @@ TEST_P(ConeEquivalenceTest, ConeMatchesNaiveOnRealDesign) {
 INSTANTIATE_TEST_SUITE_P(Designs, ConeEquivalenceTest,
                          ::testing::Values("sdram_ctrl", "or1200_icfsm"));
 
+TEST(FaultCampaign, LongCampaignVerdictDoesNotOverflow) {
+  // Regression: lane_mismatch_cycles was uint16_t, so a >=65536-cycle
+  // campaign wrapped the per-lane counter (66000 % 65536 = 464 < threshold
+  // 6600) and flipped an always-mismatching lane back to safe.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(CellKind::kInv, {a}, "n");
+  nl.add_output("y", n);
+  nl.validate();
+
+  sim::StimulusSpec spec;
+  // Input pinned to 1 in every lane for the whole run: golden y is 0, so
+  // n stuck-at-1 mismatches on every one of the 66000 cycles.
+  spec.profiles["a"] = {.p1 = 1.0, .hold_cycles = 1 << 20,
+                       .hold_value = true};
+
+  CampaignConfig cfg;
+  cfg.cycles = 66000;
+  FaultCampaign camp(nl, spec, cfg);
+  camp.run_golden();
+
+  const FaultResult r = camp.simulate_fault({n, true});
+  EXPECT_EQ(r.first_detect_cycle, 0);
+  EXPECT_EQ(r.detected_lanes, ~0ULL);
+  EXPECT_EQ(r.mismatch_cycles, 66000u * 64u);
+  EXPECT_EQ(r.dangerous_lanes, ~0ULL);
+}
+
 }  // namespace
 }  // namespace fcrit::fault

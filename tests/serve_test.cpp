@@ -333,6 +333,28 @@ TEST(ScoringEngineTest, ConcurrentCacheThrashIsDeterministic) {
   EXPECT_GE(m.cache_misses, static_cast<std::uint64_t>(kBundles));
 }
 
+TEST(ScoringEngineTest, ZeroCacheCapacityIsClampedToOne) {
+  // Regression: capacity 0 used to degenerate BundleCache into
+  // parse-every-request (misses only) while threads/queue were clamped.
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(77);
+  const std::string path = dir + "fcrit_capacity0.fcm";
+  save_bundle_file(synthetic_bundle(d, 77), path);
+
+  ScoringEngine engine(
+      {.threads = 0, .queue_capacity = 0, .cache_capacity = 0});
+  EXPECT_EQ(engine.config().cache_capacity, 1u);
+  EXPECT_EQ(engine.config().threads, 1);
+  EXPECT_EQ(engine.config().queue_capacity, 1u);
+
+  const ScoreResult r1 = engine.score(path, d);
+  const ScoreResult r2 = engine.score(path, d);
+  EXPECT_EQ(r1.proba, r2.proba);
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.cache_misses, 1u);  // second request hits the one-slot cache
+  EXPECT_EQ(m.cache_hits, 1u);
+}
+
 TEST(ScoringEngineTest, ShutdownDrainsQueuedJobs) {
   const std::string dir = ::testing::TempDir();
   const auto d = tiny_design(41);
