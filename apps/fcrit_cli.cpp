@@ -48,6 +48,8 @@
 #include "src/netlist/dot_export.hpp"
 #include "src/netlist/harden.hpp"
 #include "src/ml/serialize.hpp"
+#include "src/obs/log.hpp"
+#include "src/obs/trace.hpp"
 #include "src/netlist/verilog_parser.hpp"
 #include "src/netlist/verilog_writer.hpp"
 #include "src/sim/scoap.hpp"
@@ -70,6 +72,9 @@ constexpr const char* kUsageText =
     "           [--fraction F] [--threads T] [--report FILE]\n"
     "  analyze <design|file> [--top N] [--no-baselines]\n"
     "           [--explain K] [--save-model FILE] [--csv FILE]\n"
+    "           [--cycles N] [--epochs N] [--trace-out FILE]\n"
+    "  pipeline <design|file> [...]      alias of analyze; --trace-out FILE\n"
+    "                                    writes a Chrome trace of the phases\n"
     "  scoap <design|file> [--top N]     testability report\n"
     "  wave <design|file> [--cycles N] [--lane L] [-o FILE]\n"
     "                                    dump a VCD waveform\n"
@@ -88,7 +93,9 @@ constexpr const char* kUsageText =
     "        [--no-shrink] [--no-dump] [--self-test]\n"
     "                                    differential-oracle fuzzing harness\n"
     "  help | --help                     this text\n"
-    "  version                           print the fcrit version\n";
+    "  version                           print the fcrit version\n"
+    "global flags: --verbose | --quiet   log level (also FCRIT_LOG=\n"
+    "                                    error|warn|info|debug|trace)\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
@@ -233,6 +240,14 @@ int cmd_analyze(const std::string& target,
                 const std::map<std::string, std::string>& flags) {
   core::PipelineConfig cfg;
   if (flags.contains("--no-baselines")) cfg.train_baselines = false;
+  if (flags.contains("--cycles"))
+    cfg.campaign_cycles = std::stoi(flags.at("--cycles"));
+  if (flags.contains("--epochs")) {
+    cfg.train.epochs = std::stoi(flags.at("--epochs"));
+    cfg.regressor_train.epochs = cfg.train.epochs;
+  }
+  const bool tracing = flags.contains("--trace-out");
+  if (tracing) obs::Tracer::instance().start();
   core::FaultCriticalityAnalyzer analyzer(cfg);
   auto r = analyzer.analyze(load_target(target));
   std::printf("%s\n", core::summarize(r).c_str());
@@ -293,6 +308,15 @@ int cmd_analyze(const std::string& target,
     std::printf("\n%s", explain::format_global_importance(
                             global, graphir::base_feature_names())
                             .c_str());
+  }
+
+  if (tracing) {
+    const std::string& path = flags.at("--trace-out");
+    obs::Tracer::instance().stop();
+    if (!obs::Tracer::instance().write_chrome_trace_file(path))
+      throw std::runtime_error("cannot write trace to " + path);
+    std::printf("wrote trace %s (%zu spans; load with chrome://tracing)\n",
+                path.c_str(), obs::Tracer::instance().events().size());
   }
   return 0;
 }
@@ -537,7 +561,7 @@ int cmd_serve(const std::string& bundle_dir,
               "%s\n",
               server.port(), ec.threads, bundle_dir.c_str());
   std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] | STATS | "
-              "QUIT; Ctrl-C drains and exits\n");
+              "METRICS | QUIT; Ctrl-C drains and exits\n");
 
   if (pipe(g_signal_pipe) != 0)
     throw std::runtime_error("cannot create signal pipe");
@@ -559,6 +583,9 @@ int cmd_serve(const std::string& bundle_dir,
               static_cast<unsigned long long>(m.cache_hits),
               static_cast<unsigned long long>(m.cache_misses),
               m.queue_high_water);
+  // The counters would otherwise die with the process: one last
+  // machine-readable snapshot, same payload as the METRICS command.
+  std::printf("final metrics: %s\n", engine.metrics_json().c_str());
   return 0;
 }
 
@@ -610,6 +637,13 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // Global log-level flags apply to every command; FCRIT_LOG is the
+  // environment-side knob (see src/obs/log.hpp).
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") obs::set_log_level(obs::LogLevel::kDebug);
+    if (arg == "--quiet") obs::set_log_level(obs::LogLevel::kWarn);
+  }
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
     std::fputs(kUsageText, stdout);
@@ -635,7 +669,8 @@ int main(int argc, char** argv) {
     if (command == "export") return cmd_export(target, flags);
     if (command == "sweep") return cmd_sweep(target, flags);
     if (command == "campaign") return cmd_campaign(target, flags);
-    if (command == "analyze") return cmd_analyze(target, flags);
+    if (command == "analyze" || command == "pipeline")
+      return cmd_analyze(target, flags);
     if (command == "scoap") return cmd_scoap(target, flags);
     if (command == "wave") return cmd_wave(target, flags);
     if (command == "autopsy") return cmd_autopsy(target, flags);

@@ -8,6 +8,7 @@
 int main() {
   using namespace fcrit;
   bench::print_header("Fault collapsing: universe reduction and runtime");
+  bench::Recorder rec("fault_collapse");
 
   core::TextTable table({"Design", "Faults", "Representatives", "Ratio",
                          "Full campaign (s)", "Collapsed (s)",
@@ -32,6 +33,8 @@ int main() {
     const auto reps = rep_campaign.run(collapsed.representatives);
     const auto expanded = fault::expand_collapsed(reps, collapsed);
     const double coll_s = t_coll.seconds();
+    rec.phase(name + "/full_campaign", 1000.0 * full_s);
+    rec.phase(name + "/collapsed_campaign", 1000.0 * coll_s);
 
     const auto ds_full = fault::generate_dataset(full, 0.5);
     const auto ds_coll = fault::generate_dataset(expanded, 0.5);

@@ -17,6 +17,7 @@
 int main() {
   using namespace fcrit;
   bench::print_header("FI cost vs. GCN prediction cost (Section 1 claim)");
+  bench::Recorder rec("fi_speedup");
 
   core::FaultCriticalityAnalyzer analyzer([] {
     auto cfg = bench::standard_config();
@@ -32,7 +33,7 @@ int main() {
                         "Speedup", "Avg cone size / nodes"});
 
   for (const auto& name : designs::design_names()) {
-    auto r = analyzer.analyze_design(name);
+    auto r = rec.analyze(analyzer, name);
     const double full_fi = r.fi_seconds;
     const double val_share =
         full_fi * static_cast<double>(r.split.val.size()) /
@@ -61,6 +62,8 @@ int main() {
     util::Timer t_fast;
     const auto rf = fast.run_all();
     const double fast_s = t_fast.seconds();
+    rec.phase(name + "/naive_sim", 1000.0 * naive_s);
+    rec.phase(name + "/cone_sim", 1000.0 * fast_s);
 
     double avg_cone = 0.0;
     for (const auto& fr : rf.faults) avg_cone += fr.cone_size;

@@ -14,6 +14,7 @@ int main() {
   using namespace fcrit;
   bench::print_header(
       "Figure 3: critical node classification accuracy (val split, %)");
+  bench::Recorder rec("fig3_accuracy");
 
   core::FaultCriticalityAnalyzer analyzer([] {
     auto cfg = bench::standard_config();
@@ -28,7 +29,7 @@ int main() {
 
   for (const auto& name : designs::design_names()) {
     util::Timer timer;
-    auto r = analyzer.analyze_design(name);
+    auto r = rec.analyze(analyzer, name);
 
     // Majority-class reference on the validation split.
     int critical = 0;

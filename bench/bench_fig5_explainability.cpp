@@ -17,6 +17,7 @@
 int main() {
   using namespace fcrit;
   bench::print_header("Figure 5: GNNExplainer feature importance");
+  bench::Recorder rec("fig5_explainability");
 
   core::FaultCriticalityAnalyzer analyzer([] {
     auto cfg = bench::standard_config();
@@ -30,7 +31,7 @@ int main() {
                           "Rank 5"});
 
   for (const auto& name : designs::design_names()) {
-    auto r = analyzer.analyze_design(name);
+    auto r = rec.analyze(analyzer, name);
     explain::ExplainerConfig ec;
     ec.epochs = 250;
     explain::GnnExplainer explainer(*r.gcn, r.graph, r.features, ec);

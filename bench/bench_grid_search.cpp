@@ -13,6 +13,7 @@
 int main() {
   using namespace fcrit;
   bench::print_header("Section 3.3.2: hyperparameter grid search");
+  bench::Recorder rec("grid_search");
 
   core::FaultCriticalityAnalyzer analyzer([] {
     auto cfg = bench::standard_config();
@@ -27,7 +28,7 @@ int main() {
   space.lr_options = {0.01, 0.003};
 
   for (const auto& name : designs::design_names()) {
-    auto r = analyzer.analyze_design(name);
+    auto r = rec.analyze(analyzer, name);
     ml::TrainConfig base = analyzer.config().train;
     base.epochs = 250;
 

@@ -10,6 +10,7 @@
 int main() {
   using namespace fcrit;
   bench::print_header("Table 1: GCN network configuration");
+  bench::Recorder rec("table1_config");
 
   const int f = graphir::kNumBaseFeatures;
   ml::GcnModel classifier(f, ml::GcnConfig::classifier());

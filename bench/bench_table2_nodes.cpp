@@ -16,6 +16,7 @@ int main() {
   using namespace fcrit;
   bench::print_header(
       "Table 2: per-node classification, feature scores, criticality score");
+  bench::Recorder rec("table2_nodes");
 
   core::FaultCriticalityAnalyzer analyzer([] {
     auto cfg = bench::standard_config();
@@ -28,7 +29,7 @@ int main() {
                          "Crit. score"});
 
   for (const auto& name : designs::design_names()) {
-    auto r = analyzer.analyze_design(name);
+    auto r = rec.analyze(analyzer, name);
     explain::ExplainerConfig ec;
     ec.epochs = 250;
     explain::GnnExplainer explainer(*r.gcn, r.graph, r.features, ec);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/probability.hpp"
 #include "src/util/timer.hpp"
 
@@ -34,19 +37,26 @@ ModelEval evaluate_model(std::string name, std::vector<double> proba,
 
 PipelineResult FaultCriticalityAnalyzer::analyze(
     designs::Design design) const {
+  obs::registry().counter("pipeline.runs").add();
   PipelineResult r;
   r.config = config_;
   r.design = std::move(design);
   const netlist::Netlist& nl = r.design.netlist;
   nl.validate();
+  obs::logf(obs::LogLevel::kDebug, "pipeline: %s, %zu nodes",
+            r.design.name.c_str(), nl.num_nodes());
 
   // ---- golden simulation: signal statistics for the §3.1 features ---------
-  r.stats = sim::estimate_by_simulation(nl, r.design.stimulus,
-                                        config_.probability_seed,
-                                        config_.probability_cycles);
+  {
+    obs::Span span("golden_sim");
+    r.stats = sim::estimate_by_simulation(nl, r.design.stimulus,
+                                          config_.probability_seed,
+                                          config_.probability_cycles);
+  }
 
   // ---- fault-injection campaign + Algorithm 1 ------------------------------
   {
+    obs::Span span("fi_campaign");
     util::Timer timer;
     fault::CampaignConfig cc;
     cc.cycles = config_.campaign_cycles;
@@ -63,6 +73,9 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
         r.extra_campaigns.push_back(campaign.run_all());
     }
     r.fi_seconds = timer.seconds();
+    obs::logf(obs::LogLevel::kDebug,
+              "pipeline: FI campaign %.3fs (%d batch(es), %zu faults)",
+              r.fi_seconds, batches, r.campaign.faults.size());
   }
   {
     std::vector<const fault::CampaignResult*> batches{&r.campaign};
@@ -72,8 +85,11 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
   }
 
   // ---- graph + features ------------------------------------------------------
-  r.graph = graphir::build_graph(nl);
-  r.features_raw = graphir::extract_features(nl, r.stats);
+  {
+    obs::Span span("graph_features");
+    r.graph = graphir::build_graph(nl);
+    r.features_raw = graphir::extract_features(nl, r.stats);
+  }
 
   r.labels.assign(nl.num_nodes(), 0);
   r.scores.assign(nl.num_nodes(), 0.0);
@@ -94,6 +110,7 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
 
   // ---- GCN classifier ----------------------------------------------------------
   {
+    obs::Span span("gcn_train");
     util::Timer timer;
     r.gcn = std::make_unique<ml::GcnModel>(r.features.cols(),
                                            config_.classifier);
@@ -101,8 +118,13 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
                                          r.features, r.labels, r.split.train,
                                          r.split.val, config_.train);
     r.train_seconds = timer.seconds();
+    obs::logf(obs::LogLevel::kDebug,
+              "pipeline: GCN training %.3fs (best epoch %d, val %.4f)",
+              r.train_seconds, r.gcn_history.best_epoch,
+              r.gcn_history.best_val_metric);
   }
   {
+    obs::Span span("gcn_inference");
     util::Timer timer;
     const ml::Matrix out = r.gcn->forward(r.features, /*training=*/false);
     r.inference_seconds = timer.seconds();
@@ -113,6 +135,7 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
 
   // ---- baselines ------------------------------------------------------------------
   if (config_.train_baselines) {
+    obs::Span span("baselines");
     for (auto& baseline : ml::make_all_baselines(config_.baseline_seed)) {
       baseline->fit(r.features, r.labels, r.split.train);
       auto proba = baseline->predict_proba(r.features);
@@ -125,6 +148,7 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
 
   // ---- regressor (§3.4) ---------------------------------------------------------------
   if (config_.train_regressor) {
+    obs::Span span("regressor");
     ml::GcnConfig rc = ml::GcnConfig::regressor();
     rc.hidden = config_.classifier.hidden;
     rc.dropout = config_.classifier.dropout;

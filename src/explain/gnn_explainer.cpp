@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/obs/trace.hpp"
 #include "src/util/rng.hpp"
 
 namespace fcrit::explain {
@@ -63,6 +64,7 @@ GnnExplainer::GnnExplainer(ml::GcnModel& model,
 }
 
 Explanation GnnExplainer::explain(int node) {
+  obs::Span span("explain");
   if (node < 0 || node >= graph_->num_nodes)
     throw std::runtime_error("GnnExplainer::explain: node out of range");
   const int num_features = x_->cols();

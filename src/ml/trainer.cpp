@@ -1,10 +1,12 @@
 #include "src/ml/trainer.hpp"
 
-#include <cstdio>
 #include <memory>
 
 #include "src/ml/metrics.hpp"
 #include "src/ml/optimizer.hpp"
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/timer.hpp"
 
 namespace fcrit::ml {
 
@@ -45,8 +47,11 @@ TrainHistory train_classifier(GcnModel& model, const SparseMatrix& adj,
   TrainHistory history;
   history.best_val_metric = -1.0;
   int since_best = 0;
+  obs::Histogram& epoch_ms =
+      obs::registry().histogram("ml.classifier.epoch_ms");
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    util::Timer epoch_timer;
     const Matrix logp = model.forward(x, /*training=*/true);
     Matrix grad;
     const double loss = masked_nll(logp, labels, train_idx, grad);
@@ -58,6 +63,7 @@ TrainHistory train_classifier(GcnModel& model, const SparseMatrix& adj,
     const double val_acc = accuracy(predict_labels(eval), labels, val_idx);
     history.train_loss.push_back(loss);
     history.val_metric.push_back(val_acc);
+    epoch_ms.observe(epoch_timer.millis());
 
     if (val_acc > history.best_val_metric) {
       history.best_val_metric = val_acc;
@@ -68,10 +74,14 @@ TrainHistory train_classifier(GcnModel& model, const SparseMatrix& adj,
       break;
     }
     if (config.verbose && epoch % config.log_every == 0)
-      std::printf("epoch %4d  loss %.4f  val_acc %.4f\n", epoch, loss,
-                  val_acc);
+      obs::logf(obs::LogLevel::kInfo, "epoch %4d  loss %.4f  val_acc %.4f",
+                epoch, loss, val_acc);
   }
   best.restore();
+  obs::logf(obs::LogLevel::kDebug,
+            "train_classifier: %zu epochs, best val_acc %.4f at epoch %d",
+            history.train_loss.size(), history.best_val_metric,
+            history.best_epoch);
   return history;
 }
 
@@ -87,8 +97,11 @@ TrainHistory train_regressor(GcnModel& model, const SparseMatrix& adj,
   TrainHistory history;
   history.best_val_metric = -1e30;
   int since_best = 0;
+  obs::Histogram& epoch_ms =
+      obs::registry().histogram("ml.regressor.epoch_ms");
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    util::Timer epoch_timer;
     const Matrix pred = model.forward(x, /*training=*/true);
     Matrix grad;
     const double loss = masked_mse(pred, targets, train_idx, grad);
@@ -101,6 +114,7 @@ TrainHistory train_regressor(GcnModel& model, const SparseMatrix& adj,
     const double val_mse = masked_mse(eval, targets, val_idx, unused);
     history.train_loss.push_back(loss);
     history.val_metric.push_back(-val_mse);
+    epoch_ms.observe(epoch_timer.millis());
 
     if (-val_mse > history.best_val_metric) {
       history.best_val_metric = -val_mse;
@@ -111,10 +125,14 @@ TrainHistory train_regressor(GcnModel& model, const SparseMatrix& adj,
       break;
     }
     if (config.verbose && epoch % config.log_every == 0)
-      std::printf("epoch %4d  loss %.5f  val_mse %.5f\n", epoch, loss,
-                  val_mse);
+      obs::logf(obs::LogLevel::kInfo, "epoch %4d  loss %.5f  val_mse %.5f",
+                epoch, loss, val_mse);
   }
   best.restore();
+  obs::logf(obs::LogLevel::kDebug,
+            "train_regressor: %zu epochs, best -val_mse %.5f at epoch %d",
+            history.train_loss.size(), history.best_val_metric,
+            history.best_epoch);
   return history;
 }
 

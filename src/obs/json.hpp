@@ -1,0 +1,31 @@
+// Minimal JSON emission + validation helpers for the observability layer.
+//
+// The repo's machine-readable outputs (METRICS snapshots, Chrome trace
+// files, BENCH_*.json) are assembled by hand from these escape/number
+// helpers; json_valid() is the matching strict checker the tests and the
+// CI smoke step use to guarantee every emitted document actually parses.
+// Deliberately not a parser — nothing is materialized.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fcrit::obs {
+
+/// Escape a string for embedding inside JSON quotes (the quotes themselves
+/// are not included).
+std::string json_escape(std::string_view s);
+
+/// `"s"` with escaping applied.
+std::string json_string(std::string_view s);
+
+/// Format a finite double as a JSON number; NaN/Inf (not representable in
+/// JSON) become 0.
+std::string json_number(double v);
+
+/// Strict recursive-descent validity check of one complete JSON document
+/// (RFC 8259 value grammar, \uXXXX escapes included). True only when the
+/// whole input is exactly one valid value plus surrounding whitespace.
+bool json_valid(std::string_view text);
+
+}  // namespace fcrit::obs

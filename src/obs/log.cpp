@@ -1,0 +1,71 @@
+#include "src/obs/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/text.hpp"
+
+namespace fcrit::obs {
+
+namespace {
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int>* slot = [] {
+    auto* s = new std::atomic<int>(static_cast<int>(LogLevel::kInfo));
+    if (const char* env = std::getenv("FCRIT_LOG"))
+      s->store(static_cast<int>(parse_log_level(env, LogLevel::kInfo)),
+               std::memory_order_relaxed);
+    return s;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) {
+  const std::string lower = util::to_lower(util::trim(name));
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "trace") return LogLevel::kTrace;
+  return fallback;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "info";
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         level_slot().load(std::memory_order_relaxed);
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "fcrit %s: %s\n", log_level_name(level), buffer);
+}
+
+}  // namespace fcrit::obs

@@ -1,0 +1,39 @@
+// Leveled logging with one sink (stderr), so the trainer/pipeline chatter
+// that used to go straight to stdout flows through a single switchable
+// valve.
+//
+// The active level comes from, in priority order: set_log_level() (the
+// CLI's --verbose/--quiet), the FCRIT_LOG environment variable
+// (error|warn|info|debug|trace), and the kInfo default. Call sites guard
+// with log_enabled() when building the message is itself expensive;
+// logf() re-checks, so a plain call is always safe.
+#pragma once
+
+#include <string_view>
+
+namespace fcrit::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Name -> level, case-insensitive; unknown names return `fallback`.
+LogLevel parse_log_level(std::string_view name, LogLevel fallback);
+const char* log_level_name(LogLevel level);
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+bool log_enabled(LogLevel level);
+
+/// printf-style message to stderr as "fcrit <level>: <message>\n",
+/// dropped when `level` is above the active level.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace fcrit::obs

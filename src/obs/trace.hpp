@@ -1,0 +1,77 @@
+// Phase-scoped tracing: RAII spans that nest, record wall time + thread
+// id, and export Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// The Tracer is a process-wide singleton that is off by default: a Span
+// constructed while tracing is disabled costs one relaxed atomic load and
+// records nothing, so the pipeline stays instrumented permanently and
+// pays only when someone asks for a trace (`fcrit pipeline --trace-out`).
+// Spans emit "X" (complete) events; nesting falls out of the begin/end
+// timestamps, so no per-thread stack is kept and spans may close on a
+// different thread than they opened on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fcrit::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   // start, microseconds since Tracer::start()
+  std::uint64_t dur_us = 0;  // duration, microseconds
+  int tid = 0;               // small dense per-thread id
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enable collection, dropping any previously collected events.
+  void start();
+  void stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(TraceEvent event);
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write to `path`; false when the file cannot be opened.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII phase span against the global Tracer. Records on destruction when
+/// tracing was enabled at construction; otherwise near-free.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// End the span before scope exit (idempotent).
+  void close();
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace fcrit::obs

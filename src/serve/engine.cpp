@@ -8,6 +8,7 @@
 #include "src/fault/fault.hpp"
 #include "src/graphir/graph.hpp"
 #include "src/ml/serialize.hpp"
+#include "src/obs/json.hpp"
 #include "src/netlist/bench_format.hpp"
 #include "src/netlist/verilog_parser.hpp"
 #include "src/sim/probability.hpp"
@@ -36,11 +37,11 @@ std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path) {
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->add();
       return lru_.front().second;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->add();
   // Parse outside the lock: concurrent first-touch requests may duplicate
   // the work, but never block each other behind a cold load.
   std::istringstream is(bytes);
@@ -92,7 +93,18 @@ designs::Design load_score_target(const std::string& arg) {
 
 ScoringEngine::ScoringEngine(EngineConfig config)
     : config_(config),
-      cache_(std::max<std::size_t>(1, config.cache_capacity)) {
+      cache_(std::max<std::size_t>(1, config.cache_capacity),
+             &registry_.counter("serve.cache_hits"),
+             &registry_.counter("serve.cache_misses")),
+      started_(std::chrono::steady_clock::now()),
+      requests_(&registry_.counter("serve.requests")),
+      completed_(&registry_.counter("serve.completed")),
+      errors_(&registry_.counter("serve.errors")),
+      queue_depth_(&registry_.gauge("serve.queue_depth")),
+      request_ms_(&registry_.histogram("serve.request_ms")),
+      load_ms_(&registry_.histogram("serve.load_ms")),
+      stats_ms_(&registry_.histogram("serve.stats_ms")),
+      forward_ms_(&registry_.histogram("serve.forward_ms")) {
   config_.threads = std::max(1, config_.threads);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.cache_capacity = std::max<std::size_t>(1, config_.cache_capacity);
@@ -106,13 +118,12 @@ ScoringEngine::~ScoringEngine() { shutdown(); }
 ScoreResult ScoringEngine::score(const std::string& bundle_path,
                                  const designs::Design& target,
                                  ScoreOptions opts) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->add();
+  util::Timer request_timer;
   try {
     util::Timer load_timer;
     const auto bundle = cache_.get(bundle_path);
-    load_nanos_.fetch_add(
-        static_cast<std::int64_t>(load_timer.seconds() * 1e9),
-        std::memory_order_relaxed);
+    load_ms_->observe(load_timer.millis());
     const BundleManifest& m = bundle->manifest;
 
     const netlist::Netlist& nl = target.netlist;
@@ -139,8 +150,7 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
     const ml::Matrix x = bundle->standardizer.transform(raw);
     const graphir::CircuitGraph graph = graphir::build_graph(nl);
     r.stats_seconds = stats_timer.seconds();
-    stats_nanos_.fetch_add(static_cast<std::int64_t>(r.stats_seconds * 1e9),
-                           std::memory_order_relaxed);
+    stats_ms_->observe(r.stats_seconds * 1e3);
 
     util::Timer forward_timer;
     ml::GcnModel classifier = ml::clone_gcn(*bundle->classifier);
@@ -161,19 +171,18 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
       r.score = r.proba;
     }
     r.forward_seconds = forward_timer.seconds();
-    forward_nanos_.fetch_add(
-        static_cast<std::int64_t>(r.forward_seconds * 1e9),
-        std::memory_order_relaxed);
+    forward_ms_->observe(r.forward_seconds * 1e3);
 
     r.sites = fault::fault_sites(nl);
     r.node_names.reserve(nl.num_nodes());
     for (netlist::NodeId id = 0; id < nl.num_nodes(); ++id)
       r.node_names.push_back(nl.node(id).name);
 
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_->add();
+    request_ms_->observe(request_timer.millis());
     return r;
   } catch (...) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->add();
     throw;
   }
 }
@@ -197,7 +206,7 @@ std::future<ScoreResult> ScoringEngine::submit(std::string bundle_path,
     if (stopping_)
       throw std::runtime_error("ScoringEngine: submit after shutdown");
     queue_.push_back(std::move(job));
-    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
   }
   queue_not_empty_.notify_one();
   return future;
@@ -213,6 +222,7 @@ void ScoringEngine::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     queue_not_full_.notify_one();
     try {
@@ -239,19 +249,46 @@ void ScoringEngine::shutdown() {
 
 MetricsSnapshot ScoringEngine::metrics() const {
   MetricsSnapshot s;
-  s.requests = requests_.load();
-  s.completed = completed_.load();
-  s.errors = errors_.load();
+  s.requests = requests_->value();
+  s.completed = completed_->value();
+  s.errors = errors_->value();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    s.queue_high_water = queue_high_water_;
-  }
-  s.load_seconds = static_cast<double>(load_nanos_.load()) * 1e-9;
-  s.stats_seconds = static_cast<double>(stats_nanos_.load()) * 1e-9;
-  s.forward_seconds = static_cast<double>(forward_nanos_.load()) * 1e-9;
+  s.queue_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, queue_depth_->value()));
+  s.queue_high_water = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, queue_depth_->high_water()));
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  s.load_seconds = load_ms_->snapshot().sum * 1e-3;
+  s.stats_seconds = stats_ms_->snapshot().sum * 1e-3;
+  s.forward_seconds = forward_ms_->snapshot().sum * 1e-3;
+  s.request_ms = request_ms_->snapshot();
   return s;
+}
+
+std::string ScoringEngine::metrics_json() const {
+  const MetricsSnapshot s = metrics();
+  std::string out = "{";
+  out += "\"uptime_seconds\":" + obs::json_number(s.uptime_seconds);
+  out += ",\"threads\":" + std::to_string(config_.threads);
+  out += ",\"queue_capacity\":" + std::to_string(config_.queue_capacity);
+  out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  out += ",\"queue_high_water\":" + std::to_string(s.queue_high_water);
+  out += ",\"requests\":" + std::to_string(s.requests);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"errors\":" + std::to_string(s.errors);
+  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += ",\"cache_hit_ratio\":" + obs::json_number(s.cache_hit_ratio());
+  out += ",\"request_ms\":" + obs::histogram_json(s.request_ms);
+  out += ",\"load_ms\":" + obs::histogram_json(load_ms_->snapshot());
+  out += ",\"stats_ms\":" + obs::histogram_json(stats_ms_->snapshot());
+  out += ",\"forward_ms\":" + obs::histogram_json(forward_ms_->snapshot());
+  out += "}";
+  return out;
 }
 
 }  // namespace fcrit::serve

@@ -8,14 +8,19 @@
 // content hash, so repeated requests against the same artifact skip the
 // parse. A fixed worker pool with a bounded queue serves concurrent
 // requests (submit() blocks when the queue is full — backpressure, not
-// unbounded memory), and atomic counters expose requests, cache hits and
-// misses, per-stage latency sums and the queue-depth high-water mark.
+// unbounded memory). Every engine owns a private obs::Registry whose
+// instruments (request/stage latency histograms with p50/p90/p99, cache
+// hit/miss counters, a queue-depth gauge with high-water mark) back both
+// metrics() and the metrics_json() snapshot the daemon's METRICS command
+// returns; a per-engine registry keeps concurrent engines from mixing
+// counts.
 // Every forward pass runs on a per-request clone of the bundle's models:
 // GcnModel caches activations internally, so instances must not be shared
 // across threads.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +35,7 @@
 
 #include "src/designs/designs.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/bundle.hpp"
 
 namespace fcrit::serve {
@@ -75,26 +81,44 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::size_t queue_depth = 0;  // jobs waiting right now
   std::size_t queue_high_water = 0;
+  double uptime_seconds = 0.0;  // since engine construction
   double load_seconds = 0.0;  // bundle fetch (cache hit or parse)
   double stats_seconds = 0.0;
   double forward_seconds = 0.0;
+  /// End-to-end latency of successful score() calls; p50/p90/p99 via
+  /// request_ms.percentile(). All duration fields come from one histogram
+  /// snapshot, so the derived mean can never exceed the observed max (the
+  /// torn load_nanos_/completed_ read the hand-rolled atomics had).
+  obs::HistogramSnapshot request_ms;
+
+  double cache_hit_ratio() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : double(cache_hits) / double(total);
+  }
 };
 
 /// Thread-safe LRU of parsed bundles keyed by file content hash. Sharing
 /// is by shared_ptr, so an entry evicted mid-request stays alive until
-/// the request drops it.
+/// the request drops it. Hit/miss counts go to registry counters when the
+/// owner provides them (the ScoringEngine does), else to private ones.
 class BundleCache {
  public:
-  explicit BundleCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit BundleCache(std::size_t capacity,
+                       obs::Counter* hits = nullptr,
+                       obs::Counter* misses = nullptr)
+      : capacity_(capacity),
+        hits_(hits ? hits : &own_hits_),
+        misses_(misses ? misses : &own_misses_) {}
 
   /// Read + hash the file at `path`, returning the cached parse when the
   /// bytes were seen before. Throws BundleError on unreadable/invalid
   /// files. Exactly one hit or miss is counted per call.
   std::shared_ptr<const ModelBundle> get(const std::string& path);
 
-  std::uint64_t hits() const { return hits_.load(); }
-  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
   std::size_t size() const;
 
  private:
@@ -104,8 +128,10 @@ class BundleCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  obs::Counter own_hits_;
+  obs::Counter own_misses_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
 };
 
 class ScoringEngine {
@@ -142,6 +168,14 @@ class ScoringEngine {
 
   MetricsSnapshot metrics() const;
 
+  /// One JSON object — uptime, counters, cache hit ratio, queue depth and
+  /// the latency histograms (p50/p90/p99) — the payload of the daemon's
+  /// METRICS command and the SIGINT drain log.
+  std::string metrics_json() const;
+
+  /// The engine's private instrument registry (read-only callers).
+  const obs::Registry& metrics_registry() const { return registry_; }
+
  private:
   struct Job {
     std::string bundle_path;
@@ -153,22 +187,26 @@ class ScoringEngine {
   void worker_loop();
 
   EngineConfig config_;
+  // Declared before cache_/instrument pointers: they borrow from it.
+  obs::Registry registry_;
   BundleCache cache_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::deque<Job> queue_;
-  std::size_t queue_high_water_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::int64_t> load_nanos_{0};
-  std::atomic<std::int64_t> stats_nanos_{0};
-  std::atomic<std::int64_t> forward_nanos_{0};
+  std::chrono::steady_clock::time_point started_;
+  obs::Counter* requests_;
+  obs::Counter* completed_;
+  obs::Counter* errors_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* request_ms_;
+  obs::Histogram* load_ms_;
+  obs::Histogram* stats_ms_;
+  obs::Histogram* forward_ms_;
 };
 
 /// Resolve a score target: registered design name, or a .v/.bench file

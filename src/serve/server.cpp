@@ -138,6 +138,8 @@ std::string Server::handle_line(const std::string& line) {
 
   if (verb == "QUIT") return "BYE\n.\n";
 
+  if (verb == "METRICS") return engine_.metrics_json() + "\n.\n";
+
   if (verb == "STATS") {
     const MetricsSnapshot m = engine_.metrics();
     std::ostringstream os;
@@ -208,7 +210,7 @@ std::string Server::handle_line(const std::string& line) {
   }
 
   return error_response("unknown command '" + verb +
-                        "' (SCORE, STATS, QUIT)");
+                        "' (SCORE, STATS, METRICS, QUIT)");
 }
 
 void Server::stop() {

@@ -12,6 +12,11 @@
 //   STATS
 //       One "OK requests=... completed=... errors=... cache_hits=...
 //       cache_misses=... queue_high_water=... threads=..." line.
+//   METRICS
+//       One line holding a JSON snapshot of the engine's registry: uptime,
+//       request counters, cache hit ratio, queue depth, and the latency
+//       histograms with p50/p90/p99 (see ScoringEngine::metrics_json and
+//       docs/OBSERVABILITY.md).
 //   QUIT
 //       Replies "BYE" and closes the connection.
 // Any failure replies "ERR <message>".

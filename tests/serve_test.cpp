@@ -20,6 +20,7 @@
 
 #include "src/designs/random_circuit.hpp"
 #include "src/netlist/verilog_writer.hpp"
+#include "src/obs/json.hpp"
 #include "src/serve/bundle.hpp"
 #include "src/serve/engine.hpp"
 #include "src/serve/server.hpp"
@@ -440,6 +441,37 @@ TEST(ServerTest, ProtocolSessionWithCacheHitsAndGracefulStop) {
   server.stop();
   EXPECT_FALSE(server.running());
   ::close(fd1);
+}
+
+TEST(ServerTest, MetricsCommandReturnsWellFormedJson) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_metrics";
+  std::filesystem::create_directories(dir);
+  const auto d = tiny_design(61);
+  save_bundle_file(synthetic_bundle(d, 11), dir + "/tiny.fcm");
+
+  ScoringEngine engine({.threads = 1});
+  Server server(engine, {.bundle_dir = dir, .port = 0});
+  (void)engine.score(dir + "/tiny.fcm", d);  // miss
+  (void)engine.score(dir + "/tiny.fcm", d);  // hit
+
+  const std::string reply = server.handle_line("METRICS");
+  ASSERT_GE(reply.size(), 4u);
+  EXPECT_EQ(reply.substr(reply.size() - 3), "\n.\n");
+  const std::string body = reply.substr(0, reply.size() - 3);
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_TRUE(obs::json_valid(body)) << body;
+  for (const char* key :
+       {"\"uptime_seconds\"", "\"requests\"", "\"request_ms\"", "\"p50\"",
+        "\"p99\"", "\"cache_hit_ratio\"", "\"queue_depth\""})
+    EXPECT_NE(body.find(key), std::string::npos) << key;
+
+  // The registry-backed snapshot is coherent (the torn-read regression).
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_EQ(m.request_ms.count, 2u);
+  EXPECT_LE(m.request_ms.mean(), m.request_ms.max + 1e-9);
+  EXPECT_DOUBLE_EQ(m.cache_hit_ratio(), 0.5);
+  EXPECT_GE(m.uptime_seconds, 0.0);
 }
 
 TEST(ServerTest, HandleLineReportsUsageErrors) {
