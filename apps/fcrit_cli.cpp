@@ -54,6 +54,7 @@
 #include "src/netlist/verilog_writer.hpp"
 #include "src/sim/scoap.hpp"
 #include "src/sim/vcd.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/text.hpp"
 
 namespace {
@@ -95,7 +96,11 @@ constexpr const char* kUsageText =
     "  help | --help                     this text\n"
     "  version                           print the fcrit version\n"
     "global flags: --verbose | --quiet   log level (also FCRIT_LOG=\n"
-    "                                    error|warn|info|debug|trace)\n";
+    "                                    error|warn|info|debug|trace)\n"
+    "              --jobs N              ML kernel worker threads (also\n"
+    "                                    FCRIT_THREADS; 0 = all cores,\n"
+    "                                    1 = serial; results are bitwise-\n"
+    "                                    identical for any value)\n";
 
 int usage() {
   std::fputs(kUsageText, stderr);
@@ -246,6 +251,8 @@ int cmd_analyze(const std::string& target,
     cfg.train.epochs = std::stoi(flags.at("--epochs"));
     cfg.regressor_train.epochs = cfg.train.epochs;
   }
+  if (flags.contains("--jobs"))
+    cfg.jobs = util::parse_thread_count(flags.at("--jobs"));
   const bool tracing = flags.contains("--trace-out");
   if (tracing) obs::Tracer::instance().start();
   core::FaultCriticalityAnalyzer analyzer(cfg);
@@ -447,6 +454,8 @@ int cmd_pack(const std::string& target,
     cfg.train.epochs = std::stoi(flags.at("--epochs"));
     cfg.regressor_train.epochs = cfg.train.epochs;
   }
+  if (flags.contains("--jobs"))
+    cfg.jobs = util::parse_thread_count(flags.at("--jobs"));
   core::FaultCriticalityAnalyzer analyzer(cfg);
   const auto r = analyzer.analyze(load_target(target));
 
@@ -637,12 +646,22 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  // Global log-level flags apply to every command; FCRIT_LOG is the
-  // environment-side knob (see src/obs/log.hpp).
+  // Global flags apply to every command; FCRIT_LOG / FCRIT_THREADS are the
+  // environment-side knobs (see src/obs/log.hpp, src/util/parallel.hpp).
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--verbose") obs::set_log_level(obs::LogLevel::kDebug);
     if (arg == "--quiet") obs::set_log_level(obs::LogLevel::kWarn);
+    if (arg == "--jobs") {
+      const int n =
+          i + 1 < argc ? util::parse_thread_count(argv[i + 1]) : -1;
+      if (n < 0) {
+        std::fprintf(stderr, "fcrit: --jobs needs a thread count "
+                             "(0 = all cores, 1 = serial)\n");
+        return 2;
+      }
+      util::set_num_threads(n);
+    }
   }
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {

@@ -1,0 +1,137 @@
+// Serial-vs-parallel wall time for the ML math kernels and a full training
+// epoch, at every thread count worth comparing on this machine.
+//
+//   bench_kernels [--jobs N]
+//
+// Without --jobs the sweep is {1, 2, 4, hardware} (deduplicated, capped at
+// the hardware lane count); with --jobs it is {1, N}. Each phase lands in
+// BENCH_kernels.json as "<kernel>@<threads>t", so the speedup trajectory
+// of matmul / SpMM / epoch time is tracked across commits alongside the
+// accuracy benches. Correctness is NOT re-checked here — that is
+// tests/kernel_determinism_test.cpp's job (results are bitwise-identical
+// by construction, so the times below compare equal work).
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/ml/matrix.hpp"
+#include "src/ml/sparse.hpp"
+#include "src/ml/trainer.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace fcrit;
+
+ml::Matrix random_matrix(int rows, int cols, util::Rng& rng) {
+  return ml::Matrix::randn(rows, cols, rng, 1.0f);
+}
+
+ml::SparseMatrix random_adjacency(int n, int degree, util::Rng& rng) {
+  std::vector<ml::Coo> entries;
+  for (int r = 0; r < n; ++r) {
+    entries.push_back({r, r, 0.5f});
+    for (int d = 0; d < degree; ++d) {
+      const int c = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      entries.push_back({r, c, 0.1f});
+    }
+  }
+  return ml::SparseMatrix::from_coo(n, n, std::move(entries));
+}
+
+double time_repeated(int repeats, const std::function<void()>& fn) {
+  fn();  // warm-up (first call also resolves metric instruments)
+  util::Timer timer;
+  for (int i = 0; i < repeats; ++i) fn();
+  return timer.millis() / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requested = -1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--jobs") == 0)
+      requested = util::parse_thread_count(argv[i + 1]);
+
+  std::vector<int> sweep;
+  if (requested >= 0) {
+    sweep = {1, requested == 0 ? util::hardware_threads() : requested};
+  } else {
+    sweep = {1, 2, 4, util::hardware_threads()};
+  }
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  bench::print_header("kernel scaling: matmul / SpMM / training epoch");
+  bench::Recorder recorder("kernels");
+
+  util::Rng rng(42);
+  const ml::Matrix a = random_matrix(2048, 256, rng);
+  const ml::Matrix b = random_matrix(256, 256, rng);
+  const ml::SparseMatrix adj = random_adjacency(4096, 8, rng);
+  const ml::Matrix x = random_matrix(4096, 128, rng);
+
+  // Small end-to-end training problem for the epoch timing.
+  const int n = 2048;
+  const ml::SparseMatrix train_adj = random_adjacency(n, 4, rng);
+  const ml::Matrix feats = random_matrix(n, 16, rng);
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    labels[static_cast<std::size_t>(i)] = (rng.next() & 1) != 0;
+  std::vector<int> train_idx, val_idx;
+  for (int i = 0; i < n; ++i)
+    ((i % 5 == 0) ? val_idx : train_idx).push_back(i);
+
+  std::printf("%-18s", "kernel");
+  for (const int t : sweep) std::printf("  %7dt", t);
+  std::printf("\n");
+
+  struct Row {
+    std::string label;
+    std::vector<double> ms;
+  };
+  std::vector<Row> rows;
+  const auto bench_kernel = [&](const std::string& label, int repeats,
+                                const std::function<void()>& fn) {
+    Row row{label, {}};
+    for (const int t : sweep) {
+      util::set_num_threads(t);
+      const double ms = time_repeated(repeats, fn);
+      row.ms.push_back(ms);
+      recorder.phase(label + "@" + std::to_string(t) + "t", ms);
+    }
+    rows.push_back(std::move(row));
+  };
+
+  bench_kernel("matmul 2048x256", 10, [&] { (void)ml::matmul(a, b); });
+  bench_kernel("matmul_tn", 10, [&] { (void)ml::matmul_tn(a, a); });
+  bench_kernel("matmul_nt", 10, [&] { (void)ml::matmul_nt(a, a); });
+  bench_kernel("spmm 4096x4096", 10, [&] { (void)adj.spmm(x); });
+  bench_kernel("spmm_t", 10, [&] { (void)adj.spmm_t(x); });
+  bench_kernel("epoch (train)", 1, [&] {
+    ml::GcnConfig mc = ml::GcnConfig::classifier();
+    mc.hidden = {16, 32};
+    ml::GcnModel model(feats.cols(), mc);
+    ml::TrainConfig tc;
+    tc.epochs = 3;
+    tc.patience = 0;
+    ml::train_classifier(model, train_adj, feats, labels, train_idx, val_idx,
+                         tc);
+  });
+  util::set_num_threads(0);
+
+  for (const auto& row : rows) {
+    std::printf("%-18s", row.label.c_str());
+    for (const double ms : row.ms) std::printf("  %6.2fms", ms);
+    if (row.ms.size() >= 2 && row.ms.back() > 0.0)
+      std::printf("  (x%.2f)", row.ms.front() / row.ms.back());
+    std::printf("\n");
+  }
+  recorder.write();
+  return 0;
+}

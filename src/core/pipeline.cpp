@@ -6,6 +6,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/probability.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
 namespace fcrit::core {
@@ -38,6 +39,7 @@ ModelEval evaluate_model(std::string name, std::vector<double> proba,
 PipelineResult FaultCriticalityAnalyzer::analyze(
     designs::Design design) const {
   obs::registry().counter("pipeline.runs").add();
+  if (config_.jobs >= 0) util::set_num_threads(config_.jobs);
   PipelineResult r;
   r.config = config_;
   r.design = std::move(design);

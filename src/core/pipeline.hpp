@@ -63,6 +63,12 @@ struct PipelineConfig {
   // Baselines (Fig. 3 comparison).
   bool train_baselines = true;
   std::uint64_t baseline_seed = 11;
+
+  // Worker threads for the ML kernels (src/util/parallel.hpp).
+  // -1 inherits the process-wide setting (FCRIT_THREADS or all cores),
+  // 0 uses all hardware threads, 1 forces the exact serial path. Results
+  // are bitwise-identical across all values.
+  int jobs = -1;
 };
 
 /// One trained model's validation-set evaluation.

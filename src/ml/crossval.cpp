@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/ml/metrics.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/text.hpp"
 
@@ -48,28 +49,38 @@ CrossValResult cross_validate_gcn(const SparseMatrix& adj, const Matrix& x,
       fold_of_candidate[bucket[k]] = static_cast<int>(k) % num_folds;
   }
 
+  // Folds are fully independent (each trains its own model on its own seed),
+  // so they shard across the pool. Results land in preallocated slots by
+  // fold index, matching the serial loop's ordering exactly; kernels invoked
+  // inside a worker run inline (nested regions degrade to serial), so each
+  // fold's arithmetic is identical to the serial path.
   CrossValResult result;
-  for (int fold = 0; fold < num_folds; ++fold) {
-    std::vector<int> train, val;
-    for (std::size_t i = 0; i < candidates.size(); ++i)
-      (fold_of_candidate[i] == fold ? val : train).push_back(candidates[i]);
-    if (val.empty() || train.empty())
-      throw std::runtime_error("cross_validate_gcn: empty fold");
+  result.fold_accuracy.assign(static_cast<std::size_t>(num_folds), 0.0);
+  result.fold_auc.assign(static_cast<std::size_t>(num_folds), 0.0);
+  util::parallel_for(0, num_folds, 1, [&](std::int64_t f0, std::int64_t f1) {
+    for (int fold = static_cast<int>(f0); fold < static_cast<int>(f1);
+         ++fold) {
+      std::vector<int> train, val;
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        (fold_of_candidate[i] == fold ? val : train).push_back(candidates[i]);
+      if (val.empty() || train.empty())
+        throw std::runtime_error("cross_validate_gcn: empty fold");
 
-    GcnConfig mc = model_config;
-    mc.seed = seed ^ (static_cast<std::uint64_t>(fold) << 17);
-    GcnModel model(x.cols(), mc);
-    train_classifier(model, adj, x, labels, train, val, train_config);
-    const Matrix out = model.forward(x, false);
-    result.fold_accuracy.push_back(
-        accuracy(predict_labels(out), labels, val));
-    bool has_pos = false, has_neg = false;
-    for (const int i : val)
-      (labels[static_cast<std::size_t>(i)] ? has_pos : has_neg) = true;
-    result.fold_auc.push_back(
-        has_pos && has_neg ? roc_auc(class1_probability(out), labels, val)
-                           : 0.5);
-  }
+      GcnConfig mc = model_config;
+      mc.seed = seed ^ (static_cast<std::uint64_t>(fold) << 17);
+      GcnModel model(x.cols(), mc);
+      train_classifier(model, adj, x, labels, train, val, train_config);
+      const Matrix out = model.forward(x, false);
+      result.fold_accuracy[static_cast<std::size_t>(fold)] =
+          accuracy(predict_labels(out), labels, val);
+      bool has_pos = false, has_neg = false;
+      for (const int i : val)
+        (labels[static_cast<std::size_t>(i)] ? has_pos : has_neg) = true;
+      result.fold_auc[static_cast<std::size_t>(fold)] =
+          has_pos && has_neg ? roc_auc(class1_probability(out), labels, val)
+                             : 0.5;
+    }
+  });
 
   const double n = static_cast<double>(num_folds);
   for (const double a : result.fold_accuracy) result.mean_accuracy += a / n;

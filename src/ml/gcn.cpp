@@ -5,24 +5,36 @@
 
 namespace fcrit::ml {
 
+GcnModel::UseGuard::UseGuard(std::atomic<bool>& flag) : flag_(flag) {
+  if (flag_.exchange(true, std::memory_order_acquire))
+    throw std::logic_error(
+        "GcnModel: concurrent forward/backward on one instance; "
+        "clone per thread (ml::clone_gcn)");
+}
+
+GcnModel::UseGuard::~UseGuard() {
+  flag_.store(false, std::memory_order_release);
+}
+
 GcnModel::GcnModel(int in_features, GcnConfig config)
     : in_features_(in_features), config_(std::move(config)),
-      rng_(config_.seed) {
+      rng_(std::make_unique<util::Rng>(config_.seed)),
+      in_use_(std::make_unique<std::atomic<bool>>(false)) {
   if (config_.hidden.empty())
     throw std::runtime_error("GcnModel: need at least one hidden layer");
 
   int width = in_features_;
   for (std::size_t k = 0; k < config_.hidden.size(); ++k) {
-    auto conv = std::make_unique<GcnConv>(width, config_.hidden[k], rng_);
+    auto conv = std::make_unique<GcnConv>(width, config_.hidden[k], *rng_);
     convs_.push_back(conv.get());
     layers_.push_back(std::move(conv));
     layers_.push_back(std::make_unique<Relu>());
     if (static_cast<int>(k) == config_.dropout_after &&
         config_.dropout > 0.0)
-      layers_.push_back(std::make_unique<Dropout>(config_.dropout, rng_));
+      layers_.push_back(std::make_unique<Dropout>(config_.dropout, *rng_));
     width = config_.hidden[k];
   }
-  auto head = std::make_unique<GcnConv>(width, config_.output_dim, rng_);
+  auto head = std::make_unique<GcnConv>(width, config_.output_dim, *rng_);
   convs_.push_back(head.get());
   layers_.push_back(std::move(head));
   if (config_.log_softmax) layers_.push_back(std::make_unique<LogSoftmax>());
@@ -37,12 +49,14 @@ void GcnModel::set_edge_grad_buffer(std::vector<float>* buf) {
 }
 
 Matrix GcnModel::forward(const Matrix& x, bool training) {
+  UseGuard guard(*in_use_);
   Matrix h = x;
   for (const auto& layer : layers_) h = layer->forward(h, training);
   return h;
 }
 
 Matrix GcnModel::backward(const Matrix& grad_out) {
+  UseGuard guard(*in_use_);
   Matrix g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
     g = (*it)->backward(g);

@@ -9,6 +9,7 @@
 // dimensionality to 1, yielding continuous criticality scores.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,9 +48,14 @@ class GcnModel {
   void set_edge_grad_buffer(std::vector<float>* buf);
 
   /// N x output_dim output (log-probabilities for the classifier).
+  /// NOT safe for concurrent callers on one instance (layers cache their
+  /// activations between forward and backward): a second thread entering
+  /// while a pass is in flight gets std::logic_error instead of silently
+  /// corrupted activations — clone per thread via ml::clone_gcn.
   Matrix forward(const Matrix& x, bool training);
 
   /// Backpropagate; returns dL/dX (needed by the explainer's feature mask).
+  /// Same single-caller contract as forward().
   Matrix backward(const Matrix& grad_out);
 
   std::vector<Param> params();
@@ -66,11 +72,27 @@ class GcnModel {
   std::string describe() const;
 
  private:
+  // Scoped guard: flips *flag true on entry, throws std::logic_error if it
+  // already was (two threads inside one model), restores on exit.
+  class UseGuard {
+   public:
+    explicit UseGuard(std::atomic<bool>& flag);
+    ~UseGuard();
+
+   private:
+    std::atomic<bool>& flag_;
+  };
+
   int in_features_;
   GcnConfig config_;
-  util::Rng rng_;  // owns dropout randomness; referenced by Dropout layers
+  // Dropout layers keep a pointer to this Rng, so it lives on the heap to
+  // stay at a stable address when the model itself is moved.
+  std::unique_ptr<util::Rng> rng_;
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<GcnConv*> convs_;
+  // Heap-allocated so the implicit move ctor stays available; detects
+  // concurrent forward/backward on one instance (see forward()).
+  std::unique_ptr<std::atomic<bool>> in_use_;
 };
 
 /// argmax over each row; returns one class id per node.

@@ -1,0 +1,44 @@
+// Internal instrumentation shared by the dense (matrix.cpp) and sparse
+// (sparse.cpp) kernels: each kernel call lands one wall-time sample in a
+// process-registry histogram (ml.kernel.<name>_ms) and, when tracing is
+// enabled, one trace span — cheap enough to stay on permanently (the
+// histogram reference is resolved once per kernel via a local static, the
+// span is a relaxed atomic load while tracing is off).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/timer.hpp"
+
+namespace fcrit::ml::detail {
+
+class KernelScope {
+ public:
+  KernelScope(const char* span_name, obs::Histogram& hist)
+      : span_(span_name), hist_(hist) {}
+  ~KernelScope() { hist_.observe(timer_.millis()); }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  obs::Span span_;
+  obs::Histogram& hist_;
+  util::Timer timer_;
+};
+
+/// Minimum per-chunk flop count before a kernel fans out: below this the
+/// dispatch overhead beats the win, so the range collapses to one inline
+/// chunk (util::parallel_for's min_chunk).
+inline constexpr std::int64_t kGrainFlops = 16384;
+
+/// min_chunk in rows for a kernel whose rows cost `flops_per_row` each.
+inline std::int64_t row_grain(std::int64_t flops_per_row) {
+  return std::max<std::int64_t>(
+      1, kGrainFlops / std::max<std::int64_t>(1, flops_per_row));
+}
+
+}  // namespace fcrit::ml::detail

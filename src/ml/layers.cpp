@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/ml/kernel_stats.hpp"
+#include "src/util/parallel.hpp"
+
 namespace fcrit::ml {
 
 // ---- GcnConv ----------------------------------------------------------------
@@ -95,17 +98,21 @@ std::string Linear::describe() const {
 Matrix Relu::forward(const Matrix& x, bool /*training*/) {
   mask_ = Matrix(x.rows(), x.cols());
   Matrix y = x;
-  for (int i = 0; i < x.rows(); ++i) {
-    auto yrow = y.row(i);
-    auto mrow = mask_.row(i);
-    for (int j = 0; j < x.cols(); ++j) {
-      if (yrow[j] > 0.0f) {
-        mrow[j] = 1.0f;
-      } else {
-        yrow[j] = 0.0f;
+  // Elementwise per row — row sharding is trivially order-preserving.
+  util::parallel_for(0, x.rows(), detail::row_grain(x.cols()),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      auto yrow = y.row(i);
+      auto mrow = mask_.row(i);
+      for (int j = 0; j < x.cols(); ++j) {
+        if (yrow[j] > 0.0f) {
+          mrow[j] = 1.0f;
+        } else {
+          yrow[j] = 0.0f;
+        }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -117,6 +124,8 @@ Matrix Relu::backward(const Matrix& grad_out) {
 
 // ---- Dropout -------------------------------------------------------------------
 
+// Deliberately serial: the mask consumes one RNG draw per element in row-major
+// order, and that draw order must not depend on the thread count.
 Matrix Dropout::forward(const Matrix& x, bool training) {
   if (!training || rate_ <= 0.0) {
     mask_ = Matrix();
@@ -156,15 +165,20 @@ std::string Dropout::describe() const {
 
 Matrix LogSoftmax::forward(const Matrix& x, bool /*training*/) {
   Matrix y = x;
-  for (int i = 0; i < x.rows(); ++i) {
-    auto yrow = y.row(i);
-    float mx = yrow[0];
-    for (int j = 1; j < x.cols(); ++j) mx = std::max(mx, yrow[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < x.cols(); ++j) sum += std::exp(yrow[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (int j = 0; j < x.cols(); ++j) yrow[j] -= lse;
-  }
+  // Each row's reduction stays within one chunk, so the j-order (and hence
+  // the FP result) matches the serial loop exactly.
+  util::parallel_for(0, x.rows(), detail::row_grain(3 * x.cols()),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      auto yrow = y.row(i);
+      float mx = yrow[0];
+      for (int j = 1; j < x.cols(); ++j) mx = std::max(mx, yrow[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < x.cols(); ++j) sum += std::exp(yrow[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (int j = 0; j < x.cols(); ++j) yrow[j] -= lse;
+    }
+  });
   cached_logp_ = y;
   return y;
 }

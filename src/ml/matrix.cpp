@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/ml/kernel_stats.hpp"
+#include "src/util/parallel.hpp"
+
 namespace fcrit::ml {
 
 Matrix Matrix::full(int rows, int cols, float value) {
@@ -58,49 +61,83 @@ std::string Matrix::shape_string() const {
   return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
 }
 
+// The three matmul variants shard the OUTPUT rows of C across the shared
+// pool (util::parallel_for, static partitioning). Every output row is
+// accumulated by exactly one thread in the same k-order as the serial
+// loop, so results are bitwise-identical for any thread count — the
+// guarantee tests/kernel_determinism_test.cpp enforces.
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
+  static obs::Histogram& hist =
+      obs::registry().histogram("ml.kernel.matmul_ms");
+  detail::KernelScope scope("matmul", hist);
   Matrix c(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const float aik = a(i, k);
-      if (aik == 0.0f) continue;
-      const auto brow = b.row(k);
-      auto crow = c.row(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  const std::int64_t per_row =
+      static_cast<std::int64_t>(a.cols()) * b.cols();
+  util::parallel_for(0, a.rows(), detail::row_grain(per_row),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      for (int k = 0; k < a.cols(); ++k) {
+        const float aik = a(i, k);
+        if (aik == 0.0f) continue;
+        const auto brow = b.row(k);
+        auto crow = c.row(i);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
+  static obs::Histogram& hist =
+      obs::registry().histogram("ml.kernel.matmul_tn_ms");
+  detail::KernelScope scope("matmul_tn", hist);
   Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const auto arow = a.row(k);
-    const auto brow = b.row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      auto crow = c.row(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+  // C.row(i) sums a(k, i) * B.row(k) over k; sharding by i keeps that
+  // k-order per output row (each chunk re-walks A's rows but touches only
+  // its own columns of A / rows of C).
+  const std::int64_t per_row =
+      static_cast<std::int64_t>(a.rows()) * b.cols();
+  util::parallel_for(0, a.cols(), detail::row_grain(per_row),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    const int i0 = static_cast<int>(r0), i1 = static_cast<int>(r1);
+    for (int k = 0; k < a.rows(); ++k) {
+      const auto arow = a.row(k);
+      const auto brow = b.row(k);
+      for (int i = i0; i < i1; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) continue;
+        auto crow = c.row(i);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
+  static obs::Histogram& hist =
+      obs::registry().histogram("ml.kernel.matmul_nt_ms");
+  detail::KernelScope scope("matmul_nt", hist);
   Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const auto arow = a.row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      float s = 0.0f;
-      for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      c(i, j) = s;
+  const std::int64_t per_row =
+      static_cast<std::int64_t>(a.cols()) * b.rows();
+  util::parallel_for(0, a.rows(), detail::row_grain(per_row),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const auto arow = a.row(i);
+      for (int j = 0; j < b.rows(); ++j) {
+        const auto brow = b.row(j);
+        float s = 0.0f;
+        for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+        c(i, j) = s;
+      }
     }
-  }
+  });
   return c;
 }
 

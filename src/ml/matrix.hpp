@@ -2,9 +2,11 @@
 //
 // Deliberately minimal: the GCN, its baselines and the explainer need
 // matmul (plain, transposed-A, transposed-B), elementwise ops, row/col
-// reductions and a few initializers. All loops are written for clarity;
-// the matrices involved (N nodes x <=64 features) are small enough that
-// cache-friendly row-major traversal is all the optimization required.
+// reductions and a few initializers. The three matmul kernels shard their
+// output rows across the shared pool (src/util/parallel.hpp) with per-row
+// accumulation order unchanged, so results are bitwise-identical to the
+// serial path for any thread count; everything else stays a clear serial
+// row-major loop.
 #pragma once
 
 #include <cassert>

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/parallel.hpp"
+
 namespace fcrit::ml {
 
 void SgcClassifier::fit(const SparseMatrix& adj, const Matrix& x,
@@ -14,7 +16,10 @@ void SgcClassifier::fit(const SparseMatrix& adj, const Matrix& x,
 
   const int f = s_.cols();
   // Binary logistic regression on the propagated features (two-class SGC
-  // reduces to a single logit).
+  // reduces to a single logit). The gradient loop stays serial on purpose:
+  // a parallel reduction over train_idx would re-associate the FP sums and
+  // make results depend on the thread count. SGC's parallelism comes from
+  // the spmm propagation above.
   w_.assign(static_cast<std::size_t>(f) + 1, 0.0);
   std::vector<double> m(w_.size(), 0.0), v(w_.size(), 0.0), grad(w_.size());
   const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
@@ -49,12 +54,16 @@ std::vector<double> SgcClassifier::predict_proba() const {
   if (w_.empty()) throw std::runtime_error("SGC: not fitted");
   const int f = s_.cols();
   std::vector<double> p(static_cast<std::size_t>(s_.rows()));
-  for (int i = 0; i < s_.rows(); ++i) {
-    const auto row = s_.row(i);
-    double z = w_[static_cast<std::size_t>(f)];
-    for (int j = 0; j < f; ++j) z += w_[static_cast<std::size_t>(j)] * row[j];
-    p[static_cast<std::size_t>(i)] = 1.0 / (1.0 + std::exp(-z));
-  }
+  // Independent per-row dot products: safe to shard by row.
+  util::parallel_for(0, s_.rows(), [&](std::int64_t r0, std::int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const auto row = s_.row(i);
+      double z = w_[static_cast<std::size_t>(f)];
+      for (int j = 0; j < f; ++j)
+        z += w_[static_cast<std::size_t>(j)] * row[j];
+      p[static_cast<std::size_t>(i)] = 1.0 / (1.0 + std::exp(-z));
+    }
+  });
   return p;
 }
 

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/ml/kernel_stats.hpp"
+#include "src/util/parallel.hpp"
+
 namespace fcrit::ml {
 
 SparseMatrix SparseMatrix::from_coo(int rows, int cols,
@@ -48,31 +51,56 @@ int SparseMatrix::entry_row(std::size_t k) const {
 
 Matrix SparseMatrix::spmm(const Matrix& x) const {
   assert(x.rows() == cols_);
+  static obs::Histogram& hist = obs::registry().histogram("ml.kernel.spmm_ms");
+  detail::KernelScope scope("spmm", hist);
   Matrix y(rows_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    auto yrow = y.row(r);
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = val_[static_cast<std::size_t>(k)];
-      if (v == 0.0f) continue;
-      const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
-      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  // Output-row sharding: row r's gather walks its CSR entries in stored
+  // order regardless of which chunk owns r — bitwise-identical to serial.
+  const std::int64_t per_row =
+      rows_ == 0 ? 1
+                 : (static_cast<std::int64_t>(nnz()) * x.cols()) / rows_ + 1;
+  util::parallel_for(0, rows_, detail::row_grain(per_row),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int r = static_cast<int>(r0); r < static_cast<int>(r1); ++r) {
+      auto yrow = y.row(r);
+      for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = val_[static_cast<std::size_t>(k)];
+        if (v == 0.0f) continue;
+        const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
+        for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  });
   return y;
 }
 
 Matrix SparseMatrix::spmm_t(const Matrix& x) const {
   assert(x.rows() == rows_);
+  static obs::Histogram& hist =
+      obs::registry().histogram("ml.kernel.spmm_t_ms");
+  detail::KernelScope scope("spmm_t", hist);
   Matrix y(cols_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    const auto xrow = x.row(r);
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = val_[static_cast<std::size_t>(k)];
-      if (v == 0.0f) continue;
-      auto yrow = y.row(col_[static_cast<std::size_t>(k)]);
-      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  // Sᵀ scatters into y.row(col): sharding by OUTPUT row means every chunk
+  // re-scans the whole entry stream but only accumulates the columns it
+  // owns, so for a fixed output row contributions still arrive in the
+  // serial (r, k)-ascending order — bitwise-identical, no scatter races.
+  const std::int64_t per_row =
+      cols_ == 0 ? 1
+                 : (static_cast<std::int64_t>(nnz()) * x.cols()) / cols_ + 1;
+  util::parallel_for(0, cols_, detail::row_grain(per_row),
+                     [&](std::int64_t c0, std::int64_t c1) {
+    for (int r = 0; r < rows_; ++r) {
+      const auto xrow = x.row(r);
+      for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const int c = col_[static_cast<std::size_t>(k)];
+        if (c < c0 || c >= c1) continue;
+        const float v = val_[static_cast<std::size_t>(k)];
+        if (v == 0.0f) continue;
+        auto yrow = y.row(c);
+        for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -81,15 +109,23 @@ void SparseMatrix::accumulate_edge_grad(const Matrix& g_out, const Matrix& x,
   assert(g_out.rows() == rows_ && x.rows() == cols_);
   assert(g_out.cols() == x.cols());
   out.resize(val_.size(), 0.0f);
-  for (int r = 0; r < rows_; ++r) {
-    const auto grow = g_out.row(r);
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
-      float s = 0.0f;
-      for (int j = 0; j < x.cols(); ++j) s += grow[j] * xrow[j];
-      out[static_cast<std::size_t>(k)] += s;
+  // Each stored entry k lives in exactly one source row, so row sharding
+  // gives every out[k] a single writer and an unchanged dot-product order.
+  const std::int64_t per_row =
+      rows_ == 0 ? 1
+                 : (static_cast<std::int64_t>(nnz()) * x.cols()) / rows_ + 1;
+  util::parallel_for(0, rows_, detail::row_grain(per_row),
+                     [&](std::int64_t r0, std::int64_t r1) {
+    for (int r = static_cast<int>(r0); r < static_cast<int>(r1); ++r) {
+      const auto grow = g_out.row(r);
+      for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const auto xrow = x.row(col_[static_cast<std::size_t>(k)]);
+        float s = 0.0f;
+        for (int j = 0; j < x.cols(); ++j) s += grow[j] * xrow[j];
+        out[static_cast<std::size_t>(k)] += s;
+      }
     }
-  }
+  });
 }
 
 SparseMatrix SparseMatrix::with_values(std::vector<float> values) const {

@@ -7,6 +7,9 @@
 //   edge_grad  dL/dS[k] = <Gout.row(r_k), X.row(c_k)>  per stored entry
 // Entry order is stable (sorted by row, then column), so per-edge masks
 // and gradients can be carried in plain vectors aligned with values().
+// All three kernels shard their OUTPUT rows across the shared thread pool
+// (src/util/parallel.hpp) with per-row accumulation order unchanged, so
+// results are bitwise-identical to the serial path for any thread count.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 #include "src/ml/optimizer.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
 namespace fcrit::ml {
@@ -49,6 +50,7 @@ TrainHistory train_classifier(GcnModel& model, const SparseMatrix& adj,
   int since_best = 0;
   obs::Histogram& epoch_ms =
       obs::registry().histogram("ml.classifier.epoch_ms");
+  obs::registry().gauge("ml.jobs").set(util::num_threads());
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     util::Timer epoch_timer;
@@ -99,6 +101,7 @@ TrainHistory train_regressor(GcnModel& model, const SparseMatrix& adj,
   int since_best = 0;
   obs::Histogram& epoch_ms =
       obs::registry().histogram("ml.regressor.epoch_ms");
+  obs::registry().gauge("ml.jobs").set(util::num_threads());
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     util::Timer epoch_timer;

@@ -27,6 +27,46 @@ std::string read_file_bytes(const std::string& path) {
   return std::move(buffer).str();
 }
 
+// Per-thread cache of model clones, keyed by bundle identity. The pin
+// keeps the bundle alive while its clones are cached, which also
+// guarantees the key pointer is never recycled for a different bundle.
+// Capacity is tiny (a worker rarely alternates between more than a few
+// bundles); eviction is LRU by position.
+struct ThreadClones {
+  struct Entry {
+    std::shared_ptr<const ModelBundle> pin;
+    std::unique_ptr<ml::GcnModel> classifier;
+    std::unique_ptr<ml::GcnModel> regressor;  // null when the bundle has none
+  };
+  static constexpr std::size_t kCapacity = 4;
+  std::vector<Entry> entries;  // front = most recently used
+
+  Entry& get(const std::shared_ptr<const ModelBundle>& bundle,
+             obs::Counter& hits, obs::Counter& misses) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].pin.get() == bundle.get()) {
+        if (i != 0) std::rotate(entries.begin(), entries.begin() + i,
+                                entries.begin() + i + 1);
+        hits.add();
+        return entries.front();
+      }
+    }
+    misses.add();
+    Entry e;
+    e.pin = bundle;
+    e.classifier =
+        std::make_unique<ml::GcnModel>(ml::clone_gcn(*bundle->classifier));
+    if (bundle->regressor)
+      e.regressor =
+          std::make_unique<ml::GcnModel>(ml::clone_gcn(*bundle->regressor));
+    entries.insert(entries.begin(), std::move(e));
+    if (entries.size() > kCapacity) entries.pop_back();
+    return entries.front();
+  }
+};
+
+thread_local ThreadClones t_clones;
+
 }  // namespace
 
 std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path) {
@@ -100,6 +140,8 @@ ScoringEngine::ScoringEngine(EngineConfig config)
       requests_(&registry_.counter("serve.requests")),
       completed_(&registry_.counter("serve.completed")),
       errors_(&registry_.counter("serve.errors")),
+      clone_hits_(&registry_.counter("serve.model_clone_hits")),
+      clone_misses_(&registry_.counter("serve.model_clone_misses")),
       queue_depth_(&registry_.gauge("serve.queue_depth")),
       request_ms_(&registry_.histogram("serve.request_ms")),
       load_ms_(&registry_.histogram("serve.load_ms")),
@@ -153,16 +195,18 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
     stats_ms_->observe(r.stats_seconds * 1e3);
 
     util::Timer forward_timer;
-    ml::GcnModel classifier = ml::clone_gcn(*bundle->classifier);
-    classifier.set_adjacency(&graph.normalized_adjacency);
-    const ml::Matrix out = classifier.forward(x, /*training=*/false);
+    // This thread's private clones of the bundle's models: no other thread
+    // can touch them, so the forward pass is race-free by construction.
+    ThreadClones::Entry& models =
+        t_clones.get(bundle, *clone_hits_, *clone_misses_);
+    models.classifier->set_adjacency(&graph.normalized_adjacency);
+    const ml::Matrix out = models.classifier->forward(x, /*training=*/false);
     r.proba = ml::class1_probability(out);
     r.predicted = ml::predict_labels(out);
-    if (bundle->regressor) {
+    if (models.regressor) {
       r.has_regressor = true;
-      ml::GcnModel regressor = ml::clone_gcn(*bundle->regressor);
-      regressor.set_adjacency(&graph.normalized_adjacency);
-      const ml::Matrix pred = regressor.forward(x, /*training=*/false);
+      models.regressor->set_adjacency(&graph.normalized_adjacency);
+      const ml::Matrix pred = models.regressor->forward(x, /*training=*/false);
       r.score.resize(static_cast<std::size_t>(pred.rows()));
       for (int i = 0; i < pred.rows(); ++i)
         r.score[static_cast<std::size_t>(i)] =
@@ -282,6 +326,8 @@ std::string ScoringEngine::metrics_json() const {
   out += ",\"errors\":" + std::to_string(s.errors);
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += ",\"model_clone_hits\":" + std::to_string(clone_hits_->value());
+  out += ",\"model_clone_misses\":" + std::to_string(clone_misses_->value());
   out += ",\"cache_hit_ratio\":" + obs::json_number(s.cache_hit_ratio());
   out += ",\"request_ms\":" + obs::histogram_json(s.request_ms);
   out += ",\"load_ms\":" + obs::histogram_json(load_ms_->snapshot());

@@ -14,9 +14,12 @@
 // metrics() and the metrics_json() snapshot the daemon's METRICS command
 // returns; a per-engine registry keeps concurrent engines from mixing
 // counts.
-// Every forward pass runs on a per-request clone of the bundle's models:
+// Every forward pass runs on a per-WORKER clone of the bundle's models:
 // GcnModel caches activations internally, so instances must not be shared
-// across threads.
+// across threads. Each thread keeps a small thread_local cache of clones
+// keyed by bundle identity (pinned by shared_ptr so a cache entry can
+// never alias a recycled address), making the steady-state forward path
+// clone-free; serve.model_clone_hits/misses count its effectiveness.
 #pragma once
 
 #include <atomic>
@@ -202,6 +205,8 @@ class ScoringEngine {
   obs::Counter* requests_;
   obs::Counter* completed_;
   obs::Counter* errors_;
+  obs::Counter* clone_hits_;
+  obs::Counter* clone_misses_;
   obs::Gauge* queue_depth_;
   obs::Histogram* request_ms_;
   obs::Histogram* load_ms_;

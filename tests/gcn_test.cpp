@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/ml/trainer.hpp"
 
@@ -146,6 +150,66 @@ TEST(GcnModel, LearnsNeighborhoodMajorityTask) {
   tc.patience = 0;
   const auto h = train_classifier(model, adj, x, labels, train, val, tc);
   EXPECT_GE(h.best_val_metric, 0.85);
+}
+
+TEST(GcnModel, MoveKeepsDropoutRngValid) {
+  // Regression: the model's Dropout layers hold a pointer to its Rng. When
+  // that Rng was a direct member, moving the model left the pointer aimed
+  // at the moved-from object — a dangling read once the source died. The
+  // Rng now lives on the heap (stable address across moves), so a moved
+  // model must survive a TRAINING forward (the only path that draws from
+  // the Rng) after its source is destroyed. ASan would flag the old bug.
+  const auto adj = chain_adjacency(6);
+  auto source = std::make_unique<GcnModel>(3, GcnConfig::classifier());
+  GcnModel moved = std::move(*source);
+  source.reset();  // the old Rng storage is gone
+
+  moved.set_adjacency(&adj);
+  util::Rng rng(9);
+  const Matrix x = Matrix::randn(6, 3, rng, 1.0f);
+  const Matrix y = moved.forward(x, /*training=*/true);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 2);
+  for (int i = 0; i < y.rows(); ++i)
+    for (int j = 0; j < y.cols(); ++j)
+      EXPECT_TRUE(std::isfinite(y(i, j)));
+}
+
+TEST(GcnModel, ConcurrentForwardOnOneInstanceIsDetected) {
+  // One shared instance hammered from several threads: every call must
+  // either return a well-formed result or throw std::logic_error (the
+  // concurrent-use guard) — never race silently. At least one call must
+  // succeed, and anything else is a test failure.
+  const int n = 64;
+  const auto adj = chain_adjacency(n);
+  GcnModel model(4, GcnConfig::classifier());
+  model.set_adjacency(&adj);
+  util::Rng rng(3);
+  const Matrix x = Matrix::randn(n, 4, rng, 1.0f);
+
+  std::atomic<int> ok{0}, guarded{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 25; ++k) {
+        try {
+          const Matrix y = model.forward(x, false);
+          if (y.rows() == n && y.cols() == 2)
+            ok.fetch_add(1);
+          else
+            other.fetch_add(1);
+        } catch (const std::logic_error&) {
+          guarded.fetch_add(1);
+        } catch (...) {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_EQ(ok.load() + guarded.load(), 100);
 }
 
 }  // namespace

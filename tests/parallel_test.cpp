@@ -1,0 +1,267 @@
+// Unit tests for the shared work-chunked thread pool (src/util/parallel).
+//
+// The pool underpins the bitwise-determinism guarantee of every ML kernel,
+// so these tests pin down the exact semantics the kernels rely on: empty
+// and single-element ranges, inline degradation of nested regions,
+// exception propagation to the caller, pool reuse after a throw, and
+// survival of repeated construction/teardown.
+#include "src/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fcrit {
+namespace {
+
+TEST(ParallelTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(util::hardware_threads(), 1);
+}
+
+TEST(ParallelTest, ParseThreadCount) {
+  EXPECT_EQ(util::parse_thread_count("0"), 0);
+  EXPECT_EQ(util::parse_thread_count("1"), 1);
+  EXPECT_EQ(util::parse_thread_count("8"), 8);
+  EXPECT_EQ(util::parse_thread_count("1024"), 1024);
+  EXPECT_EQ(util::parse_thread_count(""), -1);
+  EXPECT_EQ(util::parse_thread_count("abc"), -1);
+  EXPECT_EQ(util::parse_thread_count("4x"), -1);
+  EXPECT_EQ(util::parse_thread_count("-2"), -1);
+  EXPECT_EQ(util::parse_thread_count(" 4"), -1);
+  EXPECT_EQ(util::parse_thread_count("1025"), -1);  // typo guard
+  EXPECT_EQ(util::parse_thread_count("999999999999999999999"), -1);
+}
+
+TEST(ParallelTest, EmptyRangeNeverInvokesBody) {
+  util::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, 0, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelTest, SingleElementRangeRunsInlineOnCaller) {
+  util::ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(3, 4, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 3);
+    EXPECT_EQ(e, 4);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, ChunksPartitionTheRangeExactly) {
+  util::ThreadPool pool(4);
+  for (const std::int64_t n : {1, 2, 3, 4, 5, 7, 64, 1000}) {
+    std::vector<std::atomic<int>> touched(static_cast<std::size_t>(n));
+    pool.parallel_for(0, n, [&](std::int64_t b, std::int64_t e) {
+      ASSERT_LE(b, e);
+      for (std::int64_t i = b; i < e; ++i)
+        touched[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(touched[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " of " << n;
+  }
+}
+
+TEST(ParallelTest, MinChunkKeepsSmallRangesInline) {
+  util::ThreadPool pool(8);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  // 10 elements with min_chunk 100 -> one chunk, inline.
+  pool.parallel_for(0, 10, 100, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 10);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, MinChunkBoundsChunkCount) {
+  util::ThreadPool pool(8);
+  std::mutex mutex;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  pool.parallel_for(0, 100, 30, [&](std::int64_t b, std::int64_t e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(b, e);
+  });
+  // ceil(100 / 30) = 4 chunks at most.
+  EXPECT_LE(chunks.size(), 4u);
+  std::int64_t total = 0;
+  for (const auto& [b, e] : chunks) total += e - b;
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ParallelTest, NestedParallelForRunsInline) {
+  util::ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  std::atomic<bool> nested_spread{false};
+  pool.parallel_for(0, 8, [&](std::int64_t, std::int64_t) {
+    EXPECT_TRUE(util::in_parallel_region());
+    const auto outer_thread = std::this_thread::get_id();
+    // A nested region must degrade to a single inline call on the same
+    // thread — never re-enter the pool (deadlock risk).
+    pool.parallel_for(0, 100, [&](std::int64_t b, std::int64_t e) {
+      inner_calls.fetch_add(1);
+      if (std::this_thread::get_id() != outer_thread) nested_spread = true;
+      EXPECT_EQ(b, 0);
+      EXPECT_EQ(e, 100);
+    });
+  });
+  EXPECT_FALSE(util::in_parallel_region());
+  EXPECT_FALSE(nested_spread.load());
+  EXPECT_GE(inner_calls.load(), 1);
+}
+
+TEST(ParallelTest, WorkerExceptionPropagatesToCaller) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::int64_t b, std::int64_t) {
+                          if (b > 0) throw std::runtime_error("chunk boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelTest, CallerChunkExceptionPropagates) {
+  util::ThreadPool pool(4);
+  // The caller always runs the first chunk; its exception must also land
+  // at the call site (after the other chunks drained).
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::int64_t b, std::int64_t) {
+                                   if (b == 0)
+                                     throw std::logic_error("caller boom");
+                                   completed.fetch_add(1);
+                                 }),
+               std::logic_error);
+  EXPECT_GE(completed.load(), 1);  // the rest of the region still finished
+}
+
+TEST(ParallelTest, PoolUsableAfterException) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 50,
+                                   [](std::int64_t, std::int64_t) {
+                                     throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(0, 100, [&](std::int64_t b, std::int64_t e) {
+      std::int64_t local = 0;
+      for (std::int64_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ParallelTest, RepeatedConstructionTeardown) {
+  for (int i = 0; i < 50; ++i) {
+    util::ThreadPool pool(3);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(0, 30, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t k = b; k < e; ++k) sum.fetch_add(k + 1);
+    });
+    EXPECT_EQ(sum.load(), 465);
+  }
+}
+
+TEST(ParallelTest, IdleTeardownDoesNotHang) {
+  for (int i = 0; i < 50; ++i) {
+    util::ThreadPool pool(4);  // constructed, never used
+  }
+}
+
+TEST(ParallelTest, ConcurrentParallelForCallsFromManyThreads) {
+  util::ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr std::int64_t kN = 2000;
+  std::vector<std::thread> callers;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        try {
+          pool.parallel_for(0, kN, [&](std::int64_t b, std::int64_t e) {
+            std::int64_t local = 0;
+            for (std::int64_t i = b; i < e; ++i) local += i;
+            sum.fetch_add(local);
+          });
+        } catch (...) {
+          failed = true;
+          return;
+        }
+        if (sum.load() != kN * (kN - 1) / 2) {
+          failed = true;
+          return;
+        }
+      }
+      sums[static_cast<std::size_t>(t)] = 1;
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_FALSE(failed.load());
+  for (const auto s : sums) EXPECT_EQ(s, 1);
+}
+
+TEST(ParallelTest, SharedPoolSerialModeRunsInline) {
+  util::set_num_threads(1);
+  EXPECT_EQ(util::num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  util::parallel_for(0, 1000, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1000);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  util::set_num_threads(0);  // restore the default for later tests
+}
+
+TEST(ParallelTest, SetNumThreadsReconfiguresSharedPool) {
+  util::set_num_threads(3);
+  EXPECT_EQ(util::num_threads(), 3);
+  std::set<std::thread::id> seen;
+  std::mutex mutex;
+  util::parallel_for(0, 3000, [&](std::int64_t b, std::int64_t e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+    EXPECT_LE(b, e);
+  });
+  EXPECT_LE(seen.size(), 3u);
+  util::set_num_threads(0);
+  EXPECT_EQ(util::num_threads(), util::hardware_threads());
+}
+
+TEST(ParallelTest, SharedPoolComputesCorrectSums) {
+  util::set_num_threads(4);
+  std::vector<double> out(10000);
+  util::parallel_for(0, static_cast<std::int64_t>(out.size()),
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i)
+                         out[static_cast<std::size_t>(i)] =
+                             static_cast<double>(i) * 0.5;
+                     });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * 10000.0 * 9999.0 / 2.0);
+  util::set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace fcrit

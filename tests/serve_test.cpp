@@ -334,6 +334,64 @@ TEST(ScoringEngineTest, ConcurrentCacheThrashIsDeterministic) {
   EXPECT_GE(m.cache_misses, static_cast<std::uint64_t>(kBundles));
 }
 
+TEST(ScoringEngineTest, HammerOneBundleFromManyThreads) {
+  // Regression for the shared-model hazard: every worker scores the SAME
+  // bundle concurrently. Workers run on thread-local clones, so under the
+  // sanitizer matrix (ASan/TSan CI) this must be race-free, and every
+  // result must equal the single-threaded reference exactly.
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(151);
+  const std::string path = dir + "fcrit_hammer.fcm";
+  save_bundle_file(synthetic_bundle(d, 5), path);
+
+  ScoreResult reference;
+  {
+    ScoringEngine ref_engine({.threads = 1});
+    reference = ref_engine.score(path, d);
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 8;
+  ScoringEngine engine({.threads = 8, .queue_capacity = 32});
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int k = 0; k < kPerClient; ++k) {
+        try {
+          const ScoreResult r = engine.score(path, d);
+          if (r.proba != reference.proba || r.score != reference.score ||
+              r.predicted != reference.predicted)
+            mismatches.fetch_add(1);
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.errors, 0u);
+  // Per-thread clone caches: each scoring thread clones the bundle's
+  // models at most once, every later request is a clone-cache hit.
+  const auto& reg = engine.metrics_registry();
+  const std::uint64_t clone_misses =
+      const_cast<obs::Registry&>(reg).counter("serve.model_clone_misses")
+          .value();
+  const std::uint64_t clone_hits =
+      const_cast<obs::Registry&>(reg).counter("serve.model_clone_hits")
+          .value();
+  EXPECT_EQ(clone_hits + clone_misses,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_LE(clone_misses, static_cast<std::uint64_t>(kClients));
+  EXPECT_GT(clone_hits, 0u);
+}
+
 TEST(ScoringEngineTest, ZeroCacheCapacityIsClampedToOne) {
   // Regression: capacity 0 used to degenerate BundleCache into
   // parse-every-request (misses only) while threads/queue were clamped.
