@@ -1,6 +1,7 @@
 // fcrit — command-line front end of the fault-criticality framework.
 //
 //   fcrit list
+//   fcrit lint    <design|netlist.v|netlist.bench> [--json] [--fail-on S]
 //   fcrit stats   <design|netlist.v|netlist.bench>
 //   fcrit export  <design> --format verilog|bench [-o FILE]
 //   fcrit sweep   <netlist.v> [-o FILE]
@@ -45,10 +46,13 @@
 #include "src/netlist/transform.hpp"
 #include "src/fault/autopsy.hpp"
 #include "src/fault/report.hpp"
+#include "src/graphir/graph.hpp"
+#include "src/lint/lint.hpp"
 #include "src/netlist/dot_export.hpp"
 #include "src/netlist/harden.hpp"
 #include "src/ml/serialize.hpp"
 #include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/netlist/verilog_parser.hpp"
 #include "src/netlist/verilog_writer.hpp"
@@ -66,6 +70,9 @@ constexpr const char* kVersion = "0.2.0";
 constexpr const char* kUsageText =
     "usage: fcrit <command> [args]\n"
     "  list                              registered designs\n"
+    "  lint <design|file> [--json] [--fail-on error|warn|note]\n"
+    "                                    structural static analysis; exit 1\n"
+    "                                    when findings reach the threshold\n"
     "  stats <design|file>               netlist statistics\n"
     "  export <design> --format F [-o FILE]   F: verilog|bench|dot\n"
     "  sweep <file> [-o FILE]            remove dead logic\n"
@@ -150,6 +157,90 @@ int cmd_list() {
                 netlist::compute_stats(d.netlist).to_string().c_str());
   }
   return 0;
+}
+
+int cmd_lint(const std::string& target,
+             const std::map<std::string, std::string>& flags) {
+  lint::LintReport report;
+  report.target_name = target;
+  netlist::Netlist nl;
+  bool have_netlist = false;
+
+  if (!is_file_arg(target)) {
+    nl = designs::build_design(target).netlist;
+    have_netlist = true;
+  } else if (util::ends_with(target, ".v")) {
+    // Lenient parse: semantic problems become typed findings (with their
+    // source lines) and the repaired netlist is still linted structurally.
+    // Syntactic failures (the lexer/grammar giving up) still surface as a
+    // single parse-error finding so --json always emits a report.
+    std::ifstream in(target);
+    if (!in) throw std::runtime_error("cannot open " + target);
+    try {
+      auto parsed = netlist::parse_verilog_collect(in);
+      lint::add_parse_issues(parsed.issues, report);
+      nl = std::move(parsed.netlist);
+      have_netlist = true;
+    } catch (const std::exception& e) {
+      lint::Diagnostic d;
+      d.rule_id = "parse-error";
+      d.severity = lint::Severity::kError;
+      d.message = e.what();
+      report.add(std::move(d));
+    }
+  } else {
+    std::ifstream in(target);
+    if (!in) throw std::runtime_error("cannot open " + target);
+    try {
+      nl = netlist::parse_bench(in);
+      have_netlist = true;
+    } catch (const std::exception& e) {
+      lint::Diagnostic d;
+      d.rule_id = "parse-error";
+      d.severity = lint::Severity::kError;
+      d.message = e.what();
+      report.add(std::move(d));
+    }
+  }
+
+  if (have_netlist) {
+    lint::lint_netlist(nl, report);
+    try {
+      const auto graph = graphir::build_graph(nl);
+      lint::lint_graphir(nl, {.graph = &graph}, report);
+    } catch (const std::exception& e) {
+      lint::Diagnostic d;
+      d.rule_id = "graphir-consistency";
+      d.severity = lint::Severity::kError;
+      d.message = std::string("graph construction failed: ") + e.what();
+      report.add(std::move(d));
+    }
+  }
+
+  obs::registry().counter("lint.findings_total")
+      .add(report.diagnostics.size());
+  obs::registry().counter("lint.errors_total").add(report.errors());
+
+  if (flags.contains("--json"))
+    std::printf("%s\n", report.to_json().c_str());
+  else
+    std::printf("%s", report.to_string().c_str());
+
+  lint::Severity threshold = lint::Severity::kError;
+  if (flags.contains("--fail-on")) {
+    const std::string& t = flags.at("--fail-on");
+    if (t == "error")
+      threshold = lint::Severity::kError;
+    else if (t == "warn" || t == "warning")
+      threshold = lint::Severity::kWarning;
+    else if (t == "note")
+      threshold = lint::Severity::kNote;
+    else {
+      std::fprintf(stderr, "lint: --fail-on must be error|warn|note\n");
+      return 2;
+    }
+  }
+  return report.count_at_least(threshold) > 0 ? 1 : 0;
 }
 
 int cmd_stats(const std::string& target) {
@@ -684,6 +775,7 @@ int main(int argc, char** argv) {
       return cmd_score(target, argv[3], parse_flags(argc, argv, 4));
     }
     const auto flags = parse_flags(argc, argv, 3);
+    if (command == "lint") return cmd_lint(target, flags);
     if (command == "stats") return cmd_stats(target);
     if (command == "export") return cmd_export(target, flags);
     if (command == "sweep") return cmd_sweep(target, flags);

@@ -1,0 +1,27 @@
+// jsonck — strict JSON validity filter for CI smoke tests.
+//
+// Reads one document from stdin, checks it with obs::json_valid (the same
+// strict RFC-8259 checker the unit tests use) and exits 0/1. The CI lint
+// smoke step pipes `fcrit lint <design> --json` through this so a malformed
+// report breaks the build rather than a downstream consumer.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/obs/json.hpp"
+
+int main() {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "jsonck: empty input\n");
+    return 1;
+  }
+  if (!fcrit::obs::json_valid(text)) {
+    std::fprintf(stderr, "jsonck: invalid JSON (%zu bytes)\n", text.size());
+    return 1;
+  }
+  std::printf("jsonck: ok (%zu bytes)\n", text.size());
+  return 0;
+}

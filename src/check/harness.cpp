@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/check/differential.hpp"
+#include "src/lint/lint.hpp"
 #include "src/netlist/verilog_writer.hpp"
 #include "src/util/rng.hpp"
 
@@ -95,6 +96,19 @@ std::string dump_verilog(const designs::RandomCircuitConfig& circuit) {
   return os.str();
 }
 
+/// Lint the shrunk repro circuit so the report distinguishes "oracle bug"
+/// from "generator produced a structurally broken netlist".
+std::string lint_circuit(const designs::RandomCircuitConfig& circuit) {
+  try {
+    const designs::Design design = designs::build_random_circuit(circuit);
+    lint::LintReport report = lint::lint_netlist(design.netlist);
+    report.target_name = design.name;
+    return report.clean() ? std::string() : report.to_string();
+  } catch (const std::exception& e) {
+    return std::string("lint crashed: ") + e.what();
+  }
+}
+
 }  // namespace
 
 CheckReport run_checks(const CheckConfig& config, std::ostream* log) {
@@ -141,6 +155,7 @@ CheckReport run_checks(const CheckConfig& config, std::ostream* log) {
     if (!d.message.empty()) {
       if (config.shrink) shrink_divergence(d, config);
       if (config.dump_netlist) d.netlist_verilog = dump_verilog(d.circuit);
+      d.lint_report = lint_circuit(d.circuit);
       report.divergences.push_back(std::move(d));
       if (log) *log << format_divergence(report.divergences.back());
       return report;
@@ -161,6 +176,8 @@ std::string format_divergence(const Divergence& d) {
      << " gates=" << d.circuit.num_gates << " flops=" << d.circuit.num_flops
      << " outputs=" << d.circuit.num_outputs << " cycles=" << d.cycles
      << " (after " << d.shrink_steps << " shrink steps)\n";
+  if (!d.lint_report.empty())
+    os << "  lint on shrunk circuit:\n" << d.lint_report;
   if (!d.netlist_verilog.empty())
     os << "  shrunk netlist:\n" << d.netlist_verilog;
   return os.str();

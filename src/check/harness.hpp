@@ -63,6 +63,9 @@ struct Divergence {
   int cycles = 0;
   int shrink_steps = 0;          // accepted reductions
   std::string netlist_verilog;   // dump of the (shrunk) failing netlist
+  /// Lint findings on the shrunk circuit ("" when clean): a structural
+  /// defect here usually explains the divergence faster than the dump.
+  std::string lint_report;
 };
 
 struct CheckReport {

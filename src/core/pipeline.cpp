@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/lint/lint.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -47,6 +48,20 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
   nl.validate();
   obs::logf(obs::LogLevel::kDebug, "pipeline: %s, %zu nodes",
             r.design.name.c_str(), nl.num_nodes());
+
+  // ---- lint preflight: reject structurally broken inputs up front ---------
+  if (config_.preflight_lint) {
+    obs::Span span("lint");
+    lint::LintReport preflight = lint::lint_netlist(nl);
+    preflight.target_name = r.design.name;
+    obs::registry().counter("lint.findings_total")
+        .add(preflight.diagnostics.size());
+    obs::registry().counter("lint.errors_total").add(preflight.errors());
+    if (preflight.errors() > 0) throw lint::LintError(std::move(preflight));
+    obs::logf(obs::LogLevel::kDebug,
+              "pipeline: lint preflight clean (%zu warning(s), %zu note(s))",
+              preflight.warnings(), preflight.notes());
+  }
 
   // ---- golden simulation: signal statistics for the §3.1 features ---------
   {
@@ -107,6 +122,23 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
   r.split = graphir::stratified_split(candidates, r.labels,
                                       config_.train_fraction,
                                       config_.split_seed);
+
+  // ---- graph-IR consistency gate: never train on drifted artifacts --------
+  {
+    lint::LintReport gate;
+    gate.target_name = r.design.name;
+    lint::lint_graphir(nl,
+                       {.graph = &r.graph,
+                        .features = &r.features_raw,
+                        .labels = &r.labels,
+                        .split = &r.split},
+                       gate);
+    obs::registry().counter("lint.findings_total")
+        .add(gate.diagnostics.size());
+    obs::registry().counter("lint.errors_total").add(gate.errors());
+    if (gate.errors() > 0) throw lint::LintError(std::move(gate));
+  }
+
   r.standardizer = graphir::Standardizer::fit(r.features_raw, r.split.train);
   r.features = r.standardizer.transform(r.features_raw);
 

@@ -46,7 +46,7 @@ bool parse_call(std::string_view text, std::string& name,
 
 Netlist parse_bench(std::istream& is, std::string module_name) {
   std::vector<std::string> input_ports;
-  std::vector<std::string> output_ports;
+  std::vector<std::pair<std::string, int>> output_ports;  // name, line
   std::vector<BenchLine> gates;
 
   std::string raw;
@@ -68,7 +68,7 @@ Netlist parse_bench(std::istream& is, std::string module_name) {
       if (name == "INPUT")
         input_ports.push_back(args[0]);
       else if (name == "OUTPUT")
-        output_ports.push_back(args[0]);
+        output_ports.emplace_back(args[0], line_number);
       else
         fail(line_number, "unknown directive '" + name + "'");
       continue;
@@ -244,11 +244,10 @@ Netlist parse_bench(std::istream& is, std::string module_name) {
       fail(p.line, "net '" + p.net + "' has no driver");
     nl.set_fanin(p.node, p.slot, it->second);
   }
-  for (const std::string& port : output_ports) {
+  for (const auto& [port, port_line] : output_ports) {
     const auto it = driver.find(port);
     if (it == driver.end())
-      throw std::runtime_error("bench parse error: output '" + port +
-                               "' has no driver");
+      fail(port_line, "output '" + port + "' has no driver");
     nl.add_output(port, it->second);
   }
   nl.validate();

@@ -113,25 +113,34 @@ std::span<const NodeId> Netlist::fanouts(NodeId id) const {
 }
 
 void Netlist::validate() const {
+  // Aggregate every violation into one report: a netlist with several
+  // defects (a parser leaving multiple placeholders unresolved) surfaces
+  // them all at once instead of fix-one-rerun loops.
+  std::vector<std::string> violations;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
-    if (n.kind == CellKind::kCount)
-      throw std::runtime_error("validate: node " + std::to_string(id) +
-                               " has invalid kind");
+    if (n.kind == CellKind::kCount) {
+      violations.push_back("node " + std::to_string(id) +
+                           " has invalid kind");
+      continue;
+    }
     if (n.fanin_count != spec(n.kind).arity)
-      throw std::runtime_error("validate: node " + n.name +
-                               " has wrong fanin count");
+      violations.push_back("node " + n.name + " has wrong fanin count");
     for (const NodeId f : n.fanins()) {
       if (f >= nodes_.size())
-        throw std::runtime_error("validate: node " + n.name +
-                                 " has dangling fanin");
+        violations.push_back("node " + n.name + " has dangling fanin");
     }
   }
   for (const OutputPort& port : outputs_) {
     if (port.driver >= nodes_.size())
-      throw std::runtime_error("validate: output port " + port.name +
-                               " has dangling driver");
+      violations.push_back("output port " + port.name +
+                           " has dangling driver");
   }
+  if (violations.empty()) return;
+  std::string msg =
+      "validate: " + std::to_string(violations.size()) + " violation(s)";
+  for (const std::string& v : violations) msg += "; " + v;
+  throw std::runtime_error(msg);
 }
 
 void Netlist::invalidate_caches() {

@@ -112,7 +112,9 @@ class Netlist {
   // ---- validation ----------------------------------------------------------
 
   /// Throws std::runtime_error if any fanin is dangling, any arity is wrong,
-  /// or an output port references a missing node.
+  /// or an output port references a missing node. Every violation is
+  /// aggregated into the one exception message (no first-error-only
+  /// throwing); src/lint runs the deeper structural rules.
   void validate() const;
 
  private:

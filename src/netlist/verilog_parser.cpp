@@ -109,12 +109,29 @@ struct Instance {
   int line = 0;
 };
 
+struct OutputDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct Alias {
+  std::string lhs;
+  std::string rhs;
+  int line = 0;
+};
+
+struct ConstAssign {
+  std::string lhs;
+  bool value = false;
+  int line = 0;
+};
+
 struct ParsedModule {
   std::string name;
-  std::vector<std::string> input_ports;   // excl. clk
-  std::vector<std::string> output_ports;
-  std::vector<std::pair<std::string, std::string>> aliases;  // lhs = rhs net
-  std::vector<std::pair<std::string, bool>> const_assigns;   // lhs = 0/1
+  std::vector<std::string> input_ports;  // excl. clk
+  std::vector<OutputDecl> output_ports;
+  std::vector<Alias> aliases;            // lhs = rhs net
+  std::vector<ConstAssign> const_assigns;
   std::vector<Instance> instances;
 };
 
@@ -134,7 +151,7 @@ ParsedModule parse_structure(Lexer& lex) {
     if (dir.text == "input") {
       if (port.text != "clk") m.input_ports.push_back(port.text);
     } else {
-      m.output_ports.push_back(port.text);
+      m.output_ports.push_back({port.text, port.line});
     }
     Token sep = lex.next();
     if (sep.text == ")") break;
@@ -158,11 +175,11 @@ ParsedModule parse_structure(Lexer& lex) {
       Token rhs = lex.next();
       expect(lex, ";");
       if (rhs.text == "1'b0")
-        m.const_assigns.emplace_back(lhs.text, false);
+        m.const_assigns.push_back({lhs.text, false, lhs.line});
       else if (rhs.text == "1'b1")
-        m.const_assigns.emplace_back(lhs.text, true);
+        m.const_assigns.push_back({lhs.text, true, lhs.line});
       else if (util::is_identifier(rhs.text))
-        m.aliases.emplace_back(lhs.text, rhs.text);
+        m.aliases.push_back({lhs.text, rhs.text, lhs.line});
       else
         fail(rhs, "expected net name or 1'b0/1'b1");
       continue;
@@ -194,18 +211,28 @@ ParsedModule parse_structure(Lexer& lex) {
 
 }  // namespace
 
-Netlist parse_verilog(std::istream& is) {
+VerilogParse parse_verilog_collect(std::istream& is) {
   Lexer lex(is);
   const ParsedModule m = parse_structure(lex);
 
-  Netlist nl(m.name);
+  VerilogParse out{Netlist(m.name), {}};
+  Netlist& nl = out.netlist;
+  auto issue = [&](const char* rule, int line, std::string message) {
+    out.issues.push_back({rule, line, std::move(message)});
+  };
 
   // Pass 1: create nodes and record each net's driver.
   std::map<std::string, NodeId> driver;
   for (const std::string& port : m.input_ports)
     driver[port] = nl.add_input(port);
-  for (const auto& [net, value] : m.const_assigns)
-    driver[net] = nl.add_const(value);
+  for (const ConstAssign& ca : m.const_assigns) {
+    if (driver.contains(ca.lhs)) {
+      issue("multi-driven", ca.line,
+            "net '" + ca.lhs + "' has multiple drivers");
+      continue;
+    }
+    driver[ca.lhs] = nl.add_const(ca.value);
+  }
 
   struct PendingFanin {
     NodeId node;
@@ -217,13 +244,16 @@ Netlist parse_verilog(std::istream& is) {
 
   for (const Instance& inst : m.instances) {
     const CellKind kind = kind_from_name(inst.cell);
-    if (kind == CellKind::kCount || kind == CellKind::kInput)
-      throw std::runtime_error("verilog parse error (line " +
-                               std::to_string(inst.line) +
-                               "): unknown cell '" + inst.cell + "'");
+    if (kind == CellKind::kCount || kind == CellKind::kInput) {
+      issue("unknown-cell", inst.line, "unknown cell '" + inst.cell + "'");
+      continue;
+    }
     const auto pins = pin_names(kind);
     const std::string& out_pin = pins.back();
-    std::vector<NodeId> fanins(spec(kind).arity, kNoNode);
+    const auto arity = static_cast<std::size_t>(spec(kind).arity);
+    std::vector<NodeId> fanins(arity, kNoNode);
+    std::vector<std::pair<std::size_t, std::string>> slot_nets;
+    std::vector<char> slot_filled(arity, 0);
     std::string out_net;
     for (const auto& [pin, net] : inst.pins) {
       if (pin == "CP") continue;  // implicit clock
@@ -233,64 +263,86 @@ Netlist parse_verilog(std::istream& is) {
       }
       bool matched = false;
       for (std::size_t slot = 0; slot + 1 < pins.size(); ++slot) {
-        if (pins[slot] == pin) {
-          pending.push_back({kNoNode, slot, net, inst.line});
-          matched = true;
-          break;
+        if (pins[slot] != pin) continue;
+        if (!slot_filled[slot]) {
+          slot_nets.emplace_back(slot, net);
+          slot_filled[slot] = 1;
         }
+        matched = true;
+        break;
       }
       if (!matched)
-        throw std::runtime_error("verilog parse error (line " +
-                                 std::to_string(inst.line) + "): cell '" +
-                                 inst.cell + "' has no pin '" + pin + "'");
+        issue("bad-pin", inst.line,
+              "cell '" + inst.cell + "' has no pin '" + pin + "'");
     }
-    if (out_net.empty())
-      throw std::runtime_error("verilog parse error (line " +
-                               std::to_string(inst.line) + "): instance '" +
-                               inst.name + "' lacks output pin ." + out_pin);
+    if (out_net.empty()) {
+      issue("bad-pin", inst.line, "instance '" + inst.name +
+                                      "' lacks output pin ." + out_pin);
+      continue;
+    }
     const NodeId id =
         nl.add_gate(kind, std::span<const NodeId>(fanins), inst.name);
-    // Fix up the node ids of the pins we just queued for this instance.
-    for (auto it = pending.rbegin();
-         it != pending.rend() && it->node == kNoNode; ++it)
-      it->node = id;
-    if (driver.contains(out_net))
-      throw std::runtime_error("verilog parse error (line " +
-                               std::to_string(inst.line) + "): net '" +
-                               out_net + "' has multiple drivers");
+    for (auto& [slot, net] : slot_nets)
+      pending.push_back({id, slot, std::move(net), inst.line});
+    for (std::size_t slot = 0; slot < arity; ++slot) {
+      if (slot_filled[slot]) continue;
+      issue("undriven-fanin", inst.line, "pin ." + pins[slot] +
+                                             " of instance '" + inst.name +
+                                             "' is unconnected");
+      nl.set_fanin(id, slot, nl.add_const(false));
+    }
+    if (driver.contains(out_net)) {
+      issue("multi-driven", inst.line,
+            "net '" + out_net + "' has multiple drivers (instance '" +
+                inst.name + "')");
+      continue;  // first driver wins; this gate becomes dead logic
+    }
     driver[out_net] = id;
   }
 
-  // Resolve aliases transitively (assign a = b; assign y = a;).
+  // Resolve aliases transitively (assign a = b; assign y = a;). A net with
+  // no driver at all is reported and tied to constant 0 so the returned
+  // netlist stays well-formed for the structural lint pass.
   auto resolve = [&](const std::string& net, int line) -> NodeId {
     std::string cur = net;
     for (int hops = 0; hops < 1024; ++hops) {
       const auto it = driver.find(cur);
       if (it != driver.end()) return it->second;
       bool advanced = false;
-      for (const auto& [lhs, rhs] : m.aliases) {
-        if (lhs == cur) {
-          cur = rhs;
+      for (const Alias& alias : m.aliases) {
+        if (alias.lhs == cur) {
+          cur = alias.rhs;
           advanced = true;
           break;
         }
       }
       if (!advanced) break;
     }
-    throw std::runtime_error("verilog parse error (line " +
-                             std::to_string(line) + "): net '" + net +
-                             "' has no driver");
+    issue("undriven-fanin", line, "net '" + net + "' has no driver");
+    return nl.add_const(false);
   };
 
   // Pass 2: patch fanins.
   for (const PendingFanin& p : pending)
     nl.set_fanin(p.node, p.slot, resolve(p.net, p.line));
 
-  for (const std::string& port : m.output_ports)
-    nl.add_output(port, resolve(port, 0));
+  for (const OutputDecl& port : m.output_ports)
+    nl.add_output(port.name, resolve(port.name, port.line));
 
   nl.validate();
-  return nl;
+  return out;
+}
+
+Netlist parse_verilog(std::istream& is) {
+  VerilogParse parse = parse_verilog_collect(is);
+  if (!parse.ok()) {
+    std::string msg = "verilog parse error: " +
+                      std::to_string(parse.issues.size()) + " problem(s)";
+    for (const ParseIssue& i : parse.issues)
+      msg += "\n  line " + std::to_string(i.line) + ": " + i.message;
+    throw std::runtime_error(msg);
+  }
+  return std::move(parse.netlist);
 }
 
 Netlist parse_verilog(std::string_view text) {

@@ -9,18 +9,48 @@
 // Comments (// and /* */) are stripped. The clock net `clk` is implicit and
 // its .CP connections are ignored. Forward references between instances are
 // legal (sequential loops through FD1 cells are expected).
+//
+// Two entry points: parse_verilog() is strict — any semantic defect throws
+// one aggregated error listing *every* problem, each with its source line.
+// parse_verilog_collect() is the lenient front end the lint layer uses: it
+// records semantic defects as ParseIssues (first driver wins, undriven
+// pins are tied to constant 0) and still returns a well-formed netlist so
+// the structural rules can analyze the rest of the design. Syntax errors
+// (a file that is not the grammar above at all) always throw.
 #pragma once
 
 #include <istream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/netlist/netlist.hpp"
 
 namespace fcrit::netlist {
 
-/// Parse a netlist; throws std::runtime_error with a line number on any
-/// syntax or semantic error (unknown cell, undriven net, arity mismatch).
+/// One semantic defect found while parsing, with the offending source line.
+/// `rule` matches the lint rule ids: "multi-driven", "undriven-fanin",
+/// "unknown-cell", "bad-pin".
+struct ParseIssue {
+  std::string rule;
+  int line = 0;
+  std::string message;
+};
+
+struct VerilogParse {
+  Netlist netlist;
+  std::vector<ParseIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+};
+
+/// Lenient parse: syntax errors throw std::runtime_error (with a line
+/// number); semantic defects are collected into `issues` and repaired so
+/// the returned netlist always passes Netlist::validate().
+VerilogParse parse_verilog_collect(std::istream& is);
+
+/// Strict parse; throws std::runtime_error aggregating every semantic
+/// error (each carrying "line N") instead of stopping at the first.
 Netlist parse_verilog(std::istream& is);
 
 Netlist parse_verilog(std::string_view text);

@@ -7,6 +7,7 @@
 
 #include "src/fault/fault.hpp"
 #include "src/graphir/graph.hpp"
+#include "src/lint/lint.hpp"
 #include "src/ml/serialize.hpp"
 #include "src/obs/json.hpp"
 #include "src/netlist/bench_format.hpp"
@@ -170,6 +171,19 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
 
     const netlist::Netlist& nl = target.netlist;
     nl.validate();
+
+    // Lint preflight: a user-supplied netlist with structural errors
+    // (combinational loops, undriven pins, duplicate names) is rejected
+    // with the full report instead of being scored garbage-in/garbage-out.
+    {
+      lint::LintReport preflight = lint::lint_netlist(nl);
+      preflight.target_name = target.name;
+      registry_.counter("lint.findings_total")
+          .add(preflight.diagnostics.size());
+      registry_.counter("lint.errors_total").add(preflight.errors());
+      if (preflight.errors() > 0)
+        throw lint::LintError(std::move(preflight));
+    }
 
     ScoreResult r;
     r.target_name = target.name;

@@ -124,7 +124,7 @@ std::vector<float> ref_edge_grad(const SparseMatrix& s, const Matrix& g_out,
   if (a.rows() != b.rows() || a.cols() != b.cols())
     return ::testing::AssertionFailure()
            << "shape " << a.shape_string() << " vs " << b.shape_string();
-  if (a.size() != 0 &&
+  if (!a.empty() &&
       std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
     for (int i = 0; i < a.rows(); ++i)
       for (int j = 0; j < a.cols(); ++j) {

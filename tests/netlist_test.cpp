@@ -150,6 +150,24 @@ TEST(Netlist, ValidateChecksOutputDrivers) {
   EXPECT_THROW(nl.add_output("z", 42), std::runtime_error);
 }
 
+TEST(Netlist, ValidateAggregatesAllViolations) {
+  // Two distinct defects — both must appear in the one exception message
+  // instead of the first aborting the check.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_gate(CellKind::kInv, {kNoNode}, "u_open1");
+  nl.add_gate(CellKind::kAnd2, {a, kNoNode}, "u_open2");
+  try {
+    nl.validate();
+    FAIL() << "expected validate to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 violation(s)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("u_open1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("u_open2"), std::string::npos) << msg;
+  }
+}
+
 TEST(Netlist, NumEdgesCountsFanins) {
   Netlist nl;
   const NodeId a = nl.add_input("a");

@@ -218,5 +218,63 @@ TEST(VerilogParser, ErrorCarriesLineNumber) {
   }
 }
 
+TEST(VerilogParser, EveryDiagnosticCarriesItsLine) {
+  // One defect per line class: multi-driven (line 4), bad pin (line 5),
+  // undriven net consumed on line 6. The strict error must cite each line.
+  const std::string text =
+      "module m (input clk, input a, output y);\n"     // line 1
+      "  wire n;\n"                                    // line 2
+      "  IV u1 (.Y(n), .A(a));\n"                      // line 3
+      "  IV u2 (.Y(n), .A(a));\n"                      // line 4: multi-driven
+      "  IV u3 (.Y(w1), .Z(a));\n"                     // line 5: bad pin
+      "  AN2 u4 (.Y(w2), .A(ghost), .B(a));\n"         // line 6: undriven
+      "  assign y = w2;\nendmodule\n";
+  try {
+    parse_verilog(text);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+  }
+}
+
+TEST(VerilogParser, CollectReturnsEveryIssueWithLines) {
+  const std::string text =
+      "module m (input clk, input a, output y);\n"
+      "  wire n;\n"
+      "  BOGUS u1 (.Y(n), .A(a));\n"   // line 3: unknown cell
+      "  IV u2 (.Y(n), .A(a));\n"
+      "  IV u3 (.Y(n), .A(a));\n"      // line 5: multi-driven
+      "  assign y = n;\nendmodule\n";
+  std::istringstream is(text);
+  const auto parsed = parse_verilog_collect(is);
+  ASSERT_EQ(parsed.issues.size(), 2u);
+  EXPECT_EQ(parsed.issues[0].rule, "unknown-cell");
+  EXPECT_EQ(parsed.issues[0].line, 3);
+  EXPECT_EQ(parsed.issues[1].rule, "multi-driven");
+  EXPECT_EQ(parsed.issues[1].line, 5);
+  // Lenient repair: the returned netlist is still well-formed.
+  EXPECT_NO_THROW(parsed.netlist.validate());
+}
+
+TEST(VerilogParser, OutputPortDiagnosticCarriesDeclarationLine) {
+  // The undriven output `z` was declared on line 1; the diagnostic must
+  // point there rather than at "line 0".
+  const std::string text =
+      "module m (input clk, input a,\n"
+      "          output y, output z);\n"  // line 2: z declared here
+      "  wire n;\n"
+      "  IV u1 (.Y(n), .A(a));\n"
+      "  assign y = n;\nendmodule\n";
+  std::istringstream is(text);
+  const auto parsed = parse_verilog_collect(is);
+  ASSERT_EQ(parsed.issues.size(), 1u);
+  EXPECT_EQ(parsed.issues[0].rule, "undriven-fanin");
+  EXPECT_EQ(parsed.issues[0].line, 2);
+  EXPECT_NE(parsed.issues[0].message.find("z"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fcrit::netlist
