@@ -3,14 +3,20 @@
 //   fcrit list
 //   fcrit lint    <design|netlist.v|netlist.bench> [--json] [--fail-on S]
 //   fcrit stats   <design|netlist.v|netlist.bench>
-//   fcrit export  <design> --format verilog|bench [-o FILE]
+//   fcrit export  <design> --format verilog|bench|dot [-o FILE]
 //   fcrit sweep   <netlist.v> [-o FILE]
 //   fcrit campaign <design|file> [--cycles N] [--seed S] [--fraction F]
 //   fcrit analyze <design|file> [--top N] [--no-baselines] [--explain K]
+//   fcrit pipeline <design|file> [...]            alias of analyze
 //   fcrit scoap   <design|file> [--top N]
+//   fcrit wave    <design|file> [--cycles N] [--lane L] [-o FILE]
+//   fcrit autopsy <design|file> --node NAME [--sa 0|1] [--cycles N]
+//   fcrit harden  <design|file> [--top K] [-o FILE]
 //   fcrit pack    <design|file> -o bundle.fcm
 //   fcrit score   <bundle.fcm> <design|file|@list> [--top N] [--strict]
-//   fcrit serve   <bundle-dir> [--port P] [--threads T]
+//   fcrit serve   <bundle-dir> [--port P] [--threads T] [--cache N]
+//   fcrit fleet   <bundle-dir> [--shards N] [--port P] [--threads T]
+//   fcrit check   [--trials N] [--seed S] [--self-test] [...]
 //
 // A "design" argument is a registered name (sdram_ctrl, or1200_if,
 // or1200_icfsm); anything ending in .v or .bench is parsed from disk. The
@@ -35,6 +41,8 @@
 #include "src/check/harness.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/report.hpp"
+#include "src/fleet/fleet.hpp"
+#include "src/fleet/fleet_server.hpp"
 #include "src/serve/bundle.hpp"
 #include "src/serve/engine.hpp"
 #include "src/serve/server.hpp"
@@ -96,6 +104,12 @@ constexpr const char* kUsageText =
     "           [--threads T]            inference only, no FI campaign\n"
     "  serve <bundle-dir> [--port P] [--threads T] [--cache N]\n"
     "                                    scoring daemon on 127.0.0.1\n"
+    "  fleet <bundle-dir> [--shards N] [--port P] [--threads T]\n"
+    "        [--cache N] [--batch N] [--high-water N]\n"
+    "                                    sharded scoring tier: consistent-\n"
+    "                                    hash router, cross-connection\n"
+    "                                    batching, BUSY backpressure;\n"
+    "                                    SIGHUP or RELOAD hot-swaps bundles\n"
     "  check [--trials N] [--seed S] [--cycles N] [--gates N] [--flops N]\n"
     "        [--inputs N] [--outputs N] [--faults N] [--serve-every K]\n"
     "        [--no-shrink] [--no-dump] [--self-test]\n"
@@ -689,6 +703,75 @@ int cmd_serve(const std::string& bundle_dir,
   return 0;
 }
 
+// SIGHUP -> a distinct byte, so the fleet loop can tell "hot reload"
+// from "shut down" without leaving signal-safe territory.
+extern "C" void fleet_sighup_handler(int) {
+  const char byte = 2;
+  [[maybe_unused]] const auto n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_fleet(const std::string& bundle_dir,
+              const std::map<std::string, std::string>& flags) {
+  fleet::FleetConfig fc;
+  fc.bundle_dir = bundle_dir;
+  if (flags.contains("--shards"))
+    fc.shards = std::stoi(flags.at("--shards"));
+  if (flags.contains("--threads"))
+    fc.threads_per_shard = std::stoi(flags.at("--threads"));
+  if (flags.contains("--cache"))
+    fc.cache_capacity =
+        static_cast<std::size_t>(std::stoi(flags.at("--cache")));
+  if (flags.contains("--batch"))
+    fc.batch_max = static_cast<std::size_t>(std::stoi(flags.at("--batch")));
+  if (flags.contains("--high-water"))
+    fc.queue_high_water =
+        static_cast<std::size_t>(std::stoi(flags.at("--high-water")));
+  fleet::Fleet fleet(fc);
+
+  fleet::FleetServerConfig sc;
+  if (flags.contains("--port"))
+    sc.port = static_cast<std::uint16_t>(std::stoi(flags.at("--port")));
+  fleet::FleetServer server(fleet, sc);
+  server.start();
+  std::printf("fcrit fleet: 127.0.0.1:%d, %d shards x %d threads, bundles "
+              "from %s (high-water %zu, batch %zu)\n",
+              server.port(), fleet.config().shards,
+              fleet.config().threads_per_shard, bundle_dir.c_str(),
+              fleet.config().queue_high_water, fleet.config().batch_max);
+  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] | STATS | "
+              "METRICS | SHARDS | RELOAD | QUIT; SIGHUP reloads, Ctrl-C "
+              "drains and exits\n");
+
+  if (pipe(g_signal_pipe) != 0)
+    throw std::runtime_error("cannot create signal pipe");
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGHUP, fleet_sighup_handler);
+  for (;;) {
+    char byte = 0;
+    const auto n = read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (byte == 2) {
+      const auto s = fleet.reload();
+      std::printf("fcrit fleet: reload -> generation %llu (%zu bundles: "
+                  "+%zu -%zu ~%zu)\n",
+                  static_cast<unsigned long long>(s.generation), s.total,
+                  s.added, s.removed, s.changed);
+      continue;
+    }
+    break;
+  }
+
+  std::printf("\nfcrit fleet: shutting down (draining in-flight "
+              "requests)\n");
+  server.stop();
+  fleet.shutdown();
+  std::printf("final shards: %s\n", fleet.shards_json().c_str());
+  std::printf("final metrics: %s\n", fleet.metrics_json().c_str());
+  return 0;
+}
+
 int cmd_check(const std::map<std::string, std::string>& flags) {
   check::CheckConfig cfg;
   if (flags.contains("--trials")) cfg.trials = std::stoi(flags.at("--trials"));
@@ -788,6 +871,7 @@ int main(int argc, char** argv) {
     if (command == "harden") return cmd_harden(target, flags);
     if (command == "pack") return cmd_pack(target, flags);
     if (command == "serve") return cmd_serve(target, flags);
+    if (command == "fleet") return cmd_fleet(target, flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fcrit: %s\n", e.what());

@@ -1,0 +1,367 @@
+#include "src/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.hpp"
+#include "src/serve/bundle.hpp"
+#include "src/util/timer.hpp"
+
+namespace fcrit::fleet {
+
+namespace {
+
+std::uint64_t hash_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return serve::fnv1a64(buffer.str());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(FleetErrorCode code) {
+  switch (code) {
+    case FleetErrorCode::kBusy: return "busy";
+    case FleetErrorCode::kNoShard: return "no-shard";
+    case FleetErrorCode::kBundle: return "bundle";
+  }
+  return "unknown";
+}
+
+FleetError::FleetError(FleetErrorCode code, const std::string& message)
+    : std::runtime_error(message), code_(code) {}
+
+Fleet::Fleet(FleetConfig config)
+    : config_(std::move(config)),
+      requests_(&registry_.counter("fleet.requests")),
+      busy_rejections_(&registry_.counter("fleet.busy_rejections")),
+      reroutes_(&registry_.counter("fleet.reroutes")),
+      no_shard_(&registry_.counter("fleet.no_shard")),
+      reloads_(&registry_.counter("fleet.reloads")),
+      live_shards_gauge_(&registry_.gauge("fleet.live_shards")) {
+  config_.shards = std::max(1, config_.shards);
+  config_.threads_per_shard = std::max(1, config_.threads_per_shard);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  if (config_.queue_high_water == 0 ||
+      config_.queue_high_water > config_.queue_capacity)
+    config_.queue_high_water = std::max<std::size_t>(
+        1, config_.queue_capacity / 2);
+  config_.retries = std::max(0, config_.retries);
+
+  for (int i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->name = "shard-" + std::to_string(i);
+    serve::EngineConfig ec;
+    ec.threads = config_.threads_per_shard;
+    ec.queue_capacity = config_.queue_capacity;
+    ec.cache_capacity = config_.cache_capacity;
+    ec.batch_max = config_.batch_max;
+    ec.before_score_hook = config_.before_score_hook;
+    shard->engine = std::make_unique<serve::ScoringEngine>(ec);
+    shard->routed = &registry_.counter("fleet.routed." + shard->name);
+    shard->request_ms =
+        &registry_.histogram("fleet.request_ms." + shard->name);
+    shards_.push_back(std::move(shard));
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    for (const auto& shard : shards_) ring_.add(shard->name);
+  }
+  live_shards_gauge_->set(static_cast<std::int64_t>(shards_.size()));
+
+  table_ = std::make_shared<const BundleTable>(
+      scan_bundles(config_.bundle_dir));
+  generation_.store(1);
+}
+
+Fleet::~Fleet() { shutdown(); }
+
+BundleTable Fleet::scan_bundles(const std::string& dir) {
+  namespace fs = std::filesystem;
+  BundleTable table;
+  if (dir.empty() || !fs::is_directory(dir)) return table;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".fcm")
+      continue;
+    BundleTable::Entry e;
+    e.path = entry.path().string();
+    e.content_hash = hash_file(e.path);
+    table.bundles[entry.path().stem().string()] = std::move(e);
+  }
+  return table;
+}
+
+std::shared_ptr<const BundleTable> Fleet::table() const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  return table_;
+}
+
+std::string Fleet::resolve_bundle(const std::string& token) const {
+  const auto snapshot = table();
+  if (token.empty()) {
+    if (snapshot->bundles.size() != 1)
+      throw FleetError(FleetErrorCode::kBundle,
+                       std::to_string(snapshot->bundles.size()) +
+                           " bundles in directory; name one: "
+                           "SCORE <bundle> <path>");
+    return snapshot->bundles.begin()->second.path;
+  }
+  if (token.find('/') != std::string::npos) {
+    if (std::filesystem::is_regular_file(token)) return token;
+    throw FleetError(FleetErrorCode::kBundle, "no bundle file " + token);
+  }
+  std::string stem = token;
+  if (stem.size() > 4 && stem.substr(stem.size() - 4) == ".fcm")
+    stem.resize(stem.size() - 4);
+  const auto it = snapshot->bundles.find(stem);
+  if (it == snapshot->bundles.end())
+    throw FleetError(FleetErrorCode::kBundle,
+                     "no bundle '" + token + "' in " + config_.bundle_dir);
+  return it->second.path;
+}
+
+std::string Fleet::route(const std::string& bundle_path) const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  if (ring_.empty())
+    throw FleetError(FleetErrorCode::kNoShard,
+                     "no live shard (all killed or drained)");
+  return ring_.route(bundle_path);
+}
+
+Fleet::Shard* Fleet::find_shard(const std::string& name) {
+  for (const auto& shard : shards_)
+    if (shard->name == name) return shard.get();
+  return nullptr;
+}
+
+const Fleet::Shard* Fleet::find_shard(const std::string& name) const {
+  for (const auto& shard : shards_)
+    if (shard->name == name) return shard.get();
+  return nullptr;
+}
+
+void Fleet::leave_ring(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  ring_.remove(name);
+}
+
+serve::ScoreResult Fleet::score(const std::string& bundle_path,
+                                const std::string& target,
+                                serve::ScoreOptions opts) {
+  requests_->add();
+  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+    const std::string owner = route(bundle_path);  // kNoShard when empty
+    Shard* shard = find_shard(owner);
+    if (shard == nullptr || !shard->alive.load()) {
+      // Raced with a death the ring hasn't absorbed yet; absorb it now
+      // and go around (does not consume a retry budget slot: the request
+      // never reached an engine).
+      leave_ring(owner);
+      --attempt;
+      continue;
+    }
+    // Admission control: shedding beats blocking. The submit deadline
+    // below backstops the race where the queue fills between this check
+    // and the push.
+    if (shard->engine->queue_depth() >= config_.queue_high_water) {
+      busy_rejections_->add();
+      throw FleetError(
+          FleetErrorCode::kBusy,
+          owner + " over high-water mark (" +
+              std::to_string(config_.queue_high_water) + " queued)");
+    }
+    try {
+      util::Timer timer;
+      auto future = shard->engine->submit(bundle_path, target, opts,
+                                          config_.admission_timeout);
+      shard->routed->add();
+      serve::ScoreResult result = future.get();
+      shard->request_ms->observe(timer.millis());
+      return result;
+    } catch (const serve::EngineError& e) {
+      switch (e.code()) {
+        case serve::EngineErrorCode::kQueueTimeout:
+          busy_rejections_->add();
+          throw FleetError(FleetErrorCode::kBusy,
+                           owner + " queue full: " + e.what());
+        case serve::EngineErrorCode::kAborted:
+        case serve::EngineErrorCode::kShutdown:
+          // The shard died under us (or drained): make sure the ring
+          // reflects that, then re-route this request to a survivor.
+          leave_ring(owner);
+          reroutes_->add();
+          continue;
+      }
+      throw;
+    }
+  }
+  no_shard_->add();
+  throw FleetError(FleetErrorCode::kNoShard,
+                   "no shard could take the request after " +
+                       std::to_string(config_.retries + 1) + " attempts");
+}
+
+void Fleet::kill_shard(const std::string& name) {
+  Shard* shard = find_shard(name);
+  if (shard == nullptr || !shard->alive.exchange(false)) return;
+  // Order matters: off the ring BEFORE the abort, so a request failing
+  // with kAborted re-routes onto a ring that no longer contains the dead
+  // shard.
+  leave_ring(name);
+  live_shards_gauge_->add(-1);
+  shard->engine->abort();
+}
+
+void Fleet::drain_shard(const std::string& name) {
+  Shard* shard = find_shard(name);
+  if (shard == nullptr || !shard->alive.exchange(false)) return;
+  leave_ring(name);
+  live_shards_gauge_->add(-1);
+  shard->engine->shutdown();  // queued jobs finish on the leaving shard
+}
+
+ReloadStats Fleet::reload() {
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  auto next = std::make_shared<const BundleTable>(
+      scan_bundles(config_.bundle_dir));
+  const auto prev = table();
+
+  ReloadStats stats;
+  stats.total = next->bundles.size();
+  for (const auto& [name, entry] : next->bundles) {
+    const auto it = prev->bundles.find(name);
+    if (it == prev->bundles.end())
+      ++stats.added;
+    else if (it->second.content_hash != entry.content_hash)
+      ++stats.changed;
+  }
+  for (const auto& [name, entry] : prev->bundles)
+    if (next->bundles.find(name) == next->bundles.end()) ++stats.removed;
+
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_ = next;
+  }
+  stats.generation = generation_.fetch_add(1) + 1;
+  reloads_->add();
+
+  // Prewarm new/changed bundles on their owner shards so the first
+  // request after the swap hits a warm cache instead of paying the
+  // parse. Best-effort: an unreadable bundle stays a per-request error.
+  for (const auto& [name, entry] : next->bundles) {
+    const auto it = prev->bundles.find(name);
+    if (it != prev->bundles.end() &&
+        it->second.content_hash == entry.content_hash)
+      continue;
+    try {
+      Shard* shard = find_shard(route(entry.path));
+      if (shard != nullptr && shard->alive.load())
+        shard->engine->prewarm(entry.path);
+    } catch (const std::exception&) {
+    }
+  }
+  return stats;
+}
+
+std::uint64_t Fleet::total_requests() const { return requests_->value(); }
+
+std::size_t Fleet::live_shards() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_)
+    if (shard->alive.load()) ++n;
+  return n;
+}
+
+std::vector<ShardStatus> Fleet::shard_status() const {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStatus s;
+    s.name = shard->name;
+    s.alive = shard->alive.load();
+    s.queue_depth = shard->engine->queue_depth();
+    s.routed = shard->routed->value();
+    const serve::MetricsSnapshot m = shard->engine->metrics();
+    s.completed = m.completed;
+    s.errors = m.errors;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Fleet::shards_json() const {
+  std::string out = "{";
+  out += "\"generation\":" + std::to_string(generation_.load());
+  out += ",\"queue_high_water\":" + std::to_string(config_.queue_high_water);
+  out += ",\"live\":" + std::to_string(live_shards());
+  out += ",\"shards\":[";
+  bool first = true;
+  for (const ShardStatus& s : shard_status()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) + "\"";
+    out += ",\"alive\":" + std::string(s.alive ? "true" : "false");
+    out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+    out += ",\"routed\":" + std::to_string(s.routed);
+    out += ",\"completed\":" + std::to_string(s.completed);
+    out += ",\"errors\":" + std::to_string(s.errors);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Fleet::metrics_json() const {
+  std::string out = "{\"fleet\":{";
+  out += "\"generation\":" + std::to_string(generation_.load());
+  out += ",\"live_shards\":" + std::to_string(live_shards());
+  out += ",\"requests\":" + std::to_string(requests_->value());
+  out += ",\"busy_rejections\":" + std::to_string(busy_rejections_->value());
+  out += ",\"reroutes\":" + std::to_string(reroutes_->value());
+  out += ",\"no_shard\":" + std::to_string(no_shard_->value());
+  out += ",\"reloads\":" + std::to_string(reloads_->value());
+  out += "},\"shards\":{";
+  bool first = true;
+  for (const auto& shard : shards_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(shard->name) + "\":{";
+    out += "\"alive\":" + std::string(shard->alive.load() ? "true" : "false");
+    out += ",\"routed\":" + std::to_string(shard->routed->value());
+    out += ",\"request_ms\":" +
+           obs::histogram_json(shard->request_ms->snapshot());
+    out += ",\"engine\":" + shard->engine->metrics_json();
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Fleet::shutdown() {
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    while (!ring_.empty()) ring_.remove(ring_.shards().front());
+  }
+  for (const auto& shard : shards_) {
+    shard->alive.store(false);
+    shard->engine->shutdown();
+  }
+  live_shards_gauge_->set(0);
+}
+
+}  // namespace fcrit::fleet

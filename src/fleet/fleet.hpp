@@ -1,0 +1,212 @@
+// The fleet tier: N in-process ScoringEngine shards behind one
+// consistent-hash router, with admission control, shard death/drain
+// rebalancing and hot bundle reload. fleet::FleetServer puts the line
+// protocol in front of this; everything here is protocol-agnostic.
+//
+// Routing: a bundle's resolved path is the ring key, so every request
+// for one bundle lands on one shard — that shard's BundleCache holds the
+// parse, its workers' thread-local clone caches stay hot, and queued
+// same-bundle requests coalesce into single batched forwards
+// (EngineConfig::batch_max). When a shard dies (kill_shard / abort) or
+// drains, it leaves the ring first; re-issued requests re-route to the
+// survivors, and score() retries routed-to-dead-shard failures
+// (EngineError kAborted/kShutdown) up to FleetConfig::retries times —
+// "no client-visible error after one retry".
+//
+// Admission control: a request whose owner shard already holds
+// queue_high_water queued jobs is rejected with FleetError(kBusy)
+// (wire: "BUSY ...") instead of blocking the connection; the submit
+// deadline (admission_timeout_ms) is the backstop for races past that
+// check. Queue depth stays bounded by construction.
+//
+// Hot reload: the name→bundle view is an immutable BundleTable snapshot
+// swapped atomically by reload() (SIGHUP / RELOAD). In-flight requests
+// keep scoring the bundle version they resolved — shared_ptr pins inside
+// the engines — so a reload drops nothing; new requests see the new
+// table, whose changed content hashes miss the caches and re-parse.
+// reload() prewarms each bundle on its owner shard so the first request
+// after a swap does not pay the parse.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fleet/hash_ring.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/serve/engine.hpp"
+
+namespace fcrit::fleet {
+
+enum class FleetErrorCode {
+  kBusy,     // owner shard over the high-water mark (wire: BUSY)
+  kNoShard,  // every shard dead/drained — nothing left to route to
+  kBundle,   // the bundle token resolves to nothing in the current table
+};
+
+std::string_view to_string(FleetErrorCode code);
+
+class FleetError : public std::runtime_error {
+ public:
+  FleetError(FleetErrorCode code, const std::string& message);
+  FleetErrorCode code() const { return code_; }
+
+ private:
+  FleetErrorCode code_;
+};
+
+struct FleetConfig {
+  std::string bundle_dir;
+  int shards = 2;
+  int threads_per_shard = 2;
+  std::size_t queue_capacity = 64;
+  /// Admission control: reject (BUSY) requests whose owner shard already
+  /// queues this many jobs. Must be <= queue_capacity to ever fire before
+  /// submit blocks; 0 derives capacity/2.
+  std::size_t queue_high_water = 0;
+  std::size_t cache_capacity = 8;
+  /// Cross-connection coalescing width per shard worker (see
+  /// serve::EngineConfig::batch_max); 1 disables batching.
+  std::size_t batch_max = 8;
+  /// Backstop deadline for the submit that races past the high-water
+  /// check; expiry surfaces as FleetError(kBusy).
+  std::chrono::milliseconds admission_timeout{2000};
+  /// Transparent re-route attempts after a routed-to-dead-shard failure.
+  int retries = 1;
+  /// Test-only: forwarded to every shard's EngineConfig.
+  std::function<void(const std::string&)> before_score_hook;
+};
+
+/// One immutable name -> bundle view; requests resolve against whichever
+/// snapshot was current when they arrived.
+struct BundleTable {
+  struct Entry {
+    std::string path;
+    std::uint64_t content_hash = 0;  // fnv1a64 of the file bytes
+  };
+  std::map<std::string, Entry> bundles;  // key: file stem ("sdram_ctrl")
+};
+
+/// What a reload() changed, for the RELOAD response and logs.
+struct ReloadStats {
+  std::uint64_t generation = 0;  // table generation now live
+  std::size_t total = 0;         // bundles in the new table
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  std::size_t changed = 0;  // same name, different content hash
+};
+
+struct ShardStatus {
+  std::string name;
+  bool alive = false;
+  std::size_t queue_depth = 0;
+  std::uint64_t routed = 0;  // requests this fleet routed to the shard
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Resolve a SCORE bundle token against the CURRENT table snapshot:
+  /// "" = the table's only bundle, a '/'-containing token = literal path,
+  /// anything else = table lookup (".fcm" stripped). Throws
+  /// FleetError(kBundle) when nothing matches.
+  std::string resolve_bundle(const std::string& token) const;
+
+  /// The shard that owns `bundle_path` on the current ring; throws
+  /// FleetError(kNoShard) when the ring is empty.
+  std::string route(const std::string& bundle_path) const;
+
+  /// Route + admission-check + submit + (on routed-to-dead-shard failure)
+  /// re-route and retry. Throws FleetError (kBusy/kNoShard) for fleet
+  /// conditions; scoring errors (BundleError, lint::LintError, ...)
+  /// pass through.
+  serve::ScoreResult score(const std::string& bundle_path,
+                           const std::string& target,
+                           serve::ScoreOptions opts = {});
+
+  /// Abrupt shard death: leaves the ring first, then abort()s the engine
+  /// so queued jobs fail fast (kAborted) and their callers re-route.
+  /// Requests already on a worker still finish. No-op on unknown names.
+  void kill_shard(const std::string& name);
+
+  /// Graceful removal: leaves the ring, then drains the engine (queued
+  /// jobs finish on the leaving shard).
+  void drain_shard(const std::string& name);
+
+  /// Rescan bundle_dir, swap in the new table, prewarm new/changed
+  /// bundles on their owner shards. Thread-safe; concurrent reloads
+  /// serialize.
+  ReloadStats reload();
+
+  std::uint64_t generation() const { return generation_.load(); }
+  std::uint64_t total_requests() const;
+  std::size_t live_shards() const;
+  std::vector<ShardStatus> shard_status() const;
+
+  /// SHARDS payload: {"generation":..,"high_water":..,"shards":[...]}.
+  std::string shards_json() const;
+
+  /// {"fleet":{router counters},"shards":{"<name>":{engine metrics}}}.
+  std::string metrics_json() const;
+
+  const obs::Registry& metrics_registry() const { return registry_; }
+
+  /// Drain every live shard and stop. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Shard {
+    std::string name;
+    std::unique_ptr<serve::ScoringEngine> engine;
+    std::atomic<bool> alive{true};
+    obs::Counter* routed = nullptr;      // fleet.routed.<name>
+    obs::Histogram* request_ms = nullptr;  // fleet.request_ms.<name>
+  };
+
+  std::shared_ptr<const BundleTable> table() const;
+  static BundleTable scan_bundles(const std::string& dir);
+  Shard* find_shard(const std::string& name);
+  const Shard* find_shard(const std::string& name) const;
+  /// Take `name` off the ring (idempotent) so the next route() skips it.
+  void leave_ring(const std::string& name);
+
+  FleetConfig config_;
+  obs::Registry registry_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex ring_mutex_;
+  HashRing ring_;
+
+  mutable std::mutex table_mutex_;  // guards the snapshot pointer swap
+  std::shared_ptr<const BundleTable> table_;
+  std::mutex reload_mutex_;  // serializes reload() scans
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::atomic<bool> stopped_{false};
+
+  obs::Counter* requests_;
+  obs::Counter* busy_rejections_;
+  obs::Counter* reroutes_;
+  obs::Counter* no_shard_;
+  obs::Counter* reloads_;
+  obs::Gauge* live_shards_gauge_;
+};
+
+}  // namespace fcrit::fleet

@@ -1,0 +1,81 @@
+#include "src/fleet/fleet_server.hpp"
+
+#include <sstream>
+
+#include "src/serve/server.hpp"  // parse_score_request, format_score_response
+#include "src/util/text.hpp"
+
+namespace fcrit::fleet {
+
+FleetServer::FleetServer(Fleet& fleet, FleetServerConfig config)
+    : serve::LineServer(config.port), fleet_(fleet), config_(config) {}
+
+FleetServer::~FleetServer() {
+  // Drain connections while fleet_ is still valid (handle_line runs on
+  // connection threads).
+  stop();
+}
+
+std::string FleetServer::handle_line(const std::string& line) {
+  const std::vector<std::string> tokens = util::split_ws(line);
+  if (tokens.empty()) return serve::error_response("empty request");
+  const std::string& verb = tokens[0];
+
+  if (verb == "QUIT") return "BYE\n.\n";
+
+  if (verb == "METRICS") return fleet_.metrics_json() + "\n.\n";
+
+  if (verb == "SHARDS") return fleet_.shards_json() + "\n.\n";
+
+  if (verb == "RELOAD") {
+    try {
+      const ReloadStats s = fleet_.reload();
+      std::ostringstream os;
+      os << "OK generation=" << s.generation << " total=" << s.total
+         << " added=" << s.added << " removed=" << s.removed
+         << " changed=" << s.changed << "\n.\n";
+      return os.str();
+    } catch (const std::exception& e) {
+      return serve::error_response(e.what());
+    }
+  }
+
+  if (verb == "STATS") {
+    // Aggregate over shards so existing STATS consumers keep working
+    // against a fleet endpoint.
+    std::uint64_t completed = 0, errors = 0;
+    for (const auto& shard : fleet_.shard_status()) {
+      completed += shard.completed;
+      errors += shard.errors;
+    }
+    std::ostringstream os;
+    os << "OK requests=" << fleet_.total_requests()
+       << " completed=" << completed << " errors=" << errors
+       << " shards=" << fleet_.live_shards()
+       << " generation=" << fleet_.generation()
+       << " high_water=" << fleet_.config().queue_high_water << "\n.\n";
+    return os.str();
+  }
+
+  if (verb == "SCORE") {
+    try {
+      const serve::ScoreRequest req = serve::parse_score_request(
+          {tokens.begin() + 1, tokens.end()}, config_.default_top);
+      const std::string bundle_path = fleet_.resolve_bundle(req.bundle_token);
+      const serve::ScoreResult r = fleet_.score(bundle_path, req.target);
+      return serve::format_score_response(r, req.top);
+    } catch (const FleetError& e) {
+      if (e.code() == FleetErrorCode::kBusy)
+        return std::string("BUSY ") + e.what() + "\n.\n";
+      return serve::error_response(e.what());
+    } catch (const std::exception& e) {
+      return serve::error_response(e.what());
+    }
+  }
+
+  return serve::error_response(
+      "unknown command '" + verb +
+      "' (SCORE, STATS, METRICS, SHARDS, RELOAD, QUIT)");
+}
+
+}  // namespace fcrit::fleet

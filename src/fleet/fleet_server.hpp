@@ -1,0 +1,46 @@
+// The `fcrit fleet` daemon: the serve line protocol (src/serve/
+// line_server.hpp) in front of a Fleet router instead of a single
+// engine. Protocol deltas vs `fcrit serve` (docs/SERVING.md):
+//
+//   SCORE [<bundle>] <netlist-path> [<top-n>]
+//       Same grammar and OK response; the bundle's owner shard computes
+//       it. An over-high-water shard replies "BUSY <detail>" (terminator
+//       included) instead of queueing — clients back off and retry.
+//   SHARDS
+//       One JSON line: ring generation, high-water mark, per-shard
+//       alive/queue_depth/routed/completed/errors.
+//   RELOAD
+//       Rescans the bundle directory, swaps the table snapshot, prewarms
+//       new/changed bundles. Replies "OK generation=G total=N added=A
+//       removed=R changed=C". SIGHUP on the CLI daemon does the same.
+//   STATS / METRICS / QUIT
+//       As in serve; METRICS returns the fleet's nested JSON (router
+//       counters + per-shard engine snapshots).
+#pragma once
+
+#include <cstdint>
+
+#include "src/fleet/fleet.hpp"
+#include "src/serve/line_server.hpp"
+
+namespace fcrit::fleet {
+
+struct FleetServerConfig {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 7343;
+  int default_top = 10;
+};
+
+class FleetServer : public serve::LineServer {
+ public:
+  FleetServer(Fleet& fleet, FleetServerConfig config);
+  ~FleetServer() override;
+
+  std::string handle_line(const std::string& line) override;
+
+ private:
+  Fleet& fleet_;
+  FleetServerConfig config_;
+};
+
+}  // namespace fcrit::fleet

@@ -1,0 +1,65 @@
+#include "src/fleet/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/serve/bundle.hpp"  // fnv1a64
+
+namespace fcrit::fleet {
+
+namespace {
+
+/// Ring position of a name: fnv1a64 run through the splitmix64 finalizer.
+/// Plain FNV-1a avalanches poorly in the high bits for short, similar
+/// strings ("shard-0#17", "sdram_ctrl.v42.fcm"), which clumps virtual
+/// nodes and skews shard load badly; the finalizer restores uniformity.
+std::uint64_t position(const std::string& name) {
+  std::uint64_t x = serve::fnv1a64(name);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(int replicas) : replicas_(std::max(1, replicas)) {}
+
+void HashRing::add(const std::string& shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it != shards_.end() && *it == shard) return;
+  shards_.insert(it, shard);
+  rebuild();
+}
+
+void HashRing::remove(const std::string& shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end() || *it != shard) return;
+  shards_.erase(it);
+  rebuild();
+}
+
+bool HashRing::contains(const std::string& shard) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard);
+}
+
+void HashRing::rebuild() {
+  // Rebuild from the sorted shard set instead of editing incrementally:
+  // a position collision between two shards' virtual nodes then resolves
+  // by canonical order, never by join order, which is what makes two
+  // routers with the same shard set route identically.
+  ring_.clear();
+  for (const std::string& shard : shards_)
+    for (int i = 0; i < replicas_; ++i)
+      ring_.emplace(position(shard + "#" + std::to_string(i)), shard);
+}
+
+const std::string& HashRing::route(const std::string& key) const {
+  if (ring_.empty())
+    throw std::runtime_error("hash ring is empty: no live shard");
+  auto it = ring_.lower_bound(position(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->second;
+}
+
+}  // namespace fcrit::fleet

@@ -1,0 +1,53 @@
+// Consistent-hash ring routing bundle IDs to fleet shards.
+//
+// Every shard contributes `replicas` virtual nodes at fnv1a64("<shard>#<i>")
+// positions; a key routes to the first virtual node clockwise from
+// fnv1a64(key). Two properties the fleet (and its tests) rely on:
+//
+//   Determinism: the ring is a pure function of the CURRENT shard set —
+//   add/remove rebuild it from the sorted shard names, so placement never
+//   depends on the order shards joined or died. Two routers holding the
+//   same shard set route every key identically.
+//
+//   Bounded movement: removing a shard only re-homes the keys that lived
+//   on it (its successors absorb them); adding one only steals the keys
+//   landing on its new virtual nodes. Everything else stays put — the
+//   property that makes shard death cheap compared to `hash % N`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcrit::fleet {
+
+class HashRing {
+ public:
+  /// `replicas` = virtual nodes per shard; more replicas → smoother key
+  /// distribution at O(replicas · shards) ring size.
+  explicit HashRing(int replicas = 64);
+
+  void add(const std::string& shard);
+  void remove(const std::string& shard);
+  bool contains(const std::string& shard) const;
+
+  std::size_t size() const { return shards_.size(); }
+  bool empty() const { return shards_.empty(); }
+
+  /// The shards in their canonical (sorted) order.
+  const std::vector<std::string>& shards() const { return shards_; }
+
+  /// The owning shard for `key`; throws std::runtime_error on an empty
+  /// ring (no shard left to own anything).
+  const std::string& route(const std::string& key) const;
+
+ private:
+  void rebuild();
+
+  int replicas_;
+  std::vector<std::string> shards_;            // sorted, unique
+  std::map<std::uint64_t, std::string> ring_;  // position -> shard
+};
+
+}  // namespace fcrit::fleet

@@ -7,19 +7,29 @@
 // Bundles are loaded through a thread-safe LRU cache keyed by file
 // content hash, so repeated requests against the same artifact skip the
 // parse. A fixed worker pool with a bounded queue serves concurrent
-// requests (submit() blocks when the queue is full — backpressure, not
-// unbounded memory). Every engine owns a private obs::Registry whose
-// instruments (request/stage latency histograms with p50/p90/p99, cache
-// hit/miss counters, a queue-depth gauge with high-water mark) back both
-// metrics() and the metrics_json() snapshot the daemon's METRICS command
-// returns; a per-engine registry keeps concurrent engines from mixing
-// counts.
+// requests (submit() blocks while the queue is full — backpressure, not
+// unbounded memory — or times out with EngineError(kQueueTimeout) when
+// the caller passes a deadline, the admission path the fleet router's
+// BUSY responses are built on). Every engine owns a private obs::Registry
+// whose instruments (request/stage latency histograms with p50/p90/p99,
+// cache hit/miss counters, a queue-depth gauge with high-water mark) back
+// both metrics() and the metrics_json() snapshot the daemon's METRICS
+// command returns; a per-engine registry keeps concurrent engines from
+// mixing counts.
 // Every forward pass runs on a per-WORKER clone of the bundle's models:
 // GcnModel caches activations internally, so instances must not be shared
 // across threads. Each thread keeps a small thread_local cache of clones
 // keyed by bundle identity (pinned by shared_ptr so a cache entry can
 // never alias a recycled address), making the steady-state forward path
 // clone-free; serve.model_clone_hits/misses count its effectiveness.
+//
+// Cross-request batching (EngineConfig::batch_max > 1): a worker that
+// dequeues a job also claims every other queued job for the same bundle
+// (up to batch_max) and scores the group through score_batch() — the
+// per-target graphs are stacked into one block-diagonal adjacency and a
+// row-concatenated feature matrix, so a single model forward serves the
+// whole batch. Per-target rows only ever see their own block, which keeps
+// batched results bitwise-identical to scoring each target alone.
 #pragma once
 
 #include <atomic>
@@ -27,26 +37,58 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/designs/designs.hpp"
+#include "src/graphir/graph.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/serve/bundle.hpp"
 
 namespace fcrit::serve {
 
+/// Typed failures of the engine's queueing layer (the scoring path itself
+/// reports BundleError / lint::LintError / std::runtime_error).
+enum class EngineErrorCode {
+  kShutdown,      // submit() after shutdown()/abort()
+  kQueueTimeout,  // the submit deadline expired while the queue stayed full
+  kAborted,       // queued job discarded by abort() before a worker took it
+};
+
+std::string_view to_string(EngineErrorCode code);
+
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(EngineErrorCode code, const std::string& message);
+  EngineErrorCode code() const { return code_; }
+
+ private:
+  EngineErrorCode code_;
+};
+
 struct EngineConfig {
   int threads = 4;
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 8;
+  /// Cross-request coalescing: a worker that dequeues a job also claims up
+  /// to batch_max - 1 more queued jobs for the SAME bundle (and strictness)
+  /// and scores them as one batch — one bundle fetch, one clone lookup,
+  /// one model forward. 1 disables coalescing.
+  std::size_t batch_max = 1;
+  /// Test-only instrumentation: when set, a worker invokes this right
+  /// after dequeuing (the job already left the queue, coalescing already
+  /// happened) and before scoring. Lets tests park a worker
+  /// deterministically while they fill the queue behind it.
+  std::function<void(const std::string& target_path)> before_score_hook;
 };
 
 struct ScoreOptions {
@@ -71,12 +113,20 @@ struct ScoreResult {
   std::vector<double> score;            // regressor (proba when absent)
 
   double stats_seconds = 0.0;    // golden simulation + feature extraction
-  double forward_seconds = 0.0;  // model clone + forward passes
+  double forward_seconds = 0.0;  // model clone + forward passes (for a
+                                 // batched request: the shared batch pass)
 };
 
 /// The `sites` of a result ranked by descending score, truncated to n
 /// (n <= 0 keeps all).
 std::vector<netlist::NodeId> top_sites(const ScoreResult& result, int n);
+
+/// Exactly one of `result` / `error` is set: score_batch() reports
+/// per-target outcomes so one bad netlist cannot poison its batch mates.
+struct BatchOutcome {
+  std::optional<ScoreResult> result;
+  std::exception_ptr error;
+};
 
 struct MetricsSnapshot {
   std::uint64_t requests = 0;   // score attempts started
@@ -84,6 +134,10 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t batches = 0;           // multi-request forward passes
+  std::uint64_t batched_requests = 0;  // requests served through a batch
+  std::uint64_t collapsed_requests = 0;  // duplicate batch jobs scored once
+  std::uint64_t submit_timeouts = 0;   // submit deadlines that expired
   std::size_t queue_depth = 0;  // jobs waiting right now
   std::size_t queue_high_water = 0;
   double uptime_seconds = 0.0;  // since engine construction
@@ -159,15 +213,44 @@ class ScoringEngine {
                          const std::string& target_path,
                          ScoreOptions opts = {});
 
-  /// Enqueue onto the worker pool; blocks while the queue is at capacity.
-  /// Throws std::runtime_error after shutdown().
-  std::future<ScoreResult> submit(std::string bundle_path,
-                                  std::string target_path,
-                                  ScoreOptions opts = {});
+  /// Score a whole group of targets against one bundle with a SINGLE
+  /// model forward: the per-target graphs become one block-diagonal
+  /// adjacency, the features one row-stacked matrix. Because every
+  /// target's rows only see their own block, each outcome is
+  /// bitwise-identical to a lone score() of that target. Outcomes are
+  /// positional; a target failing preflight gets its error without
+  /// affecting the rest, an unreadable bundle fails every outcome.
+  std::vector<BatchOutcome> score_batch(
+      const std::string& bundle_path,
+      const std::vector<designs::Design>& targets, ScoreOptions opts = {});
+
+  /// Enqueue onto the worker pool; blocks while the queue is at capacity,
+  /// or — when `queue_timeout` is set — gives up after that long with
+  /// EngineError(kQueueTimeout) so callers (the fleet admission path) can
+  /// shed load instead of hanging. Throws EngineError(kShutdown) after
+  /// shutdown()/abort().
+  std::future<ScoreResult> submit(
+      std::string bundle_path, std::string target_path,
+      ScoreOptions opts = {},
+      std::optional<std::chrono::milliseconds> queue_timeout = std::nullopt);
 
   /// Stop accepting work, drain every queued job, join the workers.
   /// Idempotent; the destructor calls it.
   void shutdown();
+
+  /// Abrupt stop (a killed fleet shard): queued jobs fail immediately
+  /// with EngineError(kAborted) so their clients can retry elsewhere;
+  /// jobs already on a worker still finish. Does NOT join the workers —
+  /// call shutdown() (or destroy the engine) to reap them.
+  void abort();
+
+  /// Pre-populate the bundle cache (the fleet hot-reload path warms the
+  /// new bundle version on its owner shard). Throws BundleError on an
+  /// unreadable or invalid bundle.
+  void prewarm(const std::string& bundle_path);
+
+  /// Jobs waiting in the queue right now (the admission-control input).
+  std::size_t queue_depth() const;
 
   MetricsSnapshot metrics() const;
 
@@ -187,7 +270,22 @@ class ScoringEngine {
     std::promise<ScoreResult> promise;
   };
 
+  /// Everything score() derives from a target before the model forward:
+  /// the partially-filled result (names, sites, stats timing), the
+  /// standardized feature matrix and the graph whose adjacency the
+  /// forward needs. Shared by the single and batched paths.
+  struct PreparedTarget {
+    ScoreResult result;
+    ml::Matrix features;
+    graphir::CircuitGraph graph;
+  };
+
+  PreparedTarget prepare_target(const ModelBundle& bundle,
+                                const designs::Design& target,
+                                const ScoreOptions& opts);
+
   void worker_loop();
+  void run_job_batch(std::vector<Job> batch);
 
   EngineConfig config_;
   // Declared before cache_/instrument pointers: they borrow from it.
@@ -207,11 +305,17 @@ class ScoringEngine {
   obs::Counter* errors_;
   obs::Counter* clone_hits_;
   obs::Counter* clone_misses_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Counter* collapsed_requests_;
+  obs::Counter* submit_timeouts_;
+  obs::Counter* aborted_jobs_;
   obs::Gauge* queue_depth_;
   obs::Histogram* request_ms_;
   obs::Histogram* load_ms_;
   obs::Histogram* stats_ms_;
   obs::Histogram* forward_ms_;
+  obs::Histogram* batch_size_;
 };
 
 /// Resolve a score target: registered design name, or a .v/.bench file

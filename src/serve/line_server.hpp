@@ -1,0 +1,79 @@
+// Reusable line-protocol TCP front end: bind/listen/accept plumbing,
+// thread-per-connection framing and graceful drain, with the actual
+// protocol supplied by a subclass's handle_line().
+//
+// Both daemons in the tree sit on this base: serve::Server (one engine,
+// PR 4) and fleet::FleetServer (router over N shards, PR 6). The framing
+// contract they share: one request per '\n'-terminated line (a trailing
+// '\r' is stripped), blank lines are ignored, every response already
+// carries its own ".\n" terminator, and a handle_line() returning
+// after "QUIT" closes that connection (should_close()).
+//
+// stop() is a graceful shutdown: the listening socket closes first, then
+// every connection's read side is shut down — requests already in flight
+// still compute and write their responses before the threads are joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace fcrit::serve {
+
+/// "ERR <message>" plus the protocol terminator.
+std::string error_response(const std::string& message);
+
+class LineServer {
+ public:
+  /// `port` on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  explicit LineServer(std::uint16_t port) : requested_port_(port) {}
+  virtual ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Bind, listen and start the acceptor thread; throws std::runtime_error
+  /// on socket failure.
+  void start();
+
+  /// The actually-bound port (resolves port 0).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  /// Graceful shutdown: stop accepting, drain in-flight requests, join.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Process one protocol line (without the newline) into a full response
+  /// (terminator included). Public so tests can drive the protocol
+  /// without sockets.
+  virtual std::string handle_line(const std::string& line) = 0;
+
+ protected:
+  /// True when the request line the connection just served should end it
+  /// (the base closes after QUIT; subclasses may extend).
+  virtual bool should_close(const std::string& verb) const {
+    return verb == "QUIT";
+  }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  std::uint16_t requested_port_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace fcrit::serve

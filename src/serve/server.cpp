@@ -1,12 +1,5 @@
 #include "src/serve/server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
@@ -15,120 +8,84 @@
 
 namespace fcrit::serve {
 
-namespace {
-
-void send_all(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; nothing sensible to do
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-std::string error_response(const std::string& message) {
-  return "ERR " + message + "\n.\n";
-}
-
-}  // namespace
-
-Server::Server(ScoringEngine& engine, ServerConfig config)
-    : engine_(engine), config_(std::move(config)) {}
-
-Server::~Server() { stop(); }
-
-void Server::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bind 127.0.0.1:" +
-                             std::to_string(config_.port) + ": " + reason);
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("listen: " + reason);
-  }
-  running_.store(true);
-  acceptor_ = std::thread([this] { accept_loop(); });
-}
-
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) break;
-      if (errno == EINTR) continue;
-      break;  // listening socket gone
+ScoreRequest parse_score_request(const std::vector<std::string>& args,
+                                 int default_top) {
+  // SCORE [<bundle>] <netlist-path> [<top-n>]: a trailing integer is the
+  // top-n; one path-like argument means "the directory's only bundle".
+  std::vector<std::string> rest = args;
+  ScoreRequest req;
+  req.top = default_top;
+  if (rest.size() >= 2) {
+    std::size_t parsed = 0;
+    try {
+      const int n = std::stoi(rest.back(), &parsed);
+      if (parsed == rest.back().size()) {
+        req.top = n;
+        rest.pop_back();
+      }
+    } catch (const std::exception&) {
     }
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopping_.load()) {
-      ::close(fd);
-      break;
-    }
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
   }
+  if (rest.empty() || rest.size() > 2)
+    throw std::runtime_error("usage: SCORE [<bundle>] <netlist-path> [<top-n>]");
+  if (rest.size() == 2) {
+    req.bundle_token = rest[0];
+    req.target = rest[1];
+  } else {
+    req.target = rest[0];
+  }
+  return req;
 }
 
-void Server::connection_loop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline == std::string::npos) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) break;  // peer closed, or stop() shut our read side down
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (util::trim(line).empty()) continue;
-    const std::string verb = util::split_ws(line)[0];
-    send_all(fd, handle_line(line));
-    if (verb == "QUIT" || stopping_.load()) open = false;
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    conn_fds_.erase(fd);
-  }
-  ::close(fd);
-}
-
-std::string Server::resolve_bundle(const std::string& token) const {
+std::string resolve_bundle_token(const std::string& bundle_dir,
+                                 const std::string& token) {
   namespace fs = std::filesystem;
+  if (token.empty()) {
+    std::vector<std::string> bundles;
+    for (const auto& entry : fs::directory_iterator(bundle_dir))
+      if (entry.is_regular_file() && entry.path().extension() == ".fcm")
+        bundles.push_back(entry.path().string());
+    if (bundles.size() != 1)
+      throw std::runtime_error(
+          std::to_string(bundles.size()) +
+          " bundles in directory; name one: SCORE <bundle> <path>");
+    return bundles[0];
+  }
   std::vector<std::string> candidates;
   if (token.find('/') != std::string::npos) {
     candidates = {token};
   } else {
-    candidates.push_back(config_.bundle_dir + "/" + token);
+    candidates.push_back(bundle_dir + "/" + token);
     if (!util::ends_with(token, ".fcm"))
-      candidates.push_back(config_.bundle_dir + "/" + token + ".fcm");
+      candidates.push_back(bundle_dir + "/" + token + ".fcm");
   }
   for (const auto& path : candidates)
     if (fs::is_regular_file(path)) return path;
-  throw std::runtime_error("no bundle '" + token + "' in " +
-                           config_.bundle_dir);
+  throw std::runtime_error("no bundle '" + token + "' in " + bundle_dir);
+}
+
+std::string format_score_response(const ScoreResult& r, int top) {
+  const auto ranked = top_sites(r, top);
+  std::ostringstream os;
+  os.precision(6);
+  os << "OK design=" << r.target_name << " bundle=" << r.bundle_design
+     << " nodes=" << r.node_names.size()
+     << " matched=" << (r.netlist_matched ? 1 : 0)
+     << " top=" << ranked.size() << "\n";
+  for (const auto id : ranked)
+    os << r.node_names[id] << " " << r.proba[id] << " "
+       << r.predicted[id] << " " << r.score[id] << "\n";
+  os << ".\n";
+  return os.str();
+}
+
+Server::Server(ScoringEngine& engine, ServerConfig config)
+    : LineServer(config.port), engine_(engine), config_(std::move(config)) {}
+
+Server::~Server() {
+  // Drain connections before engine_/config_ go away (the base dtor would
+  // be too late: handle_line runs on connection threads).
+  stop();
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -153,57 +110,12 @@ std::string Server::handle_line(const std::string& line) {
 
   if (verb == "SCORE") {
     try {
-      // SCORE [<bundle>] <netlist-path> [<top-n>]: a trailing integer is
-      // the top-n; one path-like argument means "the directory's only
-      // bundle".
-      std::vector<std::string> args(tokens.begin() + 1, tokens.end());
-      int top = config_.default_top;
-      if (args.size() >= 2) {
-        std::size_t parsed = 0;
-        try {
-          const int n = std::stoi(args.back(), &parsed);
-          if (parsed == args.back().size()) {
-            top = n;
-            args.pop_back();
-          }
-        } catch (const std::exception&) {
-        }
-      }
-      if (args.empty() || args.size() > 2)
-        return error_response(
-            "usage: SCORE [<bundle>] <netlist-path> [<top-n>]");
-      std::string bundle_path;
-      std::string target;
-      if (args.size() == 2) {
-        bundle_path = resolve_bundle(args[0]);
-        target = args[1];
-      } else {
-        namespace fs = std::filesystem;
-        std::vector<std::string> bundles;
-        for (const auto& entry : fs::directory_iterator(config_.bundle_dir))
-          if (entry.is_regular_file() && entry.path().extension() == ".fcm")
-            bundles.push_back(entry.path().string());
-        if (bundles.size() != 1)
-          return error_response(
-              std::to_string(bundles.size()) +
-              " bundles in directory; name one: SCORE <bundle> <path>");
-        bundle_path = bundles[0];
-        target = args[0];
-      }
-
-      const ScoreResult r = engine_.submit(bundle_path, target).get();
-      const auto ranked = top_sites(r, top);
-      std::ostringstream os;
-      os.precision(6);
-      os << "OK design=" << r.target_name << " bundle=" << r.bundle_design
-         << " nodes=" << r.node_names.size()
-         << " matched=" << (r.netlist_matched ? 1 : 0)
-         << " top=" << ranked.size() << "\n";
-      for (const auto id : ranked)
-        os << r.node_names[id] << " " << r.proba[id] << " "
-           << r.predicted[id] << " " << r.score[id] << "\n";
-      os << ".\n";
-      return os.str();
+      const ScoreRequest req = parse_score_request(
+          {tokens.begin() + 1, tokens.end()}, config_.default_top);
+      const std::string bundle_path =
+          resolve_bundle_token(config_.bundle_dir, req.bundle_token);
+      const ScoreResult r = engine_.submit(bundle_path, req.target).get();
+      return format_score_response(r, req.top);
     } catch (const std::exception& e) {
       return error_response(e.what());
     }
@@ -211,31 +123,6 @@ std::string Server::handle_line(const std::string& line) {
 
   return error_response("unknown command '" + verb +
                         "' (SCORE, STATS, METRICS, QUIT)");
-}
-
-void Server::stop() {
-  if (!running_.load() && listen_fd_ < 0) return;
-  stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  {
-    // Wake connections parked in recv(); their writes still complete, so
-    // in-flight requests are answered before the threads exit.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    threads.swap(conn_threads_);
-  }
-  for (auto& t : threads)
-    if (t.joinable()) t.join();
-  running_.store(false);
 }
 
 }  // namespace fcrit::serve

@@ -1,5 +1,6 @@
-// The `fcrit serve` daemon: a POSIX-socket, line-oriented request/response
-// front end over a ScoringEngine and a directory of model bundles.
+// The `fcrit serve` daemon: a line-protocol front end (src/serve/
+// line_server.hpp) over ONE ScoringEngine and a directory of model
+// bundles. The multi-shard variant lives in src/fleet/fleet_server.hpp.
 //
 // Wire protocol (one request per line; every response ends with a line
 // holding a single "."):
@@ -20,72 +21,60 @@
 //   QUIT
 //       Replies "BYE" and closes the connection.
 // Any failure replies "ERR <message>".
-//
-// stop() is a graceful shutdown: the listening socket closes first, then
-// every connection's read side is shut down — requests already in flight
-// still compute and write their responses before the threads are joined.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
 #include <vector>
 
 #include "src/serve/engine.hpp"
+#include "src/serve/line_server.hpp"
 
 namespace fcrit::serve {
 
+/// A parsed SCORE request line. The shared grammar of serve::Server and
+/// fleet::FleetServer: SCORE [<bundle>] <netlist-path> [<top-n>], where a
+/// trailing integer is the top-n and a lone path-like argument means "the
+/// directory's only bundle" (empty bundle_token).
+struct ScoreRequest {
+  std::string bundle_token;  // empty = sole bundle in the directory
+  std::string target;
+  int top = 10;
+};
+
+/// Parse the tokens after the SCORE verb; throws std::runtime_error with
+/// a usage message on malformed input.
+ScoreRequest parse_score_request(const std::vector<std::string>& args,
+                                 int default_top);
+
+/// Map a SCORE bundle token to a bundle file: a token containing '/' is a
+/// path, anything else names a file in `bundle_dir` (".fcm" appended when
+/// missing); an empty token selects the directory's only *.fcm. Throws
+/// std::runtime_error when nothing (or more than one thing) matches.
+std::string resolve_bundle_token(const std::string& bundle_dir,
+                                 const std::string& token);
+
+/// The "OK design=... top=K" header plus K ranked site lines and the
+/// protocol terminator.
+std::string format_score_response(const ScoreResult& result, int top);
+
 struct ServerConfig {
   std::string bundle_dir;
-  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see Server::port).
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
   std::uint16_t port = 7333;
   int default_top = 10;
 };
 
-class Server {
+class Server : public LineServer {
  public:
   Server(ScoringEngine& engine, ServerConfig config);
-  ~Server();
+  ~Server() override;
 
-  Server(const Server&) = delete;
-  Server& operator=(const Server&) = delete;
-
-  /// Bind, listen and start the acceptor thread; throws std::runtime_error
-  /// on socket failure.
-  void start();
-
-  /// The actually-bound port (resolves port 0).
-  int port() const { return port_; }
-
-  bool running() const { return running_.load(); }
-
-  /// Graceful shutdown: stop accepting, drain in-flight requests, join.
-  /// Idempotent; the destructor calls it.
-  void stop();
-
-  /// Process one protocol line (without the newline) into a full response
-  /// (terminator included). Public so tests can drive the protocol
-  /// without sockets.
-  std::string handle_line(const std::string& line);
+  std::string handle_line(const std::string& line) override;
 
  private:
-  void accept_loop();
-  void connection_loop(int fd);
-  std::string resolve_bundle(const std::string& token) const;
-
   ScoringEngine& engine_;
   ServerConfig config_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_;
-  std::unordered_set<int> conn_fds_;
 };
 
 }  // namespace fcrit::serve

@@ -1,0 +1,443 @@
+// The fleet tier: consistent-hash ring invariants (determinism, bounded
+// movement, even spread), router correctness, shard-kill rerouting,
+// BUSY admission control, hot bundle reload and the FleetServer protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/designs/designs.hpp"
+#include "src/designs/random_circuit.hpp"
+#include "src/fleet/fleet.hpp"
+#include "src/fleet/fleet_server.hpp"
+#include "src/fleet/hash_ring.hpp"
+#include "src/netlist/verilog_writer.hpp"
+#include "src/obs/json.hpp"
+#include "src/serve/bundle.hpp"
+#include "src/serve/engine.hpp"
+
+namespace fcrit::fleet {
+namespace {
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  os << text;
+}
+
+designs::Design tiny_design(std::uint64_t seed) {
+  designs::RandomCircuitConfig cfg;
+  cfg.num_inputs = 4;
+  cfg.num_gates = 40;
+  cfg.num_flops = 6;
+  cfg.num_outputs = 4;
+  cfg.seed = seed;
+  return designs::build_random_circuit(cfg);
+}
+
+serve::ModelBundle synthetic_bundle(const designs::Design& d,
+                                    std::uint64_t seed) {
+  serve::ModelBundle b;
+  b.manifest.design_name = d.name;
+  b.manifest.netlist_hash = serve::netlist_content_hash(d.netlist);
+  b.manifest.feature_width = graphir::kNumBaseFeatures;
+  b.manifest.feature_names = graphir::base_feature_names();
+  b.manifest.probability_cycles = 32;
+  b.manifest.probability_seed = 5;
+  b.stimulus = d.stimulus;
+  b.standardizer.mean.assign(graphir::kNumBaseFeatures, 0.0);
+  b.standardizer.stddev.assign(graphir::kNumBaseFeatures, 1.0);
+  ml::GcnConfig cc = ml::GcnConfig::classifier();
+  cc.hidden = {8};
+  cc.seed = seed;
+  b.classifier =
+      std::make_unique<ml::GcnModel>(graphir::kNumBaseFeatures, cc);
+  return b;
+}
+
+/// A fresh temp directory per test (TempDir is shared across the suite).
+std::string make_bundle_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "fcrit_fleet_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---- consistent-hash ring -------------------------------------------------
+
+std::vector<std::string> synthetic_keys() {
+  // Four built-in design names x many synthetic bundle versions — the key
+  // population the ISSUE's distribution requirement names.
+  std::vector<std::string> keys;
+  for (const auto& design : designs::all_design_names())
+    for (int v = 0; v < 250; ++v)
+      keys.push_back(design + ".v" + std::to_string(v) + ".fcm");
+  return keys;
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossRunsAndJoinOrder) {
+  HashRing forward;
+  for (int i = 0; i < 4; ++i) forward.add("shard-" + std::to_string(i));
+  HashRing reverse;
+  for (int i = 3; i >= 0; --i) reverse.add("shard-" + std::to_string(i));
+  HashRing rebuilt;
+  rebuilt.add("shard-2");
+  rebuilt.add("shard-0");
+  rebuilt.remove("shard-2");
+  rebuilt.add("shard-3");
+  rebuilt.add("shard-1");
+  rebuilt.add("shard-2");
+
+  for (const auto& key : synthetic_keys()) {
+    const std::string& owner = forward.route(key);
+    EXPECT_EQ(reverse.route(key), owner) << key;
+    EXPECT_EQ(rebuilt.route(key), owner) << key;
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyMovesKeysOfTheRemovedShard) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("shard-" + std::to_string(i));
+  const auto keys = synthetic_keys();
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) before[key] = ring.route(key);
+
+  ring.remove("shard-2");
+  for (const auto& key : keys) {
+    const std::string& now = ring.route(key);
+    EXPECT_NE(now, "shard-2");
+    if (before[key] != "shard-2")
+      EXPECT_EQ(now, before[key]) << key << " moved without cause";
+  }
+}
+
+TEST(HashRingTest, AdditionOnlyStealsKeysForTheNewShard) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("shard-" + std::to_string(i));
+  const auto keys = synthetic_keys();
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) before[key] = ring.route(key);
+
+  ring.add("shard-4");
+  std::size_t moved = 0;
+  for (const auto& key : keys) {
+    const std::string& now = ring.route(key);
+    if (now != before[key]) {
+      EXPECT_EQ(now, "shard-4") << key << " moved to an old shard";
+      ++moved;
+    }
+  }
+  // The new shard takes roughly 1/5 of the keys — and only that.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(HashRingTest, DistributionIsRoughlyEvenOverBundleIds) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("shard-" + std::to_string(i));
+  const auto keys = synthetic_keys();
+  std::map<std::string, std::size_t> load;
+  for (const auto& key : keys) ++load[ring.route(key)];
+
+  ASSERT_EQ(load.size(), 4u) << "some shard owns nothing";
+  const double fair = static_cast<double>(keys.size()) / 4.0;
+  for (const auto& [shard, n] : load) {
+    EXPECT_GT(static_cast<double>(n), 0.4 * fair) << shard;
+    EXPECT_LT(static_cast<double>(n), 1.8 * fair) << shard;
+  }
+}
+
+TEST(HashRingTest, EmptyRingRefusesToRoute) {
+  HashRing ring;
+  EXPECT_THROW(ring.route("anything"), std::runtime_error);
+  ring.add("only");
+  EXPECT_EQ(ring.route("anything"), "only");
+  ring.remove("only");
+  EXPECT_THROW(ring.route("anything"), std::runtime_error);
+}
+
+// ---- fleet routing + serving ----------------------------------------------
+
+TEST(FleetTest, RoutesEachBundleToOneShardAndScoresCorrectly) {
+  const std::string dir = make_bundle_dir("route");
+  std::vector<designs::Design> targets;
+  std::vector<std::string> bundle_paths;
+  for (int i = 0; i < 3; ++i) {
+    const auto d = tiny_design(static_cast<std::uint64_t>(101 + i));
+    const std::string path = dir + "/b" + std::to_string(i) + ".fcm";
+    serve::save_bundle_file(
+        synthetic_bundle(d, static_cast<std::uint64_t>(i)), path);
+    targets.push_back(d);
+    bundle_paths.push_back(path);
+  }
+
+  std::vector<serve::ScoreResult> reference;
+  {
+    serve::ScoringEngine ref({.threads = 1});
+    for (int i = 0; i < 3; ++i)
+      reference.push_back(ref.score(bundle_paths[i], targets[i]));
+  }
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  fc.threads_per_shard = 2;
+  Fleet fleet(fc);
+  // Score each bundle several times through resolve + route and compare
+  // against the single-engine reference (random-circuit designs have no
+  // registered name, so targets go through netlist files on disk).
+  for (int i = 0; i < 3; ++i)
+    write_file(dir + "/t" + std::to_string(i) + ".v",
+               netlist::to_verilog(targets[i].netlist));
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 3; ++i) {
+      const serve::ScoreResult r =
+          fleet.score(fleet.resolve_bundle("b" + std::to_string(i)),
+                      dir + "/t" + std::to_string(i) + ".v");
+      EXPECT_EQ(r.proba, reference[i].proba) << i;
+      EXPECT_EQ(r.predicted, reference[i].predicted) << i;
+    }
+  // One bundle, one owner: for each bundle path, route() is stable.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(fleet.route(bundle_paths[i]), fleet.route(bundle_paths[i]));
+  // Routed counters add up to what the fleet accepted.
+  std::uint64_t routed_total = 0;
+  for (const auto& s : fleet.shard_status()) routed_total += s.routed;
+  EXPECT_EQ(routed_total, fleet.total_requests());
+}
+
+TEST(FleetTest, ResolveBundleMatchesTableSemantics) {
+  const std::string dir = make_bundle_dir("resolve");
+  const auto d = tiny_design(111);
+  serve::save_bundle_file(synthetic_bundle(d, 7), dir + "/only.fcm");
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 1;
+  Fleet fleet(fc);
+  EXPECT_EQ(fleet.resolve_bundle(""), dir + "/only.fcm");
+  EXPECT_EQ(fleet.resolve_bundle("only"), dir + "/only.fcm");
+  EXPECT_EQ(fleet.resolve_bundle("only.fcm"), dir + "/only.fcm");
+  try {
+    fleet.resolve_bundle("absent");
+    FAIL() << "expected FleetError(kBundle)";
+  } catch (const FleetError& e) {
+    EXPECT_EQ(e.code(), FleetErrorCode::kBundle);
+  }
+}
+
+TEST(FleetTest, KillShardReroutesQueuedRequestsTransparently) {
+  // The acceptance scenario: kill the owner shard while clients hammer
+  // its bundle; with one transparent retry nobody sees an error and
+  // every result matches the single-engine reference bit for bit.
+  const std::string dir = make_bundle_dir("kill");
+  const auto d = tiny_design(121);
+  const std::string bundle_path = dir + "/hot.fcm";
+  serve::save_bundle_file(synthetic_bundle(d, 9), bundle_path);
+  const std::string netlist_path = dir + "/hot.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  serve::ScoreResult reference;
+  {
+    serve::ScoringEngine ref({.threads = 1});
+    reference = ref.score(bundle_path, d);
+  }
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 4;
+  fc.threads_per_shard = 1;
+  fc.retries = 1;
+  Fleet fleet(fc);
+  const std::string owner = fleet.route(bundle_path);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 5;
+  std::atomic<int> errors{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> done{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int k = 0; k < kPerClient; ++k) {
+        try {
+          const serve::ScoreResult r = fleet.score(bundle_path, netlist_path);
+          if (r.proba != reference.proba || r.score != reference.score)
+            mismatches.fetch_add(1);
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+        }
+        done.fetch_add(1);
+      }
+    });
+  }
+  // Kill the owner mid-run: some requests are queued on it and must be
+  // aborted + rerouted.
+  while (done.load() < kClients) std::this_thread::yield();
+  fleet.kill_shard(owner);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(errors.load(), 0) << "a reroute surfaced to a client";
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(fleet.live_shards(), 3u);
+  // The dead shard is off the ring: the bundle has a new, live owner.
+  const std::string new_owner = fleet.route(bundle_path);
+  EXPECT_NE(new_owner, owner);
+  // Post-kill requests keep working.
+  const serve::ScoreResult after = fleet.score(bundle_path, netlist_path);
+  EXPECT_EQ(after.proba, reference.proba);
+}
+
+TEST(FleetTest, BusyRejectionWhenOwnerShardIsOverHighWater) {
+  const std::string dir = make_bundle_dir("busy");
+  const auto d = tiny_design(131);
+  const std::string bundle_path = dir + "/b.fcm";
+  serve::save_bundle_file(synthetic_bundle(d, 11), bundle_path);
+  const std::string netlist_path = dir + "/b.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 1;
+  fc.threads_per_shard = 1;
+  fc.queue_capacity = 8;
+  fc.queue_high_water = 2;
+  fc.batch_max = 1;  // keep queued jobs queued (no coalescing)
+  fc.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  Fleet fleet(fc);
+
+  // Park the only worker, then fill the queue up to the high-water mark
+  // from background clients.
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0}, failed{0};
+  clients.emplace_back([&] {  // taken by the worker, parked in the hook
+    fleet.score(bundle_path, netlist_path);
+    ok.fetch_add(1);
+  });
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&] {
+      try {
+        fleet.score(bundle_path, netlist_path);
+        ok.fetch_add(1);
+      } catch (const FleetError&) {
+        failed.fetch_add(1);
+      }
+    });
+  }
+  while (fleet.shard_status().front().queue_depth < 2)
+    std::this_thread::yield();
+
+  // Queue depth == high-water: the next request must shed, not block.
+  try {
+    fleet.score(bundle_path, netlist_path);
+    FAIL() << "expected FleetError(kBusy)";
+  } catch (const FleetError& e) {
+    EXPECT_EQ(e.code(), FleetErrorCode::kBusy);
+  }
+  EXPECT_EQ(const_cast<obs::Registry&>(fleet.metrics_registry())
+                .counter("fleet.busy_rejections")
+                .value(),
+            1u);
+
+  release.set_value();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(failed.load(), 0);
+  // Bounded queue depth: never past the configured capacity.
+  EXPECT_LE(fleet.shard_status().front().queue_depth, fc.queue_capacity);
+}
+
+TEST(FleetTest, HotReloadSwapsBundleVersionsWithoutRestart) {
+  const std::string dir = make_bundle_dir("reload");
+  const auto d = tiny_design(141);
+  const std::string bundle_path = dir + "/model.fcm";
+  serve::save_bundle_file(synthetic_bundle(d, 21), bundle_path);
+  const std::string netlist_path = dir + "/model.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  Fleet fleet(fc);
+  const std::uint64_t gen0 = fleet.generation();
+  const serve::ScoreResult before =
+      fleet.score(fleet.resolve_bundle("model"), netlist_path);
+
+  // New weights under the same name: the content-hash keyed caches make
+  // the swap visible immediately after RELOAD.
+  serve::save_bundle_file(synthetic_bundle(d, 22), bundle_path);
+  const auto d2 = tiny_design(142);
+  serve::save_bundle_file(synthetic_bundle(d2, 23), dir + "/second.fcm");
+  const ReloadStats stats = fleet.reload();
+  EXPECT_EQ(stats.generation, gen0 + 1);
+  EXPECT_EQ(stats.total, 2u);
+  EXPECT_EQ(stats.added, 1u);
+  EXPECT_EQ(stats.changed, 1u);
+  EXPECT_EQ(stats.removed, 0u);
+
+  const serve::ScoreResult after =
+      fleet.score(fleet.resolve_bundle("model"), netlist_path);
+  EXPECT_NE(after.proba, before.proba)
+      << "reload did not swap in the new weights";
+  // The added bundle resolves and serves.
+  const std::string netlist2 = dir + "/second.v";
+  write_file(netlist2, netlist::to_verilog(d2.netlist));
+  const serve::ScoreResult second =
+      fleet.score(fleet.resolve_bundle("second"), netlist2);
+  EXPECT_EQ(second.proba.size(), d2.netlist.num_nodes());
+}
+
+// ---- FleetServer protocol -------------------------------------------------
+
+TEST(FleetServerTest, ProtocolCoversShardsReloadAndScore) {
+  const std::string dir = make_bundle_dir("proto");
+  const auto d = tiny_design(151);
+  serve::save_bundle_file(synthetic_bundle(d, 31), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  Fleet fleet(fc);
+  FleetServer server(fleet, {.port = 0, .default_top = 5});
+
+  const std::string score = server.handle_line("SCORE " + netlist_path);
+  EXPECT_EQ(score.substr(0, 2), "OK") << score;
+  EXPECT_NE(score.find("matched=1"), std::string::npos);
+
+  const std::string shards = server.handle_line("SHARDS");
+  ASSERT_GE(shards.size(), 4u);
+  const std::string shards_body = shards.substr(0, shards.size() - 3);
+  EXPECT_TRUE(obs::json_valid(shards_body)) << shards_body;
+  EXPECT_NE(shards_body.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(shards_body.find("\"generation\""), std::string::npos);
+
+  const std::string metrics = server.handle_line("METRICS");
+  const std::string metrics_body = metrics.substr(0, metrics.size() - 3);
+  EXPECT_TRUE(obs::json_valid(metrics_body)) << metrics_body;
+  EXPECT_NE(metrics_body.find("\"busy_rejections\""), std::string::npos);
+
+  const std::string reload = server.handle_line("RELOAD");
+  EXPECT_EQ(reload.substr(0, 2), "OK") << reload;
+  EXPECT_NE(reload.find("generation=2"), std::string::npos);
+
+  EXPECT_EQ(server.handle_line("STATS").substr(0, 2), "OK");
+  EXPECT_EQ(server.handle_line("BOGUS").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("QUIT").substr(0, 3), "BYE");
+}
+
+}  // namespace
+}  // namespace fcrit::fleet

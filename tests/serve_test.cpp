@@ -435,6 +435,188 @@ TEST(ScoringEngineTest, ShutdownDrainsQueuedJobs) {
   EXPECT_GT(m.queue_high_water, 0u);
 }
 
+// ---- batching, admission deadlines, abort ---------------------------------
+
+TEST(ScoringEngineTest, ScoreBatchIsBitwiseIdenticalToSolo) {
+  const std::string dir = ::testing::TempDir();
+  const auto owner = tiny_design(81);
+  const std::string path = dir + "fcrit_batch.fcm";
+  save_bundle_file(synthetic_bundle(owner, 13), path);
+  // Three different netlists against ONE bundle — the cross-connection
+  // coalescing case (non-strict scoring of foreign netlists is allowed).
+  const std::vector<designs::Design> targets = {owner, tiny_design(82),
+                                                tiny_design(83)};
+
+  ScoringEngine engine({.threads = 1});
+  std::vector<ScoreResult> solo;
+  for (const auto& t : targets) solo.push_back(engine.score(path, t));
+
+  const auto outcomes = engine.score_batch(path, targets);
+  ASSERT_EQ(outcomes.size(), targets.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].result.has_value()) << "target " << i;
+    const ScoreResult& b = *outcomes[i].result;
+    // Bitwise: the block-diagonal forward must not perturb a single bit
+    // of any target's numbers.
+    EXPECT_EQ(b.proba, solo[i].proba) << "target " << i;
+    EXPECT_EQ(b.predicted, solo[i].predicted) << "target " << i;
+    EXPECT_EQ(b.score, solo[i].score) << "target " << i;
+    EXPECT_EQ(b.sites, solo[i].sites) << "target " << i;
+    EXPECT_EQ(b.netlist_matched, solo[i].netlist_matched) << "target " << i;
+  }
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.batched_requests, targets.size());
+}
+
+TEST(ScoringEngineTest, ScoreBatchIsolatesPerTargetFailures) {
+  const std::string dir = ::testing::TempDir();
+  const auto owner = tiny_design(84);
+  const std::string path = dir + "fcrit_batch_err.fcm";
+  save_bundle_file(synthetic_bundle(owner, 14), path);
+
+  ScoringEngine engine({.threads = 1});
+  // Strict hashing: the foreign middle target must fail alone while its
+  // batch mates score normally.
+  const std::vector<designs::Design> targets = {owner, tiny_design(85),
+                                                owner};
+  const auto outcomes =
+      engine.score_batch(path, targets, {.strict_hash = true});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].result.has_value());
+  EXPECT_TRUE(outcomes[2].result.has_value());
+  ASSERT_TRUE(outcomes[1].error != nullptr);
+  try {
+    std::rethrow_exception(outcomes[1].error);
+    FAIL() << "expected BundleError";
+  } catch (const BundleError& e) {
+    EXPECT_EQ(e.code(), BundleErrorCode::kNetlistHashMismatch);
+  }
+  EXPECT_EQ(outcomes[0].result->proba, outcomes[2].result->proba);
+}
+
+TEST(ScoringEngineTest, WorkerCoalescesQueuedSameBundleJobs) {
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(86);
+  const std::string path = dir + "fcrit_coalesce.fcm";
+  save_bundle_file(synthetic_bundle(d, 15), path);
+  const std::string netlist_path = dir + "fcrit_coalesce.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  // One worker, parked by the hook on its FIRST job: everything submitted
+  // while it is parked piles up and must leave the queue as one batch.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 16;
+  cfg.batch_max = 8;
+  cfg.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  ScoringEngine engine(cfg);
+
+  std::vector<std::future<ScoreResult>> futures;
+  futures.push_back(engine.submit(path, netlist_path));  // parks the worker
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(engine.submit(path, netlist_path));
+  release.set_value();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+
+  const MetricsSnapshot m = engine.metrics();
+  EXPECT_EQ(m.completed, 5u);
+  EXPECT_EQ(m.batches, 1u);           // the 4 queued jobs, as one forward
+  EXPECT_EQ(m.batched_requests, 4u);  // job 1 ran solo before the pile-up
+  // All four queued jobs named the SAME target: one is scored, the other
+  // three collapse onto its result.
+  EXPECT_EQ(m.collapsed_requests, 3u);
+}
+
+TEST(ScoringEngineTest, SubmitDeadlineTimesOutWithTypedError) {
+  // Regression (PR 6): submit() used to block forever on a full queue;
+  // the deadline turns that into EngineError(kQueueTimeout).
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(87);
+  const std::string path = dir + "fcrit_deadline.fcm";
+  save_bundle_file(synthetic_bundle(d, 16), path);
+  const std::string netlist_path = dir + "fcrit_deadline.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 1;
+  cfg.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  ScoringEngine engine(cfg);
+
+  auto f1 = engine.submit(path, netlist_path);  // dequeued, parked in hook
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  auto f2 = engine.submit(path, netlist_path);  // fills the 1-slot queue
+  try {
+    engine.submit(path, netlist_path, {},
+                  std::chrono::milliseconds(50));
+    FAIL() << "expected EngineError(kQueueTimeout)";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.code(), EngineErrorCode::kQueueTimeout);
+  }
+  EXPECT_EQ(engine.metrics().submit_timeouts, 1u);
+
+  release.set_value();
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_NO_THROW(f2.get());
+}
+
+TEST(ScoringEngineTest, AbortFailsQueuedJobsAndKeepsInFlightOnes) {
+  const std::string dir = ::testing::TempDir();
+  const auto d = tiny_design(88);
+  const std::string path = dir + "fcrit_abort.fcm";
+  save_bundle_file(synthetic_bundle(d, 17), path);
+  const std::string netlist_path = dir + "fcrit_abort.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  ScoringEngine engine(cfg);
+
+  auto in_flight = engine.submit(path, netlist_path);  // parked in hook
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  auto queued_a = engine.submit(path, netlist_path);
+  auto queued_b = engine.submit(path, netlist_path);
+
+  engine.abort();  // the fleet's shard-kill path
+  for (auto* f : {&queued_a, &queued_b}) {
+    try {
+      f->get();
+      FAIL() << "expected EngineError(kAborted)";
+    } catch (const EngineError& e) {
+      EXPECT_EQ(e.code(), EngineErrorCode::kAborted);
+    }
+  }
+  // The job already on the worker still finishes once released.
+  release.set_value();
+  EXPECT_NO_THROW(in_flight.get());
+  // And the engine refuses new work with the typed shutdown error.
+  try {
+    engine.submit(path, netlist_path);
+    FAIL() << "expected EngineError(kShutdown)";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.code(), EngineErrorCode::kShutdown);
+  }
+  engine.shutdown();
+}
+
 // ---- daemon wire protocol -------------------------------------------------
 
 int connect_to(int port) {
