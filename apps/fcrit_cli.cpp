@@ -59,8 +59,10 @@
 #include "src/netlist/dot_export.hpp"
 #include "src/netlist/harden.hpp"
 #include "src/ml/serialize.hpp"
+#include "src/obs/exporter.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/obs/trace.hpp"
 #include "src/netlist/verilog_parser.hpp"
 #include "src/netlist/verilog_writer.hpp"
@@ -103,9 +105,13 @@ constexpr const char* kUsageText =
     "  score <bundle.fcm> <design|file|@list> [--top N] [--strict]\n"
     "           [--threads T]            inference only, no FI campaign\n"
     "  serve <bundle-dir> [--port P] [--threads T] [--cache N]\n"
+    "        [--access-log F] [--slow-ms MS] [--telemetry-interval S]\n"
+    "        [--telemetry-out F] [--trace-ring N] [--no-trace]\n"
     "                                    scoring daemon on 127.0.0.1\n"
     "  fleet <bundle-dir> [--shards N] [--port P] [--threads T]\n"
-    "        [--cache N] [--batch N] [--high-water N]\n"
+    "        [--cache N] [--batch N] [--high-water N] [--access-log F]\n"
+    "        [--slow-ms MS] [--telemetry-interval S] [--telemetry-out F]\n"
+    "        [--trace-ring N] [--no-trace]\n"
     "                                    sharded scoring tier: consistent-\n"
     "                                    hash router, cross-connection\n"
     "                                    batching, BUSY backpressure;\n"
@@ -646,6 +652,30 @@ int cmd_score(const std::string& bundle_path, const std::string& target,
   return 0;
 }
 
+// Observability wiring shared by the serve and fleet daemons: the JSONL
+// wide-event access log, slow-request mirroring and the continuous
+// telemetry exporter, all opt-in via flags (docs/OBSERVABILITY.md).
+void wire_observability(const std::map<std::string, std::string>& flags,
+                        obs::RequestTraceCollector& traces,
+                        obs::TelemetryExporter& exporter,
+                        serve::LineServer& server) {
+  if (flags.contains("--access-log") &&
+      !traces.open_access_log(flags.at("--access-log")))
+    throw std::runtime_error("cannot open access log " +
+                             flags.at("--access-log"));
+  if (flags.contains("--slow-ms"))
+    traces.set_slow_ms(std::stod(flags.at("--slow-ms")));
+  if (flags.contains("--telemetry-interval")) {
+    const double interval = std::stod(flags.at("--telemetry-interval"));
+    const std::string out = flags.contains("--telemetry-out")
+                                ? flags.at("--telemetry-out")
+                                : std::string("telemetry.jsonl");
+    if (!exporter.start(out, interval))
+      throw std::runtime_error("cannot open telemetry output " + out);
+    server.set_exporter(&exporter);
+  }
+}
+
 // SIGINT/SIGTERM -> one byte down a self-pipe; the serve loop blocks on
 // the read end and runs the orderly shutdown outside signal context.
 int g_signal_pipe[2] = {-1, -1};
@@ -663,6 +693,14 @@ int cmd_serve(const std::string& bundle_dir,
   if (flags.contains("--cache"))
     ec.cache_capacity =
         static_cast<std::size_t>(std::stoi(flags.at("--cache")));
+  // Declared before the engine: EngineConfig holds a pointer into it, so
+  // it must outlive the workers that record spans.
+  obs::RequestTraceCollector traces(
+      flags.contains("--trace-ring")
+          ? static_cast<std::size_t>(std::stoi(flags.at("--trace-ring")))
+          : 256);
+  traces.set_enabled(!flags.contains("--no-trace"));
+  ec.traces = &traces;
   serve::ScoringEngine engine(ec);
 
   serve::ServerConfig sc;
@@ -670,12 +708,16 @@ int cmd_serve(const std::string& bundle_dir,
   if (flags.contains("--port"))
     sc.port = static_cast<std::uint16_t>(std::stoi(flags.at("--port")));
   serve::Server server(engine, sc);
+  obs::TelemetryExporter exporter;
+  exporter.add_registry("engine", engine.metrics_registry());
+  wire_observability(flags, traces, exporter, server);
   server.start();
   std::printf("fcrit serve: 127.0.0.1:%d, %d worker threads, bundles from "
               "%s\n",
               server.port(), ec.threads, bundle_dir.c_str());
-  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] | STATS | "
-              "METRICS | QUIT; Ctrl-C drains and exits\n");
+  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] [id=<n>] | "
+              "STATS | METRICS [PROM] | TRACE <id>|LAST <n> | QUIT; "
+              "Ctrl-C drains and exits\n");
 
   if (pipe(g_signal_pipe) != 0)
     throw std::runtime_error("cannot create signal pipe");
@@ -726,21 +768,29 @@ int cmd_fleet(const std::string& bundle_dir,
   if (flags.contains("--high-water"))
     fc.queue_high_water =
         static_cast<std::size_t>(std::stoi(flags.at("--high-water")));
+  if (flags.contains("--trace-ring"))
+    fc.trace_ring =
+        static_cast<std::size_t>(std::stoi(flags.at("--trace-ring")));
+  if (flags.contains("--no-trace")) fc.tracing = false;
   fleet::Fleet fleet(fc);
 
   fleet::FleetServerConfig sc;
   if (flags.contains("--port"))
     sc.port = static_cast<std::uint16_t>(std::stoi(flags.at("--port")));
   fleet::FleetServer server(fleet, sc);
+  obs::TelemetryExporter exporter;
+  for (const auto& [name, registry] : fleet.registries())
+    exporter.add_registry(name, *registry);
+  wire_observability(flags, fleet.traces(), exporter, server);
   server.start();
   std::printf("fcrit fleet: 127.0.0.1:%d, %d shards x %d threads, bundles "
               "from %s (high-water %zu, batch %zu)\n",
               server.port(), fleet.config().shards,
               fleet.config().threads_per_shard, bundle_dir.c_str(),
               fleet.config().queue_high_water, fleet.config().batch_max);
-  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] | STATS | "
-              "METRICS | SHARDS | RELOAD | QUIT; SIGHUP reloads, Ctrl-C "
-              "drains and exits\n");
+  std::printf("protocol: SCORE [<bundle>] <netlist> [<top>] [id=<n>] | "
+              "STATS | METRICS [PROM] | TRACE <id>|LAST <n> | SHARDS | "
+              "RELOAD | QUIT; SIGHUP reloads, Ctrl-C drains and exits\n");
 
   if (pipe(g_signal_pipe) != 0)
     throw std::runtime_error("cannot create signal pipe");

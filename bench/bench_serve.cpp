@@ -8,6 +8,11 @@
 //                   the sharded router with cross-connection batching
 //   fleet@4-nobatch the same 4-shard fleet with batching disabled, to
 //                   separate what sharding buys from what batching buys
+//   fleet@2-trace / fleet@2-notrace
+//                   identical 2-shard load with the request-trace
+//                   collector enabled vs disabled — the tracing-overhead
+//                   A/B the observability contract is judged by
+//                   (<= 2% p99 delta, docs/OBSERVABILITY.md)
 //
 //   bench_serve [--clients C] [--requests R]
 //
@@ -216,6 +221,26 @@ int main(int argc, char** argv) {
            run_load(w, clients, requests,
                     [&](const std::string& bundle, const std::string& target) {
                       return fleet.score(bundle, target);
+                    }));
+  }
+
+  // Tracing overhead A/B: the same 2-shard batched load with the request-
+  // trace collector on vs off. Every traced request pays begin/spans/
+  // finish; disabled tracing must cost one relaxed atomic load. The
+  // acceptance bar is a <= 2% p99 delta between these two legs.
+  for (const bool tracing : {true, false}) {
+    fleet::FleetConfig fc = fleet_config(w, 2, 8);
+    fc.tracing = tracing;
+    fc.trace_ring = 512;
+    fleet::Fleet fleet(fc);
+    report(rec, tracing ? "fleet@2-trace" : "fleet@2-notrace",
+           run_load(w, clients, requests,
+                    [&](const std::string& bundle, const std::string& target) {
+                      // Route through the collector exactly as the daemon
+                      // does: begin here, Fleet::score owns completion.
+                      serve::ScoreOptions opts;
+                      opts.trace_id = fleet.traces().begin(bundle, target);
+                      return fleet.score(bundle, target, opts);
                     }));
   }
 

@@ -47,6 +47,7 @@ FleetError::FleetError(FleetErrorCode code, const std::string& message)
 
 Fleet::Fleet(FleetConfig config)
     : config_(std::move(config)),
+      traces_(config_.trace_ring),
       requests_(&registry_.counter("fleet.requests")),
       busy_rejections_(&registry_.counter("fleet.busy_rejections")),
       reroutes_(&registry_.counter("fleet.reroutes")),
@@ -61,6 +62,7 @@ Fleet::Fleet(FleetConfig config)
     config_.queue_high_water = std::max<std::size_t>(
         1, config_.queue_capacity / 2);
   config_.retries = std::max(0, config_.retries);
+  traces_.set_enabled(config_.tracing);
 
   for (int i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -71,6 +73,7 @@ Fleet::Fleet(FleetConfig config)
     ec.cache_capacity = config_.cache_capacity;
     ec.batch_max = config_.batch_max;
     ec.before_score_hook = config_.before_score_hook;
+    ec.traces = &traces_;
     shard->engine = std::make_unique<serve::ScoringEngine>(ec);
     shard->routed = &registry_.counter("fleet.routed." + shard->name);
     shard->request_ms =
@@ -163,56 +166,83 @@ serve::ScoreResult Fleet::score(const std::string& bundle_path,
                                 const std::string& target,
                                 serve::ScoreOptions opts) {
   requests_->add();
-  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
-    const std::string owner = route(bundle_path);  // kNoShard when empty
-    Shard* shard = find_shard(owner);
-    if (shard == nullptr || !shard->alive.load()) {
-      // Raced with a death the ring hasn't absorbed yet; absorb it now
-      // and go around (does not consume a retry budget slot: the request
-      // never reached an engine).
-      leave_ring(owner);
-      --attempt;
-      continue;
-    }
-    // Admission control: shedding beats blocking. The submit deadline
-    // below backstops the race where the queue fills between this check
-    // and the push.
-    if (shard->engine->queue_depth() >= config_.queue_high_water) {
-      busy_rejections_->add();
-      throw FleetError(
-          FleetErrorCode::kBusy,
-          owner + " over high-water mark (" +
-              std::to_string(config_.queue_high_water) + " queued)");
-    }
-    try {
-      util::Timer timer;
-      auto future = shard->engine->submit(bundle_path, target, opts,
-                                          config_.admission_timeout);
-      shard->routed->add();
-      serve::ScoreResult result = future.get();
-      shard->request_ms->observe(timer.millis());
-      return result;
-    } catch (const serve::EngineError& e) {
-      switch (e.code()) {
-        case serve::EngineErrorCode::kQueueTimeout:
-          busy_rejections_->add();
-          throw FleetError(FleetErrorCode::kBusy,
-                           owner + " queue full: " + e.what());
-        case serve::EngineErrorCode::kAborted:
-        case serve::EngineErrorCode::kShutdown:
-          // The shard died under us (or drained): make sure the ring
-          // reflects that, then re-route this request to a survivor.
-          leave_ring(owner);
-          reroutes_->add();
-          continue;
+  // Begin a trace unless the caller (FleetServer, or a client id= token
+  // it forwarded) already did; either way this function owns completion.
+  if (opts.trace_id == 0)
+    opts.trace_id = traces_.begin(bundle_path, target);
+  const std::uint64_t tid = opts.trace_id;
+  try {
+    for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+      const std::string owner = route(bundle_path);  // kNoShard when empty
+      Shard* shard = find_shard(owner);
+      if (shard == nullptr || !shard->alive.load()) {
+        // Raced with a death the ring hasn't absorbed yet; absorb it now
+        // and go around (does not consume a retry budget slot: the request
+        // never reached an engine).
+        leave_ring(owner);
+        traces_.event(tid, "reroute", owner + " already dead");
+        --attempt;
+        continue;
       }
-      throw;
+      // Admission control: shedding beats blocking. The submit deadline
+      // below backstops the race where the queue fills between this check
+      // and the push.
+      if (shard->engine->queue_depth() >= config_.queue_high_water) {
+        busy_rejections_->add();
+        traces_.event(tid, "busy_shed",
+                      owner + " over high-water mark");
+        throw FleetError(
+            FleetErrorCode::kBusy,
+            owner + " over high-water mark (" +
+                std::to_string(config_.queue_high_water) + " queued)");
+      }
+      try {
+        traces_.set_shard(tid, owner);
+        util::Timer timer;
+        auto future = shard->engine->submit(bundle_path, target, opts,
+                                            config_.admission_timeout);
+        shard->routed->add();
+        serve::ScoreResult result = future.get();
+        shard->request_ms->observe(timer.millis());
+        traces_.finish(tid, "ok");
+        return result;
+      } catch (const serve::EngineError& e) {
+        switch (e.code()) {
+          case serve::EngineErrorCode::kQueueTimeout:
+            busy_rejections_->add();
+            traces_.event(tid, "busy_shed", owner + " queue full");
+            throw FleetError(FleetErrorCode::kBusy,
+                             owner + " queue full: " + e.what());
+          case serve::EngineErrorCode::kAborted:
+          case serve::EngineErrorCode::kShutdown:
+            // The shard died under us (or drained): make sure the ring
+            // reflects that, then re-route this request to a survivor.
+            leave_ring(owner);
+            reroutes_->add();
+            traces_.add_retry(tid);
+            traces_.event(tid, "reroute",
+                          owner + " " + std::string(to_string(e.code())));
+            continue;
+        }
+        throw;
+      }
     }
+    no_shard_->add();
+    throw FleetError(FleetErrorCode::kNoShard,
+                     "no shard could take the request after " +
+                         std::to_string(config_.retries + 1) + " attempts");
+  } catch (const FleetError& e) {
+    traces_.finish(tid, e.code() == FleetErrorCode::kBusy ? "shed"
+                                                          : "no-shard",
+                   e.what());
+    throw;
+  } catch (const std::exception& e) {
+    traces_.finish(tid, "error", e.what());
+    throw;
+  } catch (...) {
+    traces_.finish(tid, "error", "unknown error");
+    throw;
   }
-  no_shard_->add();
-  throw FleetError(FleetErrorCode::kNoShard,
-                   "no shard could take the request after " +
-                       std::to_string(config_.retries + 1) + " attempts");
 }
 
 void Fleet::kill_shard(const std::string& name) {
@@ -275,6 +305,15 @@ ReloadStats Fleet::reload() {
     }
   }
   return stats;
+}
+
+std::vector<std::pair<std::string, const obs::Registry*>> Fleet::registries()
+    const {
+  std::vector<std::pair<std::string, const obs::Registry*>> out;
+  out.emplace_back("fleet", &registry_);
+  for (const auto& shard : shards_)
+    out.emplace_back(shard->name, &shard->engine->metrics_registry());
+  return out;
 }
 
 std::uint64_t Fleet::total_requests() const { return requests_->value(); }

@@ -38,10 +38,12 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/fleet/hash_ring.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/serve/engine.hpp"
 
 namespace fcrit::fleet {
@@ -81,6 +83,11 @@ struct FleetConfig {
   std::chrono::milliseconds admission_timeout{2000};
   /// Transparent re-route attempts after a routed-to-dead-shard failure.
   int retries = 1;
+  /// Request tracing (the fleet-owned RequestTraceCollector all shards
+  /// share). Off costs one relaxed atomic load per request.
+  bool tracing = true;
+  /// Completed traces kept for TRACE <id> / TRACE LAST <n>.
+  std::size_t trace_ring = 256;
   /// Test-only: forwarded to every shard's EngineConfig.
   std::function<void(const std::string&)> before_score_hook;
 };
@@ -137,6 +144,12 @@ class Fleet {
   /// re-route and retry. Throws FleetError (kBusy/kNoShard) for fleet
   /// conditions; scoring errors (BundleError, lint::LintError, ...)
   /// pass through.
+  ///
+  /// Tracing: when opts.trace_id is 0 and tracing is on, a trace is begun
+  /// here; a caller-begun id is used as-is. Either way score() owns the
+  /// trace's completion — it records reroute/busy_shed events and the
+  /// owning shard, and finishes with verdict ok/error/shed/no-shard on
+  /// every exit path. Callers must NOT finish the trace themselves.
   serve::ScoreResult score(const std::string& bundle_path,
                            const std::string& target,
                            serve::ScoreOptions opts = {});
@@ -168,6 +181,16 @@ class Fleet {
 
   const obs::Registry& metrics_registry() const { return registry_; }
 
+  /// The fleet-wide request-trace collector (shared by every shard's
+  /// engine; backs the TRACE verb and the access log).
+  obs::RequestTraceCollector& traces() { return traces_; }
+  const obs::RequestTraceCollector& traces() const { return traces_; }
+
+  /// Every registry in the tier, named: ("fleet", router registry) plus
+  /// one ("<shard-name>", engine registry) per shard. The substrate for
+  /// METRICS PROM rendering and the telemetry exporter's sources.
+  std::vector<std::pair<std::string, const obs::Registry*>> registries() const;
+
   /// Drain every live shard and stop. Idempotent; the destructor calls it.
   void shutdown();
 
@@ -189,6 +212,9 @@ class Fleet {
 
   FleetConfig config_;
   obs::Registry registry_;
+  // Declared before shards_: their EngineConfigs hold a pointer into it,
+  // so it must outlive (construct before, destruct after) the engines.
+  obs::RequestTraceCollector traces_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex ring_mutex_;

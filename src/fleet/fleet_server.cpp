@@ -2,13 +2,16 @@
 
 #include <sstream>
 
+#include "src/obs/request_trace.hpp"
 #include "src/serve/server.hpp"  // parse_score_request, format_score_response
 #include "src/util/text.hpp"
 
 namespace fcrit::fleet {
 
 FleetServer::FleetServer(Fleet& fleet, FleetServerConfig config)
-    : serve::LineServer(config.port), fleet_(fleet), config_(config) {}
+    : serve::LineServer(config.port), fleet_(fleet), config_(config) {
+  set_trace_collector(&fleet_.traces());
+}
 
 FleetServer::~FleetServer() {
   // Drain connections while fleet_ is still valid (handle_line runs on
@@ -23,7 +26,19 @@ std::string FleetServer::handle_line(const std::string& line) {
 
   if (verb == "QUIT") return "BYE\n.\n";
 
-  if (verb == "METRICS") return fleet_.metrics_json() + "\n.\n";
+  if (verb == "METRICS") {
+    if (tokens.size() > 1 && tokens[1] == "PROM") {
+      std::vector<obs::PromSource> sources;
+      for (const auto& [name, registry] : fleet_.registries())
+        sources.push_back(obs::PromSource{
+            name == "fleet" ? "" : "shard=\"" + name + "\"", registry});
+      return prom_response(sources);
+    }
+    return metrics_response(fleet_.metrics_json());
+  }
+
+  if (verb == "TRACE")
+    return trace_response({tokens.begin() + 1, tokens.end()});
 
   if (verb == "SHARDS") return fleet_.shards_json() + "\n.\n";
 
@@ -62,7 +77,12 @@ std::string FleetServer::handle_line(const std::string& line) {
       const serve::ScoreRequest req = serve::parse_score_request(
           {tokens.begin() + 1, tokens.end()}, config_.default_top);
       const std::string bundle_path = fleet_.resolve_bundle(req.bundle_token);
-      const serve::ScoreResult r = fleet_.score(bundle_path, req.target);
+      serve::ScoreOptions opts;
+      // Begin here (not in Fleet::score) only to honor a client-supplied
+      // id= token; Fleet::score owns every trace's completion either way.
+      opts.trace_id =
+          fleet_.traces().begin(bundle_path, req.target, req.trace_id);
+      const serve::ScoreResult r = fleet_.score(bundle_path, req.target, opts);
       return serve::format_score_response(r, req.top);
     } catch (const FleetError& e) {
       if (e.code() == FleetErrorCode::kBusy)
@@ -75,7 +95,7 @@ std::string FleetServer::handle_line(const std::string& line) {
 
   return serve::error_response(
       "unknown command '" + verb +
-      "' (SCORE, STATS, METRICS, SHARDS, RELOAD, QUIT)");
+      "' (SCORE, STATS, METRICS, TRACE, SHARDS, RELOAD, QUIT)");
 }
 
 }  // namespace fcrit::fleet

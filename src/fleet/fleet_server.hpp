@@ -2,7 +2,7 @@
 // line_server.hpp) in front of a Fleet router instead of a single
 // engine. Protocol deltas vs `fcrit serve` (docs/SERVING.md):
 //
-//   SCORE [<bundle>] <netlist-path> [<top-n>]
+//   SCORE [<bundle>] <netlist-path> [<top-n>] [id=<n>]
 //       Same grammar and OK response; the bundle's owner shard computes
 //       it. An over-high-water shard replies "BUSY <detail>" (terminator
 //       included) instead of queueing — clients back off and retry.
@@ -13,9 +13,11 @@
 //       Rescans the bundle directory, swaps the table snapshot, prewarms
 //       new/changed bundles. Replies "OK generation=G total=N added=A
 //       removed=R changed=C". SIGHUP on the CLI daemon does the same.
-//   STATS / METRICS / QUIT
-//       As in serve; METRICS returns the fleet's nested JSON (router
-//       counters + per-shard engine snapshots).
+//   STATS / METRICS / TRACE / QUIT
+//       As in serve; METRICS returns the shared "server" object plus the
+//       fleet's nested JSON (router counters + per-shard engine
+//       snapshots), METRICS PROM labels each shard's samples with
+//       shard="shard-N", TRACE reads the fleet's request-trace ring.
 #pragma once
 
 #include <cstdint>

@@ -153,7 +153,22 @@ std::string histogram_json(const HistogramSnapshot& h) {
   out += ",\"p50\":" + json_number(h.percentile(50));
   out += ",\"p90\":" + json_number(h.percentile(90));
   out += ",\"p99\":" + json_number(h.percentile(99));
-  out += ",\"buckets\":[";
+  // The full ladder, empty buckets included: "bounds" are the bucket upper
+  // bounds and "counts" has one extra trailing entry for the overflow
+  // bucket. Consumers that need cumulative buckets (Prometheus) or exact
+  // shapes re-derive them from these; "buckets" below stays the compact
+  // non-empty view the older CI checks read.
+  out += ",\"bounds\":[";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i != 0) out += ",";
+    out += json_number(h.bounds[i]);
+  }
+  out += "],\"counts\":[";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(h.counts[i]);
+  }
+  out += "],\"buckets\":[";
   bool first = true;
   for (std::size_t i = 0; i < h.counts.size(); ++i) {
     if (h.counts[i] == 0) continue;
@@ -169,7 +184,7 @@ std::string histogram_json(const HistogramSnapshot& h) {
   return out;
 }
 
-std::string Registry::to_json() const {
+RegistrySnapshot Registry::snapshot() const {
   // Snapshot the instrument pointers under the lock, read values outside:
   // instruments are never deleted, and recording never takes this mutex.
   std::map<std::string, const Counter*> counters;
@@ -181,28 +196,37 @@ std::string Registry::to_json() const {
     for (const auto& [name, g] : gauges_) gauges[name] = g.get();
     for (const auto& [name, h] : histograms_) histograms[name] = h.get();
   }
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges)
+    s.gauges[name] = GaugeSnapshot{g->value(), g->high_water()};
+  for (const auto& [name, h] : histograms) s.histograms[name] = h->snapshot();
+  return s;
+}
 
+std::string Registry::to_json() const {
+  const RegistrySnapshot snap = snapshot();
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters) {
+  for (const auto& [name, v] : snap.counters) {
     if (!first) out += ",";
     first = false;
-    out += json_string(name) + ":" + std::to_string(c->value());
+    out += json_string(name) + ":" + std::to_string(v);
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges) {
+  for (const auto& [name, g] : snap.gauges) {
     if (!first) out += ",";
     first = false;
-    out += json_string(name) + ":{\"value\":" + std::to_string(g->value()) +
-           ",\"high_water\":" + std::to_string(g->high_water()) + "}";
+    out += json_string(name) + ":{\"value\":" + std::to_string(g.value) +
+           ",\"high_water\":" + std::to_string(g.high_water) + "}";
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms) {
+  for (const auto& [name, h] : snap.histograms) {
     if (!first) out += ",";
     first = false;
-    out += json_string(name) + ":" + histogram_json(h->snapshot());
+    out += json_string(name) + ":" + histogram_json(h);
   }
   out += "}}";
   return out;

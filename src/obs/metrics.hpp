@@ -97,6 +97,22 @@ class Histogram {
   std::atomic<double> max_;
 };
 
+/// A point-in-time copy of every instrument in a Registry. This is the
+/// substrate behind both JSON rendering (Registry::to_json) and the
+/// Prometheus text exposition (obs::to_prometheus): taking it never blocks
+/// recording threads — only the name-map mutex is held, and only while
+/// collecting instrument pointers.
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// Named instruments with stable addresses: the first lookup of a name
 /// creates the instrument, every later lookup (any thread) returns the
 /// same reference. Lookups take a mutex; recording does not.
@@ -107,9 +123,12 @@ class Registry {
   Histogram& histogram(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
+  RegistrySnapshot snapshot() const;
+
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  /// Histograms carry count/sum/min/max/mean/p50/p90/p99 plus the
-  /// non-empty buckets as [upper_bound, count] pairs.
+  /// Histograms carry count/sum/min/max/mean/p50/p90/p99, the full bucket
+  /// ladder ("bounds" upper bounds and per-bucket "counts", overflow last)
+  /// plus the non-empty buckets as [upper_bound, count] pairs.
   std::string to_json() const;
 
  private:

@@ -89,7 +89,9 @@ std::string_view to_string(EngineErrorCode code) {
 EngineError::EngineError(EngineErrorCode code, const std::string& message)
     : std::runtime_error(message), code_(code) {}
 
-std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path) {
+std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path,
+                                                    bool* cache_hit) {
+  if (cache_hit) *cache_hit = false;
   const std::string bytes = read_file_bytes(path);
   const std::uint64_t key = fnv1a64(bytes);
   {
@@ -98,6 +100,7 @@ std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path) {
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_->add();
+      if (cache_hit) *cache_hit = true;
       return lru_.front().second;
     }
   }
@@ -240,15 +243,29 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
                                  const designs::Design& target,
                                  ScoreOptions opts) {
   requests_->add();
+  // One pointer null-check per call when untraced (trace_id stays 0 unless
+  // a collector was enabled at begin()); span recording otherwise.
+  obs::RequestTraceCollector* tc =
+      opts.trace_id != 0 ? config_.traces : nullptr;
   util::Timer request_timer;
   try {
+    bool cache_hit = false;
+    const auto t_load = obs::TraceClock::now();
     util::Timer load_timer;
-    const auto bundle = cache_.get(bundle_path);
+    const auto bundle = cache_.get(bundle_path, &cache_hit);
     load_ms_->observe(load_timer.millis());
+    if (tc)
+      tc->span(opts.trace_id, "bundle_load", t_load, obs::TraceClock::now(),
+               cache_hit ? "cache-hit" : "parse");
 
+    const auto t_prep = obs::TraceClock::now();
     PreparedTarget prep = prepare_target(*bundle, target, opts);
+    if (tc)
+      tc->span(opts.trace_id, "golden_sim", t_prep, obs::TraceClock::now());
     ScoreResult& r = prep.result;
+    r.trace_id = opts.trace_id;
 
+    const auto t_fwd = obs::TraceClock::now();
     util::Timer forward_timer;
     // This thread's private clones of the bundle's models: no other thread
     // can touch them, so the forward pass is race-free by construction.
@@ -273,6 +290,8 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
     }
     r.forward_seconds = forward_timer.seconds();
     forward_ms_->observe(r.forward_seconds * 1e3);
+    if (tc)
+      tc->span(opts.trace_id, "forward", t_fwd, obs::TraceClock::now());
 
     completed_->add();
     request_ms_->observe(request_timer.millis());
@@ -285,17 +304,37 @@ ScoreResult ScoringEngine::score(const std::string& bundle_path,
 
 std::vector<BatchOutcome> ScoringEngine::score_batch(
     const std::string& bundle_path,
-    const std::vector<designs::Design>& targets, ScoreOptions opts) {
+    const std::vector<designs::Design>& targets, ScoreOptions opts,
+    const std::vector<std::vector<std::uint64_t>>* trace_ids) {
   std::vector<BatchOutcome> outcomes(targets.size());
   if (targets.empty()) return outcomes;
   requests_->add(targets.size());
   util::Timer request_timer;
 
+  // Shared-stage spans fan out to every trace id riding on the batch: a
+  // coalesced request's trace shows the one bundle_load/forward it shared.
+  obs::RequestTraceCollector* tc = trace_ids ? config_.traces : nullptr;
+  const auto span_for = [&](const std::vector<std::size_t>& indices,
+                            const char* name, obs::TraceClock::time_point a,
+                            obs::TraceClock::time_point b,
+                            const std::string& detail) {
+    if (!tc) return;
+    for (const std::size_t i : indices)
+      for (const std::uint64_t id : (*trace_ids)[i])
+        tc->span(id, name, a, b, detail);
+  };
+  std::vector<std::size_t> all_indices(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) all_indices[i] = i;
+
   std::shared_ptr<const ModelBundle> bundle;
   try {
+    bool cache_hit = false;
+    const auto t_load = obs::TraceClock::now();
     util::Timer load_timer;
-    bundle = cache_.get(bundle_path);
+    bundle = cache_.get(bundle_path, &cache_hit);
     load_ms_->observe(load_timer.millis());
+    span_for(all_indices, "bundle_load", t_load, obs::TraceClock::now(),
+             cache_hit ? "cache-hit" : "parse");
   } catch (...) {
     errors_->add(targets.size());
     for (auto& o : outcomes) o.error = std::current_exception();
@@ -307,7 +346,9 @@ std::vector<BatchOutcome> ScoringEngine::score_batch(
   std::vector<std::size_t> live;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     try {
+      const auto t_prep = obs::TraceClock::now();
       prepared[i] = prepare_target(*bundle, targets[i], opts);
+      span_for({i}, "golden_sim", t_prep, obs::TraceClock::now(), "");
       live.push_back(i);
     } catch (...) {
       errors_->add();
@@ -350,6 +391,7 @@ std::vector<BatchOutcome> ScoringEngine::score_batch(
   const ml::SparseMatrix block =
       ml::SparseMatrix::from_coo(total_rows, total_rows, std::move(entries));
 
+  const auto t_fwd = obs::TraceClock::now();
   util::Timer forward_timer;
   ThreadClones::Entry& models =
       t_clones.get(bundle, *clone_hits_, *clone_misses_);
@@ -364,6 +406,9 @@ std::vector<BatchOutcome> ScoringEngine::score_batch(
   }
   const double forward_seconds = forward_timer.seconds();
   forward_ms_->observe(forward_seconds * 1e3);
+  span_for(live, "forward", t_fwd, obs::TraceClock::now(),
+           "rows=" + std::to_string(total_rows) +
+               " targets=" + std::to_string(live.size()));
   batches_->add();
   batched_requests_->add(live.size());
   batch_size_->observe(static_cast<double>(live.size()));
@@ -372,6 +417,8 @@ std::vector<BatchOutcome> ScoringEngine::score_batch(
   base = 0;
   for (const std::size_t i : live) {
     ScoreResult r = std::move(prepared[i]->result);
+    if (trace_ids && !(*trace_ids)[i].empty())
+      r.trace_id = (*trace_ids)[i].front();
     const int rows = prepared[i]->features.rows();
     r.proba.assign(proba_all.begin() + base, proba_all.begin() + base + rows);
     r.predicted.assign(predicted_all.begin() + base,
@@ -403,7 +450,8 @@ ScoreResult ScoringEngine::score_path(const std::string& bundle_path,
 std::future<ScoreResult> ScoringEngine::submit(
     std::string bundle_path, std::string target_path, ScoreOptions opts,
     std::optional<std::chrono::milliseconds> queue_timeout) {
-  Job job{std::move(bundle_path), std::move(target_path), opts, {}};
+  Job job{std::move(bundle_path), std::move(target_path), opts, {}, {}};
+  if (opts.trace_id != 0) job.enqueued = obs::TraceClock::now();
   std::future<ScoreResult> future = job.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -469,11 +517,25 @@ void ScoringEngine::worker_loop() {
 }
 
 void ScoringEngine::run_job_batch(std::vector<Job> batch) {
+  // Traced jobs get their queue_wait span the moment a worker claims the
+  // batch; untraced ones (trace_id 0) cost a single integer compare here.
+  obs::RequestTraceCollector* tc = config_.traces;
+  const auto dequeued = obs::TraceClock::now();
+  bool any_traced = false;
+  for (const Job& job : batch) {
+    if (job.opts.trace_id == 0) continue;
+    any_traced = true;
+    if (tc) tc->span(job.opts.trace_id, "queue_wait", job.enqueued, dequeued);
+  }
+
   if (batch.size() == 1) {
     Job& job = batch.front();
     try {
-      job.promise.set_value(
-          score_path(job.bundle_path, job.target_path, job.opts));
+      designs::Design target = load_score_target(job.target_path);
+      if (tc && job.opts.trace_id != 0)
+        tc->span(job.opts.trace_id, "batch_assembly", dequeued,
+                 obs::TraceClock::now(), "jobs=1 unique=1");
+      job.promise.set_value(score(job.bundle_path, target, job.opts));
     } catch (...) {
       job.promise.set_exception(std::current_exception());
     }
@@ -517,8 +579,32 @@ void ScoringEngine::run_job_batch(std::vector<Job> batch) {
   }
   if (loaded.empty()) return;
 
+  // Every coalesced request's trace records the whole group as peers and
+  // a batch_assembly span covering dedupe + target resolution; the ids
+  // ride into score_batch so shared-stage spans land on each of them.
+  std::vector<std::vector<std::uint64_t>> batch_trace_ids(loaded.size());
+  if (any_traced && tc) {
+    std::vector<std::uint64_t> all_ids;
+    for (const Job& job : batch)
+      if (job.opts.trace_id != 0) all_ids.push_back(job.opts.trace_id);
+    const auto assembled = obs::TraceClock::now();
+    const std::string detail = "jobs=" + std::to_string(batch.size()) +
+                               " unique=" + std::to_string(loaded.size());
+    for (const Job& job : batch) {
+      if (job.opts.trace_id == 0) continue;
+      tc->span(job.opts.trace_id, "batch_assembly", dequeued, assembled,
+               detail);
+      tc->add_peers(job.opts.trace_id, all_ids);
+    }
+    for (std::size_t k = 0; k < loaded.size(); ++k)
+      for (const std::size_t i : fanout[loaded[k]])
+        if (batch[i].opts.trace_id != 0)
+          batch_trace_ids[k].push_back(batch[i].opts.trace_id);
+  }
+
   std::vector<BatchOutcome> outcomes =
-      score_batch(batch.front().bundle_path, targets, batch.front().opts);
+      score_batch(batch.front().bundle_path, targets, batch.front().opts,
+                  any_traced && tc ? &batch_trace_ids : nullptr);
   for (std::size_t k = 0; k < loaded.size(); ++k) {
     const std::vector<std::size_t>& group = fanout[loaded[k]];
     // score_batch counted this target once; the collapsed duplicates are
@@ -536,12 +622,16 @@ void ScoringEngine::run_job_batch(std::vector<Job> batch) {
     }
     for (std::size_t j = 0; j < group.size(); ++j) {
       Job& job = batch[group[j]];
-      if (!outcomes[k].result)
+      if (!outcomes[k].result) {
         job.promise.set_exception(outcomes[k].error);
-      else if (j + 1 == group.size())
+      } else if (j + 1 == group.size()) {
+        outcomes[k].result->trace_id = job.opts.trace_id;
         job.promise.set_value(std::move(*outcomes[k].result));
-      else
-        job.promise.set_value(*outcomes[k].result);
+      } else {
+        ScoreResult copy = *outcomes[k].result;
+        copy.trace_id = job.opts.trace_id;  // each collapsed duplicate
+        job.promise.set_value(std::move(copy));  // reports its own trace
+      }
     }
   }
 }

@@ -52,6 +52,7 @@
 #include "src/graphir/graph.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/serve/bundle.hpp"
 
 namespace fcrit::serve {
@@ -89,6 +90,11 @@ struct EngineConfig {
   /// happened) and before scoring. Lets tests park a worker
   /// deterministically while they fill the queue behind it.
   std::function<void(const std::string& target_path)> before_score_hook;
+  /// Request-trace sink (not owned; the fleet shares one across shards).
+  /// Requests whose ScoreOptions carry a nonzero trace_id record
+  /// queue_wait / batch_assembly / bundle_load / golden_sim / forward
+  /// spans against it. Null or disabled: zero work on the scoring path.
+  obs::RequestTraceCollector* traces = nullptr;
 };
 
 struct ScoreOptions {
@@ -97,6 +103,9 @@ struct ScoreOptions {
   /// default: cross-netlist scoring is the train-once/infer-cheap use
   /// case; the flag guards bit-identical reproduction claims.
   bool strict_hash = false;
+  /// Request trace id from RequestTraceCollector::begin(); 0 = untraced.
+  /// Does not affect scoring or batching eligibility, only observability.
+  std::uint64_t trace_id = 0;
 };
 
 struct ScoreResult {
@@ -115,6 +124,7 @@ struct ScoreResult {
   double stats_seconds = 0.0;    // golden simulation + feature extraction
   double forward_seconds = 0.0;  // model clone + forward passes (for a
                                  // batched request: the shared batch pass)
+  std::uint64_t trace_id = 0;    // echo of ScoreOptions::trace_id
 };
 
 /// The `sites` of a result ranked by descending score, truncated to n
@@ -171,8 +181,10 @@ class BundleCache {
 
   /// Read + hash the file at `path`, returning the cached parse when the
   /// bytes were seen before. Throws BundleError on unreadable/invalid
-  /// files. Exactly one hit or miss is counted per call.
-  std::shared_ptr<const ModelBundle> get(const std::string& path);
+  /// files. Exactly one hit or miss is counted per call; `cache_hit`
+  /// (optional) reports which, for request-trace span details.
+  std::shared_ptr<const ModelBundle> get(const std::string& path,
+                                         bool* cache_hit = nullptr);
 
   std::uint64_t hits() const { return hits_->value(); }
   std::uint64_t misses() const { return misses_->value(); }
@@ -220,9 +232,15 @@ class ScoringEngine {
   /// bitwise-identical to a lone score() of that target. Outcomes are
   /// positional; a target failing preflight gets its error without
   /// affecting the rest, an unreadable bundle fails every outcome.
+  /// `trace_ids` (optional, targets.size() entries) carries the trace ids
+  /// riding on each target — several when duplicate requests were
+  /// collapsed onto it — so every coalesced request's trace records the
+  /// shared bundle_load/golden_sim/forward spans. Ignores
+  /// ScoreOptions::trace_id (per-target ids replace it).
   std::vector<BatchOutcome> score_batch(
       const std::string& bundle_path,
-      const std::vector<designs::Design>& targets, ScoreOptions opts = {});
+      const std::vector<designs::Design>& targets, ScoreOptions opts = {},
+      const std::vector<std::vector<std::uint64_t>>* trace_ids = nullptr);
 
   /// Enqueue onto the worker pool; blocks while the queue is at capacity,
   /// or — when `queue_timeout` is set — gives up after that long with
@@ -262,12 +280,19 @@ class ScoringEngine {
   /// The engine's private instrument registry (read-only callers).
   const obs::Registry& metrics_registry() const { return registry_; }
 
+  /// The request-trace sink wired in via EngineConfig (null when none).
+  obs::RequestTraceCollector* trace_collector() const {
+    return config_.traces;
+  }
+
  private:
   struct Job {
     std::string bundle_path;
     std::string target_path;
     ScoreOptions opts;
     std::promise<ScoreResult> promise;
+    /// Stamped by submit() only for traced jobs; feeds the queue_wait span.
+    obs::TraceClock::time_point enqueued;
   };
 
   /// Everything score() derives from a target before the model forward:

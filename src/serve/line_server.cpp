@@ -6,9 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#include "src/obs/exporter.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/util/text.hpp"
 
 namespace fcrit::serve {
@@ -29,6 +33,89 @@ void send_all(int fd, const std::string& text) {
 
 std::string error_response(const std::string& message) {
   return "ERR " + message + "\n.\n";
+}
+
+std::string LineServer::metrics_response(const std::string& payload) const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  std::string server = "{\"uptime_seconds\":" + obs::json_number(uptime);
+  if (traces_) {
+    server += ",\"trace_ring\":{\"enabled\":";
+    server += traces_->enabled() ? "true" : "false";
+    server += ",\"occupancy\":" + std::to_string(traces_->ring_size());
+    server += ",\"capacity\":" + std::to_string(traces_->ring_capacity());
+    server += ",\"active\":" + std::to_string(traces_->active_size());
+    server += ",\"dropped\":" + std::to_string(traces_->dropped());
+    server += "}";
+  } else {
+    server += ",\"trace_ring\":null";
+  }
+  if (exporter_) {
+    const obs::TelemetryExporter::Status st = exporter_->status();
+    server += ",\"exporter\":{\"running\":";
+    server += st.running ? "true" : "false";
+    server +=
+        ",\"interval_seconds\":" + obs::json_number(st.interval_seconds);
+    server += ",\"snapshots\":" + std::to_string(st.snapshots);
+    server += ",\"last_lag_ms\":" + obs::json_number(st.last_lag_ms);
+    server += "}";
+  } else {
+    server += ",\"exporter\":null";
+  }
+  server += "}";
+  // Splice into the subclass payload so both daemons expose the common
+  // fields at the same place without each re-assembling them.
+  if (payload.size() < 2 || payload.front() != '{' || payload.back() != '}')
+    return error_response("internal: METRICS payload is not a JSON object");
+  std::string out = "{\"server\":" + server;
+  if (payload != "{}") out += "," + payload.substr(1, payload.size() - 2);
+  out += "}\n.\n";
+  return out;
+}
+
+std::string LineServer::prom_response(
+    const std::vector<obs::PromSource>& sources) const {
+  return obs::to_prometheus(sources) + ".\n";
+}
+
+std::string LineServer::trace_response(
+    const std::vector<std::string>& args) const {
+  if (!traces_) return error_response("tracing not available");
+  if (args.empty()) return error_response("usage: TRACE <id> | TRACE LAST <n>");
+  if (args[0] == "LAST" || args[0] == "last") {
+    std::size_t n = 10;
+    if (args.size() > 1) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(args[1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0)
+        return error_response("TRACE LAST: bad count '" + args[1] + "'");
+      n = static_cast<std::size_t>(v);
+    }
+    const std::vector<obs::RequestTrace> traces = traces_->last(n);
+    std::string out = "{\"count\":" + std::to_string(traces.size());
+    out += ",\"traces\":[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (i != 0) out += ",";
+      out += obs::request_trace_json(traces[i]);
+    }
+    out += "]}\n.\n";
+    return out;
+  }
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(args[0].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || id == 0)
+    return error_response("TRACE: bad trace id '" + args[0] + "'");
+  const auto trace = traces_->find(static_cast<std::uint64_t>(id));
+  if (!trace) {
+    return error_response(
+        traces_->enabled()
+            ? "trace " + args[0] + " not found (completed and evicted, "
+                  "still in flight, or never traced)"
+            : "tracing disabled");
+  }
+  return obs::request_trace_json(*trace) + "\n.\n";
 }
 
 LineServer::~LineServer() {

@@ -15,12 +15,20 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
+
+#include "src/obs/prom.hpp"
+
+namespace fcrit::obs {
+class RequestTraceCollector;
+class TelemetryExporter;
+}  // namespace fcrit::obs
 
 namespace fcrit::serve {
 
@@ -54,6 +62,16 @@ class LineServer {
   /// without sockets.
   virtual std::string handle_line(const std::string& line) = 0;
 
+  /// Wire the observability surfaces the shared verbs read. Neither is
+  /// owned; pass nullptr to detach. The collector backs the TRACE verb
+  /// and the trace_ring field of METRICS, the exporter the exporter
+  /// field. Call before start().
+  void set_trace_collector(obs::RequestTraceCollector* traces) {
+    traces_ = traces;
+  }
+  void set_exporter(obs::TelemetryExporter* exporter) { exporter_ = exporter; }
+  obs::RequestTraceCollector* trace_collector() const { return traces_; }
+
  protected:
   /// True when the request line the connection just served should end it
   /// (the base closes after QUIT; subclasses may extend).
@@ -61,10 +79,29 @@ class LineServer {
     return verb == "QUIT";
   }
 
+  /// The shared METRICS serializer both daemons answer through: splices a
+  /// common "server" object (uptime, trace-ring occupancy, exporter lag)
+  /// into the front of the subclass's JSON payload object, then frames it.
+  /// `payload` must be a JSON object ("{...}").
+  std::string metrics_response(const std::string& payload) const;
+
+  /// METRICS PROM: the registries rendered in Prometheus text exposition
+  /// format, framed. Subclasses supply their registry set (the fleet adds
+  /// per-shard labels).
+  std::string prom_response(const std::vector<obs::PromSource>& sources) const;
+
+  /// TRACE <id> / TRACE LAST <n> against the attached collector.
+  /// `args` are the tokens after the verb.
+  std::string trace_response(const std::vector<std::string>& args) const;
+
  private:
   void accept_loop();
   void connection_loop(int fd);
 
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  obs::RequestTraceCollector* traces_ = nullptr;
+  obs::TelemetryExporter* exporter_ = nullptr;
   std::uint16_t requested_port_;
   int listen_fd_ = -1;
   int port_ = 0;

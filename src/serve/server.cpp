@@ -1,20 +1,35 @@
 #include "src/serve/server.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/request_trace.hpp"
 #include "src/util/text.hpp"
 
 namespace fcrit::serve {
 
 ScoreRequest parse_score_request(const std::vector<std::string>& args,
                                  int default_top) {
-  // SCORE [<bundle>] <netlist-path> [<top-n>]: a trailing integer is the
-  // top-n; one path-like argument means "the directory's only bundle".
-  std::vector<std::string> rest = args;
+  // SCORE [<bundle>] <netlist-path> [<top-n>] [id=<n>]: a trailing
+  // integer is the top-n; one path-like argument means "the directory's
+  // only bundle"; an id= token anywhere is the client's own trace id.
+  std::vector<std::string> rest;
   ScoreRequest req;
   req.top = default_top;
+  for (const std::string& arg : args) {
+    if (arg.rfind("id=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(arg.c_str() + 3, &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0)
+        throw std::runtime_error("bad trace id '" + arg +
+                                 "' (want id=<nonzero decimal>)");
+      req.trace_id = static_cast<std::uint64_t>(v);
+      continue;
+    }
+    rest.push_back(arg);
+  }
   if (rest.size() >= 2) {
     std::size_t parsed = 0;
     try {
@@ -71,7 +86,9 @@ std::string format_score_response(const ScoreResult& r, int top) {
   os << "OK design=" << r.target_name << " bundle=" << r.bundle_design
      << " nodes=" << r.node_names.size()
      << " matched=" << (r.netlist_matched ? 1 : 0)
-     << " top=" << ranked.size() << "\n";
+     << " top=" << ranked.size();
+  if (r.trace_id != 0) os << " trace=" << r.trace_id;
+  os << "\n";
   for (const auto id : ranked)
     os << r.node_names[id] << " " << r.proba[id] << " "
        << r.predicted[id] << " " << r.score[id] << "\n";
@@ -80,7 +97,11 @@ std::string format_score_response(const ScoreResult& r, int top) {
 }
 
 Server::Server(ScoringEngine& engine, ServerConfig config)
-    : LineServer(config.port), engine_(engine), config_(std::move(config)) {}
+    : LineServer(config.port), engine_(engine), config_(std::move(config)) {
+  // The TRACE verb and METRICS trace_ring field read the engine's
+  // collector when one was wired into EngineConfig (the CLI does both).
+  set_trace_collector(engine_.trace_collector());
+}
 
 Server::~Server() {
   // Drain connections before engine_/config_ go away (the base dtor would
@@ -95,7 +116,14 @@ std::string Server::handle_line(const std::string& line) {
 
   if (verb == "QUIT") return "BYE\n.\n";
 
-  if (verb == "METRICS") return engine_.metrics_json() + "\n.\n";
+  if (verb == "METRICS") {
+    if (tokens.size() > 1 && tokens[1] == "PROM")
+      return prom_response({obs::PromSource{"", &engine_.metrics_registry()}});
+    return metrics_response(engine_.metrics_json());
+  }
+
+  if (verb == "TRACE")
+    return trace_response({tokens.begin() + 1, tokens.end()});
 
   if (verb == "STATS") {
     const MetricsSnapshot m = engine_.metrics();
@@ -109,20 +137,29 @@ std::string Server::handle_line(const std::string& line) {
   }
 
   if (verb == "SCORE") {
+    obs::RequestTraceCollector* tc = trace_collector();
+    std::uint64_t trace_id = 0;
     try {
       const ScoreRequest req = parse_score_request(
           {tokens.begin() + 1, tokens.end()}, config_.default_top);
       const std::string bundle_path =
           resolve_bundle_token(config_.bundle_dir, req.bundle_token);
-      const ScoreResult r = engine_.submit(bundle_path, req.target).get();
+      ScoreOptions opts;
+      if (tc)
+        trace_id = opts.trace_id =
+            tc->begin(bundle_path, req.target, req.trace_id);
+      const ScoreResult r =
+          engine_.submit(bundle_path, req.target, opts).get();
+      if (tc) tc->finish(trace_id, "ok");
       return format_score_response(r, req.top);
     } catch (const std::exception& e) {
+      if (tc) tc->finish(trace_id, "error", e.what());
       return error_response(e.what());
     }
   }
 
   return error_response("unknown command '" + verb +
-                        "' (SCORE, STATS, METRICS, QUIT)");
+                        "' (SCORE, STATS, METRICS, TRACE, QUIT)");
 }
 
 }  // namespace fcrit::serve

@@ -4,20 +4,26 @@
 //
 // Wire protocol (one request per line; every response ends with a line
 // holding a single "."):
-//   SCORE [<bundle>] <netlist-path> [<top-n>]
+//   SCORE [<bundle>] <netlist-path> [<top-n>] [id=<n>]
 //       <bundle> is a file name inside the bundle directory (".fcm"
 //       appended when missing) or an absolute/relative path; it may be
-//       omitted when the directory holds exactly one bundle. Replies
-//       "OK design=... bundle=... nodes=N matched=0|1 top=K" followed by
-//       K lines "<node> <proba> <class> <score>".
+//       omitted when the directory holds exactly one bundle. id=<n>
+//       supplies the client's own trace id (decimal). Replies
+//       "OK design=... bundle=... nodes=N matched=0|1 top=K [trace=<id>]"
+//       followed by K lines "<node> <proba> <class> <score>".
 //   STATS
 //       One "OK requests=... completed=... errors=... cache_hits=...
 //       cache_misses=... queue_high_water=... threads=..." line.
 //   METRICS
-//       One line holding a JSON snapshot of the engine's registry: uptime,
-//       request counters, cache hit ratio, queue depth, and the latency
-//       histograms with p50/p90/p99 (see ScoringEngine::metrics_json and
-//       docs/OBSERVABILITY.md).
+//       One line holding a JSON snapshot: the shared "server" object
+//       (uptime, trace-ring occupancy, exporter lag — serve::LineServer)
+//       merged with the engine's registry snapshot (request counters,
+//       cache hit ratio, queue depth, latency histograms with p50/p90/p99;
+//       see ScoringEngine::metrics_json and docs/OBSERVABILITY.md).
+//   METRICS PROM
+//       The same registry in Prometheus text exposition format.
+//   TRACE <id> | TRACE LAST <n>
+//       One completed request trace as JSON / the n most recent ones.
 //   QUIT
 //       Replies "BYE" and closes the connection.
 // Any failure replies "ERR <message>".
@@ -33,13 +39,15 @@
 namespace fcrit::serve {
 
 /// A parsed SCORE request line. The shared grammar of serve::Server and
-/// fleet::FleetServer: SCORE [<bundle>] <netlist-path> [<top-n>], where a
-/// trailing integer is the top-n and a lone path-like argument means "the
-/// directory's only bundle" (empty bundle_token).
+/// fleet::FleetServer: SCORE [<bundle>] <netlist-path> [<top-n>] [id=<n>],
+/// where a trailing integer is the top-n, a lone path-like argument means
+/// "the directory's only bundle" (empty bundle_token), and an id= token
+/// anywhere supplies the client's own decimal trace id.
 struct ScoreRequest {
   std::string bundle_token;  // empty = sole bundle in the directory
   std::string target;
   int top = 10;
+  std::uint64_t trace_id = 0;  // client-supplied id= token; 0 = none
 };
 
 /// Parse the tokens after the SCORE verb; throws std::runtime_error with

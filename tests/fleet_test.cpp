@@ -6,6 +6,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <set>
@@ -437,6 +438,202 @@ TEST(FleetServerTest, ProtocolCoversShardsReloadAndScore) {
   EXPECT_EQ(server.handle_line("STATS").substr(0, 2), "OK");
   EXPECT_EQ(server.handle_line("BOGUS").substr(0, 3), "ERR");
   EXPECT_EQ(server.handle_line("QUIT").substr(0, 3), "BYE");
+}
+
+// ---- request tracing through the fleet ------------------------------------
+
+std::string trace_id_of(const std::string& ok_response) {
+  const std::size_t at = ok_response.find(" trace=");
+  EXPECT_NE(at, std::string::npos) << ok_response;
+  if (at == std::string::npos) return "";
+  const std::size_t end = ok_response.find('\n', at);
+  return ok_response.substr(at + 7, end - at - 7);
+}
+
+TEST(FleetTraceTest, EveryBatchedResponseHasARetrievableTrace) {
+  // The acceptance scenario: 2 shards, batching ON, five concurrent
+  // requests for one bundle — one runs solo, four coalesce into one
+  // block-diagonal forward. EVERY response's trace must be retrievable
+  // via TRACE <id> and tell the queue/batch/forward story.
+  const std::string dir = make_bundle_dir("trace");
+  const auto d = tiny_design(161);
+  serve::save_bundle_file(synthetic_bundle(d, 41), dir + "/hot.fcm");
+  const std::string netlist_path = dir + "/hot.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  fc.threads_per_shard = 1;
+  fc.queue_capacity = 16;
+  fc.batch_max = 8;
+  fc.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  Fleet fleet(fc);
+  FleetServer server(fleet, {.port = 0});
+
+  // Park the owner shard's only worker on the first request, then pile
+  // four more behind it so they leave the queue as one batch.
+  constexpr int kQueued = 4;
+  std::vector<std::string> responses(1 + kQueued);
+  std::vector<std::thread> clients;
+  clients.emplace_back([&] {
+    responses[0] = server.handle_line("SCORE " + netlist_path);
+  });
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  for (int i = 1; i <= kQueued; ++i)
+    clients.emplace_back([&, i] {
+      responses[static_cast<std::size_t>(i)] =
+          server.handle_line("SCORE " + netlist_path);
+    });
+  while (fleet.shard_status()[0].queue_depth +
+             fleet.shard_status()[1].queue_depth <
+         static_cast<std::size_t>(kQueued))
+    std::this_thread::yield();
+  release.set_value();
+  for (auto& t : clients) t.join();
+
+  int batched = 0;
+  for (const std::string& r : responses) {
+    ASSERT_EQ(r.substr(0, 2), "OK") << r;
+    const std::string id = trace_id_of(r);
+    ASSERT_FALSE(id.empty());
+    const std::string reply = server.handle_line("TRACE " + id);
+    ASSERT_NE(reply.substr(0, 3), "ERR") << reply;
+    const std::string body = reply.substr(0, reply.size() - 3);
+    ASSERT_TRUE(obs::json_valid(body)) << body;
+    EXPECT_NE(body.find("\"id\":\"" + id + "\""), std::string::npos);
+    EXPECT_NE(body.find("\"verdict\":\"ok\""), std::string::npos) << body;
+    EXPECT_NE(body.find("\"shard\":\"shard-"), std::string::npos)
+        << "owning shard not recorded: " << body;
+    for (const char* span : {"\"queue_wait\"", "\"batch_assembly\"",
+                             "\"bundle_load\"", "\"forward\""})
+      EXPECT_NE(body.find(span), std::string::npos) << span << " in " << body;
+    if (body.find("\"batched_with\":[\"") != std::string::npos) ++batched;
+  }
+  // The four queued requests coalesced: each records its batch peers.
+  EXPECT_EQ(batched, kQueued) << "coalesced requests must list their peers";
+
+  // TRACE LAST pages the ring, newest first.
+  const std::string last = server.handle_line("TRACE LAST 3");
+  const std::string last_body = last.substr(0, last.size() - 3);
+  EXPECT_TRUE(obs::json_valid(last_body)) << last_body;
+  EXPECT_NE(last_body.find("\"count\":3"), std::string::npos);
+}
+
+TEST(FleetTraceTest, RerouteAfterShardKillIsRecordedInTheTrace) {
+  const std::string dir = make_bundle_dir("trace_kill");
+  const auto d = tiny_design(171);
+  const std::string bundle_path = dir + "/hot.fcm";
+  serve::save_bundle_file(synthetic_bundle(d, 43), bundle_path);
+  const std::string netlist_path = dir + "/hot.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  fc.threads_per_shard = 1;
+  fc.batch_max = 1;
+  fc.retries = 1;
+  fc.before_score_hook = [&](const std::string&) {
+    if (hook_calls.fetch_add(1) == 0) released.wait();
+  };
+  Fleet fleet(fc);
+  FleetServer server(fleet, {.port = 0});
+  const std::string owner = fleet.route(bundle_path);
+
+  // Request A parks the owner's worker; request B queues behind it. Killing
+  // the owner aborts B's queued job — the fleet must re-route it and B's
+  // trace must record the retry.
+  std::string ra, rb;
+  std::thread a([&] { ra = server.handle_line("SCORE " + netlist_path); });
+  while (hook_calls.load() == 0) std::this_thread::yield();
+  std::thread b([&] { rb = server.handle_line("SCORE " + netlist_path); });
+  while (true) {
+    bool queued = false;
+    for (const auto& s : fleet.shard_status())
+      if (s.name == owner && s.queue_depth >= 1) queued = true;
+    if (queued) break;
+    std::this_thread::yield();
+  }
+  fleet.kill_shard(owner);
+  b.join();
+  release.set_value();
+  a.join();
+
+  ASSERT_EQ(rb.substr(0, 2), "OK") << rb;
+  const std::string id = trace_id_of(rb);
+  const std::string reply = server.handle_line("TRACE " + id);
+  ASSERT_NE(reply.substr(0, 3), "ERR") << reply;
+  const std::string body = reply.substr(0, reply.size() - 3);
+  ASSERT_TRUE(obs::json_valid(body)) << body;
+  EXPECT_NE(body.find("\"verdict\":\"ok\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"retries\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"reroute\""), std::string::npos) << body;
+  EXPECT_NE(body.find(owner), std::string::npos)
+      << "the reroute event should name the dead shard: " << body;
+  // The survivor owns the request now, not the shard we killed.
+  EXPECT_EQ(body.find("\"shard\":\"" + owner + "\""), std::string::npos);
+}
+
+TEST(FleetServerTest, MetricsAndPromCoverRouterAndShards) {
+  const std::string dir = make_bundle_dir("prom");
+  const auto d = tiny_design(181);
+  serve::save_bundle_file(synthetic_bundle(d, 47), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  FleetConfig fc;
+  fc.bundle_dir = dir;
+  fc.shards = 2;
+  Fleet fleet(fc);
+  FleetServer server(fleet, {.port = 0});
+  ASSERT_EQ(server.handle_line("SCORE " + netlist_path).substr(0, 2), "OK");
+
+  // METRICS: the shared "server" object (satellite 2) in front of the
+  // fleet's nested payload.
+  const std::string metrics = server.handle_line("METRICS");
+  const std::string body = metrics.substr(0, metrics.size() - 3);
+  ASSERT_TRUE(obs::json_valid(body)) << body;
+  EXPECT_EQ(body.find("{\"server\":{\"uptime_seconds\":"), 0u) << body;
+  EXPECT_NE(body.find("\"trace_ring\":{\"enabled\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(body.find("\"shards\""), std::string::npos);
+
+  // METRICS PROM: router families unlabeled, shard families labeled, and
+  // exactly one # TYPE line per family even with two shards contributing.
+  const std::string prom = server.handle_line("METRICS PROM");
+  ASSERT_EQ(prom.substr(prom.size() - 3), "\n.\n");
+  const std::string text = prom.substr(0, prom.size() - 2);
+  EXPECT_NE(text.find("fcrit_fleet_requests_total 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{shard=\"shard-0\"}"), std::string::npos) << text;
+  EXPECT_NE(text.find("{shard=\"shard-1\"}"), std::string::npos);
+  std::size_t type_lines = 0, at = 0;
+  const std::string needle = "# TYPE fcrit_serve_requests_total counter";
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    ++type_lines;
+    at += needle.size();
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+
+  // Tracing off: requests still serve, TRACE says why it has nothing.
+  FleetConfig off = fc;
+  off.bundle_dir = dir;
+  off.tracing = false;
+  Fleet fleet_off(off);
+  FleetServer server_off(fleet_off, {.port = 0});
+  const std::string r = server_off.handle_line("SCORE " + netlist_path);
+  EXPECT_EQ(r.substr(0, 2), "OK");
+  EXPECT_EQ(r.find(" trace="), std::string::npos) << r;
+  EXPECT_EQ(server_off.handle_line("TRACE 5").substr(0, 3), "ERR");
 }
 
 }  // namespace

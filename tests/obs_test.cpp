@@ -15,9 +15,12 @@
 #include <vector>
 
 #include "src/core/pipeline.hpp"
+#include "src/obs/exporter.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/prom.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/obs/trace.hpp"
 
 namespace fcrit::obs {
@@ -161,6 +164,305 @@ TEST(RegistryTest, ToJsonIsValidAndComplete) {
        {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"runs\"",
         "\"depth\"", "\"lat_ms\"", "\"p50\"", "\"p90\"", "\"p99\""})
     EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(RegistryTest, HistogramJsonCarriesFullBucketLayout) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_ms", std::vector<double>{1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(50.0);  // overflow bucket
+  const std::string json = reg.to_json();
+  ASSERT_TRUE(json_valid(json)) << json;
+  // The dense layout the Prometheus renderer and telemetry consumers need:
+  // every bound, and one count per bucket (zeros included, overflow last).
+  EXPECT_NE(json.find("\"bounds\":[1,2,4]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\":[1,1,0,1]"), std::string::npos) << json;
+}
+
+// ---- request traces -------------------------------------------------------
+
+TEST(RequestTraceTest, DisabledCollectorRecordsNothing) {
+  RequestTraceCollector col(8);
+  EXPECT_FALSE(col.enabled());
+  EXPECT_EQ(col.begin("b.fcm", "t.v"), 0u);
+  // Mutators on id 0 are no-ops by contract, never crashes.
+  col.span(0, "forward", TraceClock::now(), TraceClock::now());
+  col.finish(0, "ok");
+  EXPECT_EQ(col.ring_size(), 0u);
+  EXPECT_EQ(col.active_size(), 0u);
+}
+
+TEST(RequestTraceTest, FinishMovesTraceIntoRingWithSpansAndEvents) {
+  RequestTraceCollector col(8);
+  col.set_enabled(true);
+  const std::uint64_t id = col.begin("b.fcm", "t.v");
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(col.active_size(), 1u);
+  const auto t0 = TraceClock::now();
+  col.span(id, "bundle_load", t0, t0 + std::chrono::microseconds(500),
+           "cache-hit");
+  col.span(id, "forward", t0, t0 + std::chrono::milliseconds(2));
+  col.event(id, "reroute", "shard-1 aborted");
+  col.set_shard(id, "shard-0");
+  col.add_retry(id);
+  col.finish(id, "ok");
+
+  EXPECT_EQ(col.active_size(), 0u);
+  ASSERT_EQ(col.ring_size(), 1u);
+  const auto t = col.find(id);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, id);
+  EXPECT_EQ(t->bundle, "b.fcm");
+  EXPECT_EQ(t->target, "t.v");
+  EXPECT_EQ(t->shard, "shard-0");
+  EXPECT_EQ(t->verdict, "ok");
+  EXPECT_EQ(t->retries, 1u);
+  EXPECT_GT(t->start_unix_ms, 0u);
+  EXPECT_GE(t->total_ms, 0.0);
+  ASSERT_EQ(t->spans.size(), 3u);
+  EXPECT_EQ(t->spans[0].name, "bundle_load");
+  EXPECT_EQ(t->spans[0].detail, "cache-hit");
+  EXPECT_GT(t->spans[1].dur_ms, 0.0);
+  EXPECT_EQ(t->spans[2].name, "reroute");
+  EXPECT_EQ(t->spans[2].dur_ms, 0.0);
+
+  const std::string json = request_trace_json(*t);
+  EXPECT_TRUE(json_valid(json)) << json;
+  // Ids are decimal strings: the full 64-bit range does not survive an
+  // IEEE-double JSON parser.
+  EXPECT_NE(json.find("\"id\":\"" + std::to_string(id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"verdict\":\"ok\""), std::string::npos);
+}
+
+TEST(RequestTraceTest, ClientSuppliedIdIsHonored) {
+  RequestTraceCollector col(8);
+  col.set_enabled(true);
+  EXPECT_EQ(col.begin("b.fcm", "t.v", 42), 42u);
+  col.finish(42, "ok");
+  EXPECT_TRUE(col.find(42).has_value());
+}
+
+TEST(RequestTraceTest, RingEvictsOldestAndCountsDrops) {
+  RequestTraceCollector col(4);
+  col.set_enabled(true);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t id = col.begin("b.fcm", "t" + std::to_string(i));
+    ids.push_back(id);
+    col.finish(id, "ok");
+  }
+  EXPECT_EQ(col.ring_size(), 4u);
+  EXPECT_EQ(col.dropped(), 2u);
+  EXPECT_FALSE(col.find(ids[0]).has_value());
+  EXPECT_FALSE(col.find(ids[1]).has_value());
+  EXPECT_TRUE(col.find(ids[5]).has_value());
+  // last(n) is newest-first.
+  const auto recent = col.last(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].id, ids[5]);
+  EXPECT_EQ(recent[1].id, ids[4]);
+  EXPECT_EQ(col.last(100).size(), 4u);
+}
+
+TEST(RequestTraceTest, PeersFilterSelfZeroAndDuplicates) {
+  RequestTraceCollector col(8);
+  col.set_enabled(true);
+  const std::uint64_t a = col.begin("b.fcm", "x.v");
+  const std::uint64_t b = col.begin("b.fcm", "y.v");
+  col.add_peers(a, {a, b, b, 0});
+  col.finish(a, "ok");
+  const auto t = col.find(a);
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->peers.size(), 1u);
+  EXPECT_EQ(t->peers[0], b);
+  col.finish(b, "ok");
+}
+
+TEST(RequestTraceTest, AccessLogAppendsOneValidJsonLinePerRequest) {
+  const std::string path = ::testing::TempDir() + "fcrit_access_log.jsonl";
+  std::remove(path.c_str());
+  RequestTraceCollector col(8);
+  col.set_enabled(true);
+  ASSERT_TRUE(col.open_access_log(path));
+  col.set_slow_ms(0.0);  // every request also mirrors to the logger
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t id = col.begin("b.fcm", "t" + std::to_string(i));
+    col.finish(id, i == 2 ? "error" : "ok", i == 2 ? "boom" : "");
+  }
+  std::ifstream is(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    EXPECT_NE(line.find("\"verdict\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_FALSE(col.open_access_log("/nonexistent-dir/x.jsonl"));
+  std::remove(path.c_str());
+}
+
+TEST(RequestTraceTest, ConcurrentRequestsKeepRingCoherent) {
+  // Run under the FCRIT_SANITIZE matrix: writers begin/span/finish while a
+  // reader snapshots the ring and a toggler flips the enable gate.
+  RequestTraceCollector col(64);
+  col.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&col, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            col.begin("b.fcm", "t" + std::to_string(t));
+        const auto now = TraceClock::now();
+        col.span(id, "forward", now, now);
+        col.finish(id, "ok");
+      }
+    });
+  std::thread reader([&col] {
+    for (int i = 0; i < 200; ++i) {
+      for (const auto& t : col.last(16)) {
+        EXPECT_EQ(t.verdict, "ok");
+        EXPECT_TRUE(json_valid(request_trace_json(t)));
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  reader.join();
+  EXPECT_EQ(col.active_size(), 0u);
+  EXPECT_EQ(col.ring_size() + col.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- telemetry exporter ---------------------------------------------------
+
+TEST(TelemetryExporterTest, ManualModeWritesValidSnapshotLines) {
+  const std::string path = ::testing::TempDir() + "fcrit_telemetry.jsonl";
+  std::remove(path.c_str());
+  Registry reg;
+  reg.counter("ticks").add(1);
+  reg.histogram("lat_ms").observe(1.0);
+  TelemetryExporter exporter;
+  exporter.add_registry("engine", reg);
+  exporter.add_source("custom", [] { return std::string("{\"x\":1}"); });
+  // interval <= 0: open the file but spawn no thread — ticks are driven
+  // explicitly, which keeps this test deterministic.
+  ASSERT_TRUE(exporter.start(path, 0.0));
+  EXPECT_FALSE(exporter.running());
+  exporter.snapshot_now();
+  reg.counter("ticks").add(41);
+  exporter.snapshot_now();
+  exporter.stop();
+
+  std::ifstream is(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_TRUE(json_valid(lines[i])) << lines[i];
+    for (const char* key : {"\"seq\"", "\"mono_ms\"", "\"wall_unix_ms\"",
+                            "\"interval_seconds\"", "\"registries\"",
+                            "\"engine\"", "\"custom\"", "\"ticks\""})
+      EXPECT_NE(lines[i].find(key), std::string::npos) << key;
+    const std::size_t at = lines[i].find("\"seq\":") + 6;
+    const std::uint64_t seq = std::stoull(lines[i].substr(at));
+    if (i > 0) EXPECT_GT(seq, prev_seq);
+    prev_seq = seq;
+  }
+  EXPECT_NE(lines[1].find("\"ticks\":42"), std::string::npos) << lines[1];
+
+  const TelemetryExporter::Status st = exporter.status();
+  EXPECT_FALSE(st.running);
+  EXPECT_EQ(st.snapshots, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExporterTest, BackgroundThreadTicksAndStopsCleanly) {
+  const std::string path = ::testing::TempDir() + "fcrit_telemetry_bg.jsonl";
+  std::remove(path.c_str());
+  Registry reg;
+  reg.counter("n").add(1);
+  TelemetryExporter exporter;
+  exporter.add_registry("engine", reg);
+  ASSERT_TRUE(exporter.start(path, 0.005));
+  EXPECT_TRUE(exporter.running());
+  EXPECT_FALSE(exporter.start(path, 1.0)) << "double start must refuse";
+  while (exporter.status().snapshots < 2) std::this_thread::yield();
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  const std::uint64_t after_stop = exporter.status().snapshots;
+
+  std::ifstream is(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, after_stop) << "file must end on a complete line";
+  EXPECT_FALSE(exporter.running());
+  std::remove(path.c_str());
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+TEST(PromTest, RendersCountersGaugesAndCumulativeHistograms) {
+  Registry reg;
+  reg.counter("requests").add(3);
+  reg.gauge("queue.depth").set(2);
+  Histogram& h =
+      reg.histogram("request_ms", std::vector<double>{1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string text = to_prometheus({{"", &reg}});
+
+  EXPECT_NE(text.find("# TYPE fcrit_requests_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fcrit_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fcrit_queue_depth gauge\n"), std::string::npos)
+      << "name sanitization ('.' -> '_')";
+  EXPECT_NE(text.find("fcrit_queue_depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fcrit_queue_depth_high_water 2\n"), std::string::npos);
+  // Histogram buckets are CUMULATIVE and end with +Inf == _count.
+  EXPECT_NE(text.find("fcrit_request_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fcrit_request_ms_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fcrit_request_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fcrit_request_ms_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("fcrit_request_ms_sum 11\n"), std::string::npos);
+}
+
+TEST(PromTest, ShardLabeledSourcesShareOneTypeLinePerFamily) {
+  Registry a;
+  a.counter("requests").add(1);
+  Registry b;
+  b.counter("requests").add(2);
+  const std::string text =
+      to_prometheus({{"shard=\"shard-0\"", &a}, {"shard=\"shard-1\"", &b}});
+  // Exactly one # TYPE header for the family, then one sample per shard.
+  std::size_t type_lines = 0, at = 0;
+  const std::string needle = "# TYPE fcrit_requests_total counter";
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    ++type_lines;
+    at += needle.size();
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+  EXPECT_NE(text.find("fcrit_requests_total{shard=\"shard-0\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fcrit_requests_total{shard=\"shard-1\"} 2\n"),
+            std::string::npos);
 }
 
 // ---- JSON helpers ---------------------------------------------------------

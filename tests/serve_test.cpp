@@ -20,7 +20,9 @@
 
 #include "src/designs/random_circuit.hpp"
 #include "src/netlist/verilog_writer.hpp"
+#include "src/obs/exporter.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/request_trace.hpp"
 #include "src/serve/bundle.hpp"
 #include "src/serve/engine.hpp"
 #include "src/serve/server.hpp"
@@ -712,6 +714,165 @@ TEST(ServerTest, MetricsCommandReturnsWellFormedJson) {
   EXPECT_LE(m.request_ms.mean(), m.request_ms.max + 1e-9);
   EXPECT_DOUBLE_EQ(m.cache_hit_ratio(), 0.5);
   EXPECT_GE(m.uptime_seconds, 0.0);
+}
+
+TEST(ServerTest, TraceVerbReturnsSpansForScoredRequests) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_trace";
+  std::filesystem::create_directories(dir);
+  const auto d = tiny_design(62);
+  save_bundle_file(synthetic_bundle(d, 12), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  obs::RequestTraceCollector traces(16);
+  traces.set_enabled(true);
+  EngineConfig ec;
+  ec.threads = 1;
+  ec.traces = &traces;
+  ScoringEngine engine(ec);
+  Server server(engine, {.bundle_dir = dir, .port = 0});
+
+  // Client-supplied id: the OK header echoes it back.
+  const std::string r1 = server.handle_line("SCORE " + netlist_path + " id=7");
+  ASSERT_EQ(r1.substr(0, 2), "OK") << r1;
+  EXPECT_NE(r1.find(" trace=7"), std::string::npos) << r1;
+
+  // Server-assigned id: extract it from the header, then look it up.
+  const std::string r2 = server.handle_line("SCORE " + netlist_path);
+  const std::size_t at = r2.find(" trace=");
+  ASSERT_NE(at, std::string::npos) << r2;
+  const std::string id = r2.substr(at + 7, r2.find('\n') - at - 7);
+
+  for (const std::string& lookup : {std::string("7"), id}) {
+    const std::string reply = server.handle_line("TRACE " + lookup);
+    ASSERT_EQ(reply.substr(reply.size() - 3), "\n.\n") << reply;
+    const std::string body = reply.substr(0, reply.size() - 3);
+    EXPECT_TRUE(obs::json_valid(body)) << body;
+    EXPECT_NE(body.find("\"id\":\"" + lookup + "\""), std::string::npos)
+        << body;
+    EXPECT_NE(body.find("\"verdict\":\"ok\""), std::string::npos);
+    // The per-stage story every trace must tell (docs/OBSERVABILITY.md).
+    for (const char* span :
+         {"\"queue_wait\"", "\"batch_assembly\"", "\"bundle_load\"",
+          "\"golden_sim\"", "\"forward\""})
+      EXPECT_NE(body.find(span), std::string::npos) << span << " in " << body;
+  }
+  // The second request hit the bundle cache; the first parsed.
+  EXPECT_NE(server.handle_line("TRACE 7").find("\"detail\":\"parse\""),
+            std::string::npos);
+  EXPECT_NE(server.handle_line("TRACE " + id).find("\"detail\":\"cache-hit\""),
+            std::string::npos);
+
+  const std::string last = server.handle_line("TRACE LAST 2");
+  const std::string last_body = last.substr(0, last.size() - 3);
+  EXPECT_TRUE(obs::json_valid(last_body)) << last_body;
+  EXPECT_NE(last_body.find("\"count\":2"), std::string::npos);
+
+  // Failed requests trace too, with the error recorded.
+  const std::string bad =
+      server.handle_line("SCORE " + dir + "/missing.v id=9");
+  EXPECT_EQ(bad.substr(0, 3), "ERR");
+  const std::string bad_trace = server.handle_line("TRACE 9");
+  EXPECT_NE(bad_trace.find("\"verdict\":\"error\""), std::string::npos)
+      << bad_trace;
+
+  EXPECT_EQ(server.handle_line("TRACE 123456").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("TRACE").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("TRACE notanumber").substr(0, 3), "ERR");
+  EXPECT_EQ(server.handle_line("SCORE " + netlist_path + " id=0")
+                .substr(0, 3),
+            "ERR")
+      << "id=0 is reserved for untraced requests";
+}
+
+TEST(ServerTest, MetricsCarriesSharedServerObjectAndPromExposition) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_prom";
+  std::filesystem::create_directories(dir);
+  const auto d = tiny_design(63);
+  save_bundle_file(synthetic_bundle(d, 13), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  obs::RequestTraceCollector traces(16);
+  traces.set_enabled(true);
+  EngineConfig ec;
+  ec.threads = 1;
+  ec.traces = &traces;
+  ScoringEngine engine(ec);
+  Server server(engine, {.bundle_dir = dir, .port = 0});
+  EXPECT_EQ(server.handle_line("SCORE " + netlist_path).substr(0, 2), "OK");
+
+  const std::string metrics = server.handle_line("METRICS");
+  const std::string body = metrics.substr(0, metrics.size() - 3);
+  ASSERT_TRUE(obs::json_valid(body)) << body;
+  // The shared "server" object both daemons splice in front of their
+  // registry payload (satellite 2: no more divergent METRICS shapes).
+  EXPECT_EQ(body.find("{\"server\":{\"uptime_seconds\":"), 0u) << body;
+  EXPECT_NE(body.find("\"trace_ring\":{\"enabled\":true"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"occupancy\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"capacity\":16"), std::string::npos);
+  // No exporter attached: the field says so instead of vanishing.
+  EXPECT_NE(body.find("\"exporter\":null"), std::string::npos) << body;
+
+  obs::TelemetryExporter exporter;
+  exporter.add_registry("engine", engine.metrics_registry());
+  const std::string tpath = ::testing::TempDir() + "fcrit_srv_prom_tel.jsonl";
+  ASSERT_TRUE(exporter.start(tpath, 0.0));
+  exporter.snapshot_now();
+  server.set_exporter(&exporter);
+  const std::string with_exp = server.handle_line("METRICS");
+  EXPECT_NE(with_exp.find("\"exporter\":{\"running\":false,"
+                          "\"interval_seconds\":0,\"snapshots\":1"),
+            std::string::npos)
+      << with_exp;
+  exporter.stop();
+  std::remove(tpath.c_str());
+
+  const std::string prom = server.handle_line("METRICS PROM");
+  ASSERT_EQ(prom.substr(prom.size() - 3), "\n.\n");
+  EXPECT_EQ(prom.find("# TYPE "), 0u) << prom;
+  EXPECT_NE(prom.find("# TYPE fcrit_serve_requests_total counter\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("fcrit_serve_requests_total 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("fcrit_serve_request_ms_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE fcrit_serve_queue_depth gauge\n"),
+            std::string::npos);
+}
+
+TEST(ServerTest, UntracedEngineStillServesAndTraceVerbExplains) {
+  const std::string dir = ::testing::TempDir() + "fcrit_srv_notrace";
+  std::filesystem::create_directories(dir);
+  const auto d = tiny_design(64);
+  save_bundle_file(synthetic_bundle(d, 14), dir + "/tiny.fcm");
+  const std::string netlist_path = dir + "/tiny.v";
+  write_file(netlist_path, netlist::to_verilog(d.netlist));
+
+  // No collector wired at all: SCORE works, emits no trace= token, and
+  // METRICS reports the ring as absent.
+  ScoringEngine engine({.threads = 1});
+  Server server(engine, {.bundle_dir = dir, .port = 0});
+  const std::string r = server.handle_line("SCORE " + netlist_path);
+  EXPECT_EQ(r.substr(0, 2), "OK");
+  EXPECT_EQ(r.find(" trace="), std::string::npos) << r;
+  EXPECT_EQ(server.handle_line("TRACE 1").substr(0, 3), "ERR");
+  EXPECT_NE(server.handle_line("METRICS").find("\"trace_ring\":null"),
+            std::string::npos);
+
+  // Collector present but disabled: the hot path stays id == 0.
+  obs::RequestTraceCollector traces(8);
+  EngineConfig ec;
+  ec.threads = 1;
+  ec.traces = &traces;
+  ScoringEngine engine2(ec);
+  Server server2(engine2, {.bundle_dir = dir, .port = 0});
+  EXPECT_EQ(server2.handle_line("SCORE " + netlist_path).substr(0, 2), "OK");
+  EXPECT_EQ(traces.ring_size(), 0u);
+  EXPECT_NE(server2.handle_line("METRICS").find("\"enabled\":false"),
+            std::string::npos);
 }
 
 TEST(ServerTest, HandleLineReportsUsageErrors) {
