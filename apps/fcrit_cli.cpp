@@ -88,6 +88,8 @@ constexpr const char* kUsageText =
     "  sweep <file> [-o FILE]            remove dead logic\n"
     "  campaign <design|file> [--cycles N] [--seed S]\n"
     "           [--fraction F] [--threads T] [--report FILE]\n"
+    "           [--engine levelized|frontier] [--no-batch] [--no-collapse]\n"
+    "           [--max-batch K]\n"
     "  analyze <design|file> [--top N] [--no-baselines]\n"
     "           [--explain K] [--save-model FILE] [--csv FILE]\n"
     "           [--cycles N] [--epochs N] [--trace-out FILE]\n"
@@ -118,7 +120,7 @@ constexpr const char* kUsageText =
     "                                    SIGHUP or RELOAD hot-swaps bundles\n"
     "  check [--trials N] [--seed S] [--cycles N] [--gates N] [--flops N]\n"
     "        [--inputs N] [--outputs N] [--faults N] [--serve-every K]\n"
-    "        [--no-shrink] [--no-dump] [--self-test]\n"
+    "        [--campaign-every K] [--no-shrink] [--no-dump] [--self-test]\n"
     "                                    differential-oracle fuzzing harness\n"
     "  help | --help                     this text\n"
     "  version                           print the fcrit version\n"
@@ -328,6 +330,16 @@ int cmd_campaign(const std::string& target,
     cfg.dangerous_cycle_fraction = std::stod(flags.at("--fraction"));
   if (flags.contains("--threads"))
     cfg.num_threads = std::stoi(flags.at("--threads"));
+  if (flags.contains("--engine")) {
+    const std::string& engine = flags.at("--engine");
+    if (engine == "levelized") cfg.engine = fault::FiEngine::kLevelized;
+    else if (engine == "frontier") cfg.engine = fault::FiEngine::kFrontier;
+    else throw std::runtime_error("--engine takes levelized|frontier");
+  }
+  if (flags.contains("--no-batch")) cfg.batch_faults = false;
+  if (flags.contains("--no-collapse")) cfg.collapse_equivalent = false;
+  if (flags.contains("--max-batch"))
+    cfg.max_batch = std::stoi(flags.at("--max-batch"));
 
   fault::FaultCampaign campaign(d.netlist, d.stimulus, cfg);
   const auto result = campaign.run_all();
@@ -335,6 +347,12 @@ int cmd_campaign(const std::string& target,
   std::printf("%s\n", ds.summary().c_str());
   std::printf("golden %.3fs, %zu faults in %.3fs\n", result.golden_seconds,
               result.faults.size(), result.fault_seconds);
+  if (result.num_batches > 0)
+    std::printf("frontier: %u simulated faults in %u batches, %llu node "
+                "evals, %llu quiesced fault-cycles\n",
+                result.simulated_faults, result.num_batches,
+                static_cast<unsigned long long>(result.frontier_evals),
+                static_cast<unsigned long long>(result.early_exit_cycles));
   std::printf("%s\n",
               fault::summarize_coverage(result).to_string().c_str());
   if (flags.contains("--report")) {
@@ -836,28 +854,40 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
     cfg.max_faults = std::stoi(flags.at("--faults"));
   if (flags.contains("--serve-every"))
     cfg.serve_every = std::stoi(flags.at("--serve-every"));
+  if (flags.contains("--campaign-every"))
+    cfg.campaign_every = std::stoi(flags.at("--campaign-every"));
   if (flags.contains("--no-shrink")) cfg.shrink = false;
   if (flags.contains("--no-dump")) cfg.dump_netlist = false;
-  // Self-test: plant a wrong-XOR defect in the scalar reference; the run
-  // must FAIL, proving the oracle can catch a broken simulator.
-  if (flags.contains("--self-test")) cfg.scalar_bug = check::ScalarBug::kXorAsOr;
   cfg.scratch_dir =
       (std::filesystem::temp_directory_path() / "fcrit_check").string();
 
-  const auto report = check::run_checks(cfg, &std::cerr);
-  std::printf(
-      "check: %d trials (%d packed-vs-scalar, %d fault-oracle, %d serve)\n",
-      report.trials_run, report.packed_checks, report.fault_checks,
-      report.serve_checks);
+  // Self-test: two phases, each planting one deliberate defect that the
+  // run must CATCH — a wrong-XOR scalar reference (packed-vs-scalar
+  // oracle) and a corrupted batched-campaign verdict (campaign oracle).
   if (flags.contains("--self-test")) {
-    if (report.ok()) {
+    check::CheckConfig scalar_cfg = cfg;
+    scalar_cfg.scalar_bug = check::ScalarBug::kXorAsOr;
+    const auto scalar_report = check::run_checks(scalar_cfg, &std::cerr);
+    check::CheckConfig campaign_cfg = cfg;
+    campaign_cfg.campaign_bug = check::CampaignBug::kMismatchOffByOne;
+    const auto campaign_report = check::run_checks(campaign_cfg, &std::cerr);
+    if (scalar_report.ok() || campaign_report.ok()) {
       std::fprintf(stderr,
-                   "check: SELF-TEST FAILED: planted defect not caught\n");
+                   "check: SELF-TEST FAILED: planted %s defect not caught\n",
+                   scalar_report.ok() ? "scalar" : "campaign");
       return 1;
     }
-    std::printf("check: self-test OK (planted defect caught)\n");
+    std::printf(
+        "check: self-test OK (planted scalar + campaign defects caught)\n");
     return 0;
   }
+
+  const auto report = check::run_checks(cfg, &std::cerr);
+  std::printf(
+      "check: %d trials (%d packed-vs-scalar, %d fault-oracle, %d campaign, "
+      "%d serve)\n",
+      report.trials_run, report.packed_checks, report.fault_checks,
+      report.campaign_checks, report.serve_checks);
   if (!report.ok()) {
     std::fprintf(stderr, "check: FAILED\n");
     return 1;

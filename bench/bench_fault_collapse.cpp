@@ -22,6 +22,11 @@ int main() {
     cfg.cycles = 256;
     cfg.seed = 7;
     cfg.dangerous_cycle_fraction = d.dangerous_cycle_fraction;
+    // This bench measures the explicit collapse_faults/expand_collapsed
+    // transformation, so pin the levelized engine: the default frontier
+    // engine shares collapse-equivalent verdicts internally, which would
+    // hide exactly the reduction being measured here.
+    cfg.engine = fault::FiEngine::kLevelized;
 
     util::Timer t_full;
     fault::FaultCampaign full_campaign(d.netlist, d.stimulus, cfg);

@@ -1,86 +1,201 @@
-// Section 1 motivation — resource savings of the ML flow over exhaustive
-// fault injection.
+// Fault-campaign engine trajectory + Section 1 resource-savings claim.
 //
-// The paper's pitch: run FI on a *subset* of the design, train the GCN,
-// and predict the rest — "mitigating the necessity for conventional fault
-// injection procedures across the entire circuit". This bench quantifies
-// that trade on each design:
-//   * cost of the full FI campaign (every fault site),
-//   * cost of the ML flow (80% FI for labels + training + inference),
-//   * the marginal cost of classifying the held-out 20% by each method
-//     (their FI share vs. one GCN inference), and the accuracy retained.
-// Also reports the cone-restriction speedup of the fault simulator itself.
+// Primary output: BENCH_fi.json, the machine-readable speedup trajectory
+// of the campaign hot path on every built-in design —
+//   naive        full levelized re-simulation, no cone restriction
+//   cone         levelized sweep restricted to the fault's static cone
+//                (the pre-frontier production method, baseline)
+//   frontier     event-driven divergence-frontier resim, one fault per pass
+//   frontier+batch  cone-disjoint fault batching + collapse-equivalence
+//                sharing on top of the frontier engine, at 1/2/4 threads
+// Every leg is verified to produce bit-identical verdicts before its
+// timing is recorded (the `fcrit check` campaign oracle proves the same
+// equivalence on fuzzed circuits).
+//
+// Secondary output (full mode only): the paper's Section 1 pitch — run FI
+// on a subset, train the GCN, predict the rest — quantified per design.
+//
+// --quick: trajectory only, largest design only, shorter campaign; the CI
+// artifact step runs this mode.
+#include <cstring>
+
 #include "bench/bench_common.hpp"
 #include "src/util/text.hpp"
 #include "src/util/timer.hpp"
 
-int main() {
-  using namespace fcrit;
-  bench::print_header("FI cost vs. GCN prediction cost (Section 1 claim)");
-  bench::Recorder rec("fi_speedup");
+namespace {
 
-  core::FaultCriticalityAnalyzer analyzer([] {
-    auto cfg = bench::standard_config();
-    cfg.train_baselines = false;
-    cfg.train_regressor = false;
-    return cfg;
-  }());
+using namespace fcrit;
 
-  core::TextTable table({"Design", "Faults", "Full FI (s)",
-                         "FI for 20% val (s)", "GCN inference (s)",
-                         "Speedup on val", "GCN val acc (%)"});
-  core::TextTable cone({"Design", "Naive fault-sim (s)", "Cone (s)",
-                        "Speedup", "Avg cone size / nodes"});
+struct Leg {
+  std::string label;
+  fault::CampaignConfig config;
+};
 
-  for (const auto& name : designs::design_names()) {
-    auto r = rec.analyze(analyzer, name);
-    const double full_fi = r.fi_seconds;
-    const double val_share =
-        full_fi * static_cast<double>(r.split.val.size()) /
-        static_cast<double>(r.dataset.size());
-    const double speedup =
-        r.inference_seconds > 0 ? val_share / r.inference_seconds : 0.0;
-    table.add_row({name, std::to_string(r.campaign.faults.size()),
-                   util::format_double(full_fi, 3),
-                   util::format_double(val_share, 3),
-                   util::format_double(r.inference_seconds, 4),
-                   util::format_double(speedup, 1) + "x",
-                   util::format_double(100.0 * r.gcn_eval.val_accuracy, 2)});
+/// Verdict fields must agree across every leg (cone_size differs between
+/// naive and cone legs by design, so it is not compared here).
+bool same_verdicts(const fault::CampaignResult& a,
+                   const fault::CampaignResult& b) {
+  if (a.faults.size() != b.faults.size()) return false;
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    const auto& x = a.faults[i];
+    const auto& y = b.faults[i];
+    if (x.fault.node != y.fault.node ||
+        x.fault.stuck_value != y.fault.stuck_value ||
+        x.dangerous_lanes != y.dangerous_lanes ||
+        x.detected_lanes != y.detected_lanes ||
+        x.mismatch_cycles != y.mismatch_cycles ||
+        x.first_detect_cycle != y.first_detect_cycle)
+      return false;
+  }
+  return true;
+}
 
-    // Cone-restriction ablation of the fault simulator itself.
-    fault::CampaignConfig cc;
-    cc.cycles = 128;
-    cc.seed = 7;
-    cc.use_cone_restriction = false;
-    fault::FaultCampaign naive(r.design.netlist, r.design.stimulus, cc);
-    util::Timer t_naive;
-    const auto rn = naive.run_all();
-    const double naive_s = t_naive.seconds();
+}  // namespace
 
-    cc.use_cone_restriction = true;
-    fault::FaultCampaign fast(r.design.netlist, r.design.stimulus, cc);
-    util::Timer t_fast;
-    const auto rf = fast.run_all();
-    const double fast_s = t_fast.seconds();
-    rec.phase(name + "/naive_sim", 1000.0 * naive_s);
-    rec.phase(name + "/cone_sim", 1000.0 * fast_s);
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
 
-    double avg_cone = 0.0;
-    for (const auto& fr : rf.faults) avg_cone += fr.cone_size;
-    avg_cone /= static_cast<double>(rf.faults.size());
-    cone.add_row({name, util::format_double(naive_s, 3),
-                  util::format_double(fast_s, 3),
-                  util::format_double(naive_s / fast_s, 2) + "x",
-                  util::format_double(avg_cone, 0) + " / " +
-                      std::to_string(rn.num_nodes)});
+  bench::print_header(quick ? "FI campaign engine trajectory (quick)"
+                            : "FI campaign engine trajectory + Section 1 "
+                              "resource claim");
+  bench::Recorder rec("fi");
+
+  const int cycles = quick ? 128 : 256;
+
+  // Pick the designs: the paper's evaluation set plus the ee_zonal scale
+  // design, or just the largest of those (by node count) in quick mode.
+  std::vector<designs::Design> targets;
+  auto names = designs::design_names();
+  names.push_back("ee_zonal");
+  for (const auto& name : names)
+    targets.push_back(designs::build_design(name));
+  if (quick) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < targets.size(); ++i)
+      if (targets[i].netlist.num_nodes() > targets[best].netlist.num_nodes())
+        best = i;
+    targets = {std::move(targets[best])};
   }
 
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf("fault-simulator cone restriction ablation\n%s\n",
-              cone.to_string().c_str());
-  std::printf(
-      "reading: once trained, classifying unseen nodes by GCN inference is\n"
-      "orders of magnitude cheaper than fault-injecting them, which is the\n"
-      "resource/time saving the paper's introduction claims.\n");
-  return 0;
+  core::TextTable table({"Design", "Nodes", "Faults", "naive (s)", "cone (s)",
+                         "frontier (s)", "f+batch@1t (s)", "f+batch@4t (s)",
+                         "f+b@4t vs cone", "batches", "early-exit %"});
+
+  bool all_identical = true;
+  for (const auto& design : targets) {
+    fault::CampaignConfig base;
+    base.cycles = cycles;
+    base.seed = 7;
+    base.num_threads = 1;
+
+    std::vector<Leg> legs;
+    {
+      Leg naive{"naive", base};
+      naive.config.engine = fault::FiEngine::kLevelized;
+      naive.config.use_cone_restriction = false;
+      Leg cone{"cone", base};
+      cone.config.engine = fault::FiEngine::kLevelized;
+      Leg frontier{"frontier", base};
+      frontier.config.engine = fault::FiEngine::kFrontier;
+      frontier.config.batch_faults = false;
+      frontier.config.collapse_equivalent = false;
+      legs = {naive, cone, frontier};
+      for (const int threads : {1, 2, 4}) {
+        Leg batched{"frontier+batch@" + std::to_string(threads) + "t", base};
+        batched.config.engine = fault::FiEngine::kFrontier;
+        batched.config.num_threads = threads;
+        legs.push_back(batched);
+      }
+    }
+
+    std::vector<fault::CampaignResult> results;
+    std::vector<double> seconds;
+    for (const Leg& leg : legs) {
+      fault::FaultCampaign campaign(design.netlist, design.stimulus,
+                                    leg.config);
+      const auto r = campaign.run_all();
+      seconds.push_back(r.fault_seconds);
+      const std::string phase =
+          design.name + "/" +
+          (leg.label.find('@') == std::string::npos ? leg.label + "@1t"
+                                                    : leg.label);
+      rec.phase(phase, 1000.0 * r.fault_seconds);
+      results.push_back(std::move(r));
+    }
+
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      if (!same_verdicts(results[0], results[i])) {
+        std::fprintf(stderr,
+                     "bench_fi_speedup: %s leg '%s' diverged from naive!\n",
+                     design.name.c_str(), legs[i].label.c_str());
+        all_identical = false;
+      }
+    }
+
+    const double cone_s = seconds[1];
+    const double batch4_s = seconds.back();
+    const auto& batch4 = results.back();
+    const double total_cycles =
+        static_cast<double>(batch4.simulated_faults) * cycles;
+    table.add_row(
+        {design.name, std::to_string(design.netlist.num_nodes()),
+         std::to_string(batch4.faults.size()),
+         util::format_double(seconds[0], 3), util::format_double(cone_s, 3),
+         util::format_double(seconds[2], 3), util::format_double(seconds[3], 3),
+         util::format_double(batch4_s, 3),
+         util::format_double(batch4_s > 0 ? cone_s / batch4_s : 0.0, 1) + "x",
+         std::to_string(batch4.num_batches),
+         util::format_double(total_cycles > 0
+                                 ? 100.0 * static_cast<double>(
+                                               batch4.early_exit_cycles) /
+                                       total_cycles
+                                 : 0.0,
+                             1)});
+    // The acceptance ratio, machine-readable: cone wall / frontier+batch@4t
+    // wall (a pure number recorded alongside the timing phases).
+    rec.phase(design.name + "/speedup_fb4t_vs_cone",
+              batch4_s > 0 ? cone_s / batch4_s : 0.0);
+  }
+
+  std::printf("\ncampaign engine trajectory (fault_seconds, golden excluded)\n%s\n",
+              table.to_string().c_str());
+  std::printf("verdict equality across all legs: %s\n",
+              all_identical ? "bit-identical" : "DIVERGED");
+
+  if (!quick) {
+    // Section 1 claim: FI on a subset + GCN inference vs. exhaustive FI.
+    core::FaultCriticalityAnalyzer analyzer([] {
+      auto cfg = bench::standard_config();
+      cfg.train_baselines = false;
+      cfg.train_regressor = false;
+      return cfg;
+    }());
+    core::TextTable ml({"Design", "Faults", "Full FI (s)",
+                        "FI for 20% val (s)", "GCN inference (s)",
+                        "Speedup on val", "GCN val acc (%)"});
+    for (const auto& name : designs::design_names()) {
+      auto r = rec.analyze(analyzer, name, name + "/pipeline");
+      const double full_fi = r.fi_seconds;
+      const double val_share =
+          full_fi * static_cast<double>(r.split.val.size()) /
+          static_cast<double>(r.dataset.size());
+      const double speedup =
+          r.inference_seconds > 0 ? val_share / r.inference_seconds : 0.0;
+      ml.add_row({name, std::to_string(r.campaign.faults.size()),
+                  util::format_double(full_fi, 3),
+                  util::format_double(val_share, 3),
+                  util::format_double(r.inference_seconds, 4),
+                  util::format_double(speedup, 1) + "x",
+                  util::format_double(100.0 * r.gcn_eval.val_accuracy, 2)});
+    }
+    std::printf("\n%s\n", ml.to_string().c_str());
+    std::printf(
+        "reading: once trained, classifying unseen nodes by GCN inference is\n"
+        "orders of magnitude cheaper than fault-injecting them, which is the\n"
+        "resource/time saving the paper's introduction claims.\n");
+  }
+  return all_identical ? 0 : 1;
 }

@@ -128,7 +128,8 @@ std::string compare_fault_results(const netlist::Netlist& nl,
                                   const fault::Fault& f,
                                   const fault::FaultResult& a,
                                   const fault::FaultResult& b,
-                                  const char* a_name, const char* b_name) {
+                                  const char* a_name, const char* b_name,
+                                  const char* oracle = "fault-oracle") {
   std::ostringstream os;
   os << std::hex;
   if (a.dangerous_lanes != b.dangerous_lanes)
@@ -146,7 +147,7 @@ std::string compare_fault_results(const netlist::Netlist& nl,
        << " " << b_name << "=" << b.first_detect_cycle << "; ";
   std::string detail = os.str();
   if (detail.empty()) return {};
-  return "fault-oracle: " + fault_name(nl, f) + ": " + detail;
+  return std::string(oracle) + ": " + fault_name(nl, f) + ": " + detail;
 }
 
 }  // namespace
@@ -189,6 +190,101 @@ std::string diff_fault_oracles(const designs::Design& design,
     if (rc.cone_size > rn.cone_size)
       return "fault-oracle: " + fault_name(nl, f) +
              ": cone_size exceeds naive re-simulation size";
+  }
+  return {};
+}
+
+std::string diff_campaign_equivalence(const designs::Design& design,
+                                      const fault::CampaignConfig& config,
+                                      int max_faults, CampaignBug bug) {
+  const netlist::Netlist& nl = design.netlist;
+
+  // Reference leg: the levelized cone sweep, single-threaded. Its campaign
+  // object doubles as the golden-trace holder for the injected replay.
+  fault::CampaignConfig ref_cfg = config;
+  ref_cfg.engine = fault::FiEngine::kLevelized;
+  ref_cfg.use_cone_restriction = true;
+  ref_cfg.num_threads = 1;
+  fault::FaultCampaign ref_campaign(nl, design.stimulus, ref_cfg);
+  const fault::CampaignResult ref = ref_campaign.run_all();
+  if (ref.faults.empty()) return {};
+
+  struct Leg {
+    std::string name;
+    fault::CampaignConfig cfg;
+  };
+  std::vector<Leg> legs;
+  {
+    fault::CampaignConfig fc = config;
+    fc.engine = fault::FiEngine::kFrontier;
+    fc.batch_faults = false;
+    fc.collapse_equivalent = false;
+    fc.num_threads = 1;
+    legs.push_back({"frontier", fc});
+    for (const int threads : {1, 2, 4}) {
+      fault::CampaignConfig bc = config;
+      bc.engine = fault::FiEngine::kFrontier;
+      bc.batch_faults = true;
+      bc.collapse_equivalent = true;
+      bc.num_threads = threads;
+      legs.push_back({"f+batch@" + std::to_string(threads) + "t", bc});
+    }
+  }
+
+  for (const Leg& leg : legs) {
+    fault::FaultCampaign campaign(nl, design.stimulus, leg.cfg);
+    fault::CampaignResult r = campaign.run_all();
+
+    // Planted defects corrupt exactly one leg (the batched 2-thread one)
+    // so the self-test proves the comparison below has teeth.
+    if (leg.name == "f+batch@2t" && bug != CampaignBug::kNone &&
+        !r.faults.empty()) {
+      if (bug == CampaignBug::kMismatchOffByOne) {
+        r.faults.front().mismatch_cycles += 1;
+      } else if (bug == CampaignBug::kDropDetection) {
+        for (auto& fr : r.faults)
+          if (fr.detected_lanes) {
+            fr.detected_lanes = 0;
+            break;
+          }
+      }
+    }
+
+    if (r.faults.size() != ref.faults.size())
+      return "campaign-oracle: leg '" + leg.name + "' returned " +
+             std::to_string(r.faults.size()) + " verdicts, reference " +
+             std::to_string(ref.faults.size());
+    for (std::size_t i = 0; i < ref.faults.size(); ++i) {
+      const fault::FaultResult& a = ref.faults[i];
+      const fault::FaultResult& b = r.faults[i];
+      if (a.fault.node != b.fault.node ||
+          a.fault.stuck_value != b.fault.stuck_value)
+        return "campaign-oracle: leg '" + leg.name +
+               "' reordered the fault universe at index " +
+               std::to_string(i);
+      if (auto msg = compare_fault_results(nl, a.fault, a, b, "cone",
+                                           leg.name.c_str(),
+                                           "campaign-oracle");
+          !msg.empty())
+        return msg;
+    }
+  }
+
+  // Engine-independent replay: serial fault injection through
+  // PackedSimulator::inject on a deterministic strided subset.
+  const std::size_t stride =
+      max_faults > 0
+          ? std::max<std::size_t>(
+                1, ref.faults.size() / static_cast<std::size_t>(max_faults))
+          : 1;
+  for (std::size_t i = 0; i < ref.faults.size(); i += stride) {
+    const fault::FaultResult& a = ref.faults[i];
+    const fault::FaultResult ri =
+        injected_fault_result(design, ref_cfg, ref_campaign, a.fault);
+    if (auto msg = compare_fault_results(nl, a.fault, a, ri, "cone",
+                                         "injected", "campaign-oracle");
+        !msg.empty())
+      return msg;
   }
   return {};
 }

@@ -1,4 +1,4 @@
-// The three differential oracles of the correctness harness.
+// The four differential oracles of the correctness harness.
 //
 // Each check cross-examines a hand-optimized production path against an
 // independent (slower, simpler) reference on the same design and returns a
@@ -13,6 +13,11 @@
 //                             (use_cone_restriction=false)  vs  serial
 //                             fault injection through
 //                             PackedSimulator::inject
+//   diff_campaign_equivalence frontier+batched campaign (1/2/4 threads)
+//                             vs  unbatched frontier  vs  levelized cone
+//                             reference, whole-universe run_all verdicts,
+//                             plus serial PackedSimulator::inject replay
+//                             on a strided fault subset
 //   diff_serve_vs_pipeline    serve::ScoringEngine (cache + worker pool)
 //                             vs  direct in-process scoring of the same
 //                             bundle artifact
@@ -46,6 +51,29 @@ std::string diff_packed_vs_scalar(const designs::Design& design, int cycles,
 std::string diff_fault_oracles(const designs::Design& design,
                                const fault::CampaignConfig& config,
                                int max_faults);
+
+/// Deliberate defects planted in one campaign leg so tests (and the CLI
+/// `--self-test`) can prove the campaign oracle is able to fail. kNone
+/// for real checking.
+enum class CampaignBug {
+  kNone = 0,
+  /// Bump fault 0's mismatch_cycles in the batched @2t leg by one.
+  kMismatchOffByOne,
+  /// Clear detected_lanes on the first detected fault of that leg.
+  kDropDetection,
+};
+
+/// Run the full stuck-at campaign (run_all) through every engine leg —
+/// levelized cone (the reference), unbatched frontier, and
+/// frontier+batch+collapse at 1, 2 and 4 threads — and require
+/// byte-identical dangerous_lanes / detected_lanes / mismatch_cycles /
+/// first_detect_cycle for every fault. Additionally replays up to
+/// `max_faults` faults (strided across the universe) through serial
+/// PackedSimulator::inject as an engine-independent reference.
+std::string diff_campaign_equivalence(const designs::Design& design,
+                                      const fault::CampaignConfig& config,
+                                      int max_faults,
+                                      CampaignBug bug = CampaignBug::kNone);
 
 /// Pack a deterministic (untrained) model bundle for the design into
 /// `scratch_dir`, score it through a multi-threaded ScoringEngine — twice

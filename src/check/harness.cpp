@@ -33,6 +33,9 @@ std::string run_oracle(const std::string& oracle,
   if (oracle == "fault")
     return diff_fault_oracles(design, fault_config(cycles, seed),
                               config.max_faults);
+  if (oracle == "campaign")
+    return diff_campaign_equivalence(design, fault_config(cycles, seed),
+                                     config.max_faults, config.campaign_bug);
   return diff_serve_vs_pipeline(design, config.scratch_dir, seed);
 }
 
@@ -140,6 +143,14 @@ CheckReport run_checks(const CheckConfig& config, std::ostream* log) {
       d.message =
           run_oracle(d.oracle, circuit, config.cycles, trial_seed, config);
       ++report.fault_checks;
+    }
+
+    if (d.message.empty() && config.campaign_every > 0 &&
+        trial % config.campaign_every == 0) {
+      d.oracle = "campaign";
+      d.message =
+          run_oracle(d.oracle, circuit, config.cycles, trial_seed, config);
+      ++report.campaign_checks;
     }
 
     if (d.message.empty() && config.serve_every > 0 &&

@@ -1,6 +1,6 @@
 // Randomized differential-oracle harness.
 //
-// run_checks() fuzzes the three oracles of src/check/differential.hpp over
+// run_checks() fuzzes the four oracles of src/check/differential.hpp over
 // random sequential circuits (designs::build_random_circuit). Every trial
 // derives its own seed from CheckConfig::seed via SplitMix64, so a failure
 // report pins down a single reproducible (seed, circuit config, cycles)
@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/differential.hpp"
 #include "src/check/scalar_sim.hpp"
 #include "src/designs/random_circuit.hpp"
 
@@ -47,16 +48,24 @@ struct CheckConfig {
   bool shrink = true;        // minimize failing circuits before reporting
   bool dump_netlist = true;  // attach a Verilog dump to divergences
 
+  /// Run the campaign-equivalence oracle (five run_all legs per trial, so
+  /// the second-slowest oracle) on every k-th trial. 0 disables it.
+  int campaign_every = 1;
+
   /// Plants a deliberate defect in the scalar reference so tests can prove
   /// the harness is able to fail. kNone for real checking.
   ScalarBug scalar_bug = ScalarBug::kNone;
+
+  /// Plants a deliberate verdict corruption in one leg of the campaign
+  /// oracle (see CampaignBug). kNone for real checking.
+  CampaignBug campaign_bug = CampaignBug::kNone;
 };
 
 /// One reproducible failure: re-running the named oracle on
 /// build_random_circuit(circuit) with `seed` and `cycles` diverges again.
 struct Divergence {
   int trial = -1;
-  std::string oracle;  // "packed-vs-scalar" | "fault" | "serve"
+  std::string oracle;  // "packed-vs-scalar" | "fault" | "campaign" | "serve"
   std::string message;
   std::uint64_t seed = 0;
   designs::RandomCircuitConfig circuit;
@@ -72,6 +81,7 @@ struct CheckReport {
   int trials_run = 0;
   int packed_checks = 0;
   int fault_checks = 0;
+  int campaign_checks = 0;
   int serve_checks = 0;
   std::vector<Divergence> divergences;
 

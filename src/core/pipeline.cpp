@@ -80,6 +80,10 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
     cc.dangerous_cycle_fraction = config_.dangerous_cycle_fraction >= 0
                                       ? config_.dangerous_cycle_fraction
                                       : r.design.dangerous_cycle_fraction;
+    cc.engine = config_.campaign_engine;
+    cc.batch_faults = config_.campaign_batch_faults;
+    cc.collapse_equivalent = config_.campaign_collapse_equivalent;
+    cc.num_threads = config_.campaign_threads;
     const int batches = std::max(1, config_.workload_batches);
     for (int b = 0; b < batches; ++b) {
       cc.seed = config_.campaign_seed + 7919ULL * static_cast<std::uint64_t>(b);

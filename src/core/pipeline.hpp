@@ -41,6 +41,16 @@ struct PipelineConfig {
   int workload_batches = 1;
   /// Overrides the design's dangerous_cycle_fraction when >= 0.
   double dangerous_cycle_fraction = -1.0;
+  /// Campaign engine knobs, passed straight through to CampaignConfig:
+  /// event-driven frontier resim with cone-disjoint fault batching and
+  /// collapse-equivalence sharing by default (bit-identical to the
+  /// levelized sweep at any thread count — the `fcrit check` campaign
+  /// oracle holds that line).
+  fault::FiEngine campaign_engine = fault::FiEngine::kFrontier;
+  bool campaign_batch_faults = true;
+  bool campaign_collapse_equivalent = true;
+  /// Worker threads for the campaign shards (-1 = inherit process pool).
+  int campaign_threads = -1;
 
   // Algorithm 1 threshold.
   double criticality_threshold = 0.5;

@@ -40,6 +40,11 @@ Design build_or1200_icfsm();
 /// experiments): the OR1200 program-counter generator.
 Design build_or1200_genpc();
 
+/// Scale design: a four-zone automotive E/E integration fabric (zone ECUs
+/// with frame pipelines and watchdogs behind a zonal gateway). The largest
+/// built-in netlist — the fault-campaign benchmark's stress target.
+Design build_ee_zonal();
+
 /// The paper's three evaluation designs, in evaluation order.
 std::vector<std::string> design_names();
 

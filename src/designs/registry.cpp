@@ -11,6 +11,7 @@ std::vector<std::string> design_names() {
 std::vector<std::string> all_design_names() {
   auto names = design_names();
   names.push_back("or1200_genpc");
+  names.push_back("ee_zonal");
   return names;
 }
 
@@ -19,6 +20,7 @@ Design build_design(const std::string& name) {
   if (name == "or1200_if") return build_or1200_if();
   if (name == "or1200_icfsm") return build_or1200_icfsm();
   if (name == "or1200_genpc") return build_or1200_genpc();
+  if (name == "ee_zonal") return build_ee_zonal();
   throw std::runtime_error("build_design: unknown design '" + name + "'");
 }
 

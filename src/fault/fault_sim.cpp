@@ -3,16 +3,113 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
+#include <cstring>
 #include <stdexcept>
-#include <thread>
+#include <unordered_map>
 
+#include "src/fault/collapse.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/packed_sim.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
 namespace fcrit::fault {
 
 using netlist::CellKind;
 using netlist::NodeId;
+
+namespace {
+
+constexpr std::uint32_t kNoOwner = 0xFFFFFFFFu;
+
+/// Exact cone occupancy bitset: one bit per netlist node. Disjointness
+/// tests are exact — a hashed signature saturates as soon as cones reach
+/// a few hundred nodes and would serialize faults that are in fact
+/// independent (e.g. different zones of a zonal fabric). Planning runs
+/// once per campaign and sites share cached signatures, so the word-wise
+/// scan is cheap relative to simulation.
+using ConeSig = std::vector<std::uint64_t>;
+
+bool sig_disjoint(const ConeSig& a, const ConeSig& b) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] & b[i];
+  return acc == 0;
+}
+
+void sig_merge(ConeSig& a, const ConeSig& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] |= b[i];
+}
+
+bool is_source_kind(CellKind k) {
+  return k == CellKind::kInput || k == CellKind::kConst0 ||
+         k == CellKind::kConst1;
+}
+
+std::uint64_t fault_key(const Fault& f) {
+  return (static_cast<std::uint64_t>(f.node) << 1) | (f.stuck_value ? 1 : 0);
+}
+
+/// Inlined twin of netlist::eval_packed for the frontier hot loop (the
+/// library version is an out-of-line call, which costs more than the
+/// evaluation itself at frontier eval rates). Semantics must match
+/// src/netlist/cell_library.cpp exactly; the differential tests compare
+/// the engines node-for-node, so any drift trips them immediately.
+inline std::uint64_t eval_cell(CellKind kind, const std::uint64_t* ins) {
+  switch (kind) {
+    case CellKind::kBuf: return ins[0];
+    case CellKind::kInv: return ~ins[0];
+    case CellKind::kAnd2: return ins[0] & ins[1];
+    case CellKind::kAnd3: return ins[0] & ins[1] & ins[2];
+    case CellKind::kAnd4: return ins[0] & ins[1] & ins[2] & ins[3];
+    case CellKind::kNand2: return ~(ins[0] & ins[1]);
+    case CellKind::kNand3: return ~(ins[0] & ins[1] & ins[2]);
+    case CellKind::kNand4: return ~(ins[0] & ins[1] & ins[2] & ins[3]);
+    case CellKind::kOr2: return ins[0] | ins[1];
+    case CellKind::kOr3: return ins[0] | ins[1] | ins[2];
+    case CellKind::kOr4: return ins[0] | ins[1] | ins[2] | ins[3];
+    case CellKind::kNor2: return ~(ins[0] | ins[1]);
+    case CellKind::kNor3: return ~(ins[0] | ins[1] | ins[2]);
+    case CellKind::kNor4: return ~(ins[0] | ins[1] | ins[2] | ins[3]);
+    case CellKind::kXor2: return ins[0] ^ ins[1];
+    case CellKind::kXnor2: return ~(ins[0] ^ ins[1]);
+    case CellKind::kAoi21: return ~((ins[0] & ins[1]) | ins[2]);
+    case CellKind::kAoi22: return ~((ins[0] & ins[1]) | (ins[2] & ins[3]));
+    case CellKind::kOai21: return ~((ins[0] | ins[1]) & ins[2]);
+    case CellKind::kOai22: return ~((ins[0] | ins[1]) & (ins[2] | ins[3]));
+    case CellKind::kMux2: return (ins[0] & ~ins[2]) | (ins[1] & ins[2]);
+    default:
+      // Sources and DFFs never enter the combinational worklist.
+      throw std::logic_error("frontier eval: non-evaluable cell kind");
+  }
+}
+
+/// Shard [0, items) over the lane count CampaignConfig::num_threads
+/// resolves to: -1 = the process pool (--jobs / FCRIT_THREADS), otherwise
+/// a private pool of exactly that many lanes (0 = hardware concurrency)
+/// so an explicit request never reconfigures global state.
+void shard(int num_threads, std::int64_t items, const util::ChunkFn& body) {
+  if (items <= 0) return;
+  if (num_threads < 0) {
+    util::parallel_for(0, items, 1, body);
+  } else {
+    util::ThreadPool pool(num_threads);
+    pool.parallel_for(0, items, 1, body);
+  }
+}
+
+}  // namespace
+
+int CampaignConfig::min_mismatch_cycles() const {
+  // ceil(fraction * cycles) with a 1e-9 tolerance: the threshold is the
+  // smallest cycle count whose fraction of the campaign reaches the
+  // configured value, and exact products (0.25 * 256) must not be bumped
+  // to the next integer by FP representation noise.
+  const int k =
+      static_cast<int>(std::ceil(dangerous_cycle_fraction * cycles - 1e-9));
+  return k < 1 ? 1 : k;
+}
 
 int FaultResult::dangerous_count() const {
   return std::popcount(dangerous_lanes);
@@ -32,6 +129,51 @@ FaultCampaign::FaultCampaign(const netlist::Netlist& nl,
       num_nodes_(nl.num_nodes()) {
   if (config_.cycles <= 0)
     throw std::runtime_error("FaultCampaign: cycles must be positive");
+  is_po_driver_.assign(num_nodes_, 0);
+  for (const auto& port : nl.outputs()) is_po_driver_[port.driver] = 1;
+  build_frontier_graph();
+}
+
+void FaultCampaign::build_frontier_graph() {
+  const std::size_t n = num_nodes_;
+  FrontierGraph& g = fgraph_;
+  g.kind.resize(n);
+  g.fanin_count.resize(n);
+  g.fanin.assign(n * netlist::kMaxFanins, 0);
+  g.comb_off.assign(n + 1, 0);
+  g.flop_off.assign(n + 1, 0);
+  // Count edges per producer (offset slot id + 1, so the prefix sum lands
+  // the counts in place), splitting DFF consumers from combinational ones.
+  for (NodeId id = 0; id < n; ++id) {
+    const netlist::Node& node = nl_->node(id);
+    g.kind[id] = static_cast<std::uint8_t>(node.kind);
+    g.fanin_count[id] = node.fanin_count;
+    auto& off = node.kind == CellKind::kDff ? g.flop_off : g.comb_off;
+    for (std::size_t j = 0; j < node.fanin_count; ++j) {
+      g.fanin[id * netlist::kMaxFanins + j] = node.fanin[j];
+      ++off[node.fanin[j] + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.comb_off[i + 1] += g.comb_off[i];
+    g.flop_off[i + 1] += g.flop_off[i];
+  }
+  g.comb_edge.resize(g.comb_off[n]);
+  g.flop_edge.resize(g.flop_off[n]);
+  std::vector<std::uint32_t> ccur(g.comb_off.begin(), g.comb_off.end() - 1);
+  std::vector<std::uint32_t> fcur(g.flop_off.begin(), g.flop_off.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    const netlist::Node& node = nl_->node(id);
+    if (node.kind == CellKind::kDff) {
+      for (std::size_t j = 0; j < node.fanin_count; ++j)
+        g.flop_edge[fcur[node.fanin[j]]++] = id;
+    } else {
+      const std::uint64_t entry =
+          (static_cast<std::uint64_t>(lev_.level[id]) << 32) | id;
+      for (std::size_t j = 0; j < node.fanin_count; ++j)
+        g.comb_edge[ccur[node.fanin[j]]++] = entry;
+    }
+  }
 }
 
 void FaultCampaign::run_golden() {
@@ -46,7 +188,8 @@ void FaultCampaign::run_golden() {
     simulator.eval_comb(words);
     std::uint64_t* row = trace_.data() +
                          static_cast<std::size_t>(t) * num_nodes_;
-    for (NodeId id = 0; id < num_nodes_; ++id) row[id] = simulator.value(id);
+    std::memcpy(row, simulator.values().data(),
+                num_nodes_ * sizeof(std::uint64_t));
     simulator.clock();
   }
   golden_ready_ = true;
@@ -69,6 +212,12 @@ std::vector<NodeId> FaultCampaign::transitive_fanout(NodeId src) const {
 }
 
 FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
+  if (config_.engine == FiEngine::kLevelized)
+    return simulate_fault_levelized(fault);
+  return simulate_batch(std::span(&fault, 1))[0];
+}
+
+FaultResult FaultCampaign::simulate_fault_levelized(const Fault& fault) const {
   if (!golden_ready_)
     throw std::runtime_error("simulate_fault: golden trace not recorded");
 
@@ -87,10 +236,7 @@ FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
   // in naive mode the evaluation loop must read their stimulus from the
   // golden trace rather than the (zero-initialized) faulty value array.
   for (NodeId id = 0; id < num_nodes_; ++id) {
-    const CellKind k = nl_->kind(id);
-    if (k == CellKind::kInput || k == CellKind::kConst0 ||
-        k == CellKind::kConst1)
-      in_cone[id] = 0;
+    if (is_source_kind(nl_->kind(id))) in_cone[id] = 0;
   }
 
   // Cone slices in evaluation order.
@@ -109,8 +255,7 @@ FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
   const std::uint64_t fault_word = fault.stuck_value ? ~0ULL : 0;
   const CellKind fault_kind = nl_->kind(fault.node);
   const bool fault_on_source =
-      fault_kind == CellKind::kInput || fault_kind == CellKind::kConst0 ||
-      fault_kind == CellKind::kConst1 || fault_kind == CellKind::kDff;
+      is_source_kind(fault_kind) || fault_kind == CellKind::kDff;
 
   std::vector<std::uint64_t> val(num_nodes_, 0);  // cone values only
   // uint32: a uint16 counter wraps at 65536 cycles and can flip a Dangerous
@@ -176,6 +321,518 @@ FaultResult FaultCampaign::simulate_fault(const Fault& fault) const {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven frontier engine.
+// ---------------------------------------------------------------------------
+
+/// Per-worker frontier state. All per-node arrays are epoch-stamped (one
+/// epoch per simulated cycle, one batch epoch per packed pass), so reusing
+/// the scratch across batches never requires an O(num_nodes) clear.
+struct FaultCampaign::FrontierScratch {
+  /// A flip-flop whose state diverged on the last clock edge, with the
+  /// faulty state word and the batch-local fault that owns the divergence.
+  struct DivFlop {
+    netlist::NodeId ff;
+    std::uint32_t owner;
+    std::uint64_t value;
+  };
+
+  /// Divergence record per node, packed so one cache line carries both the
+  /// "is it divergent this cycle" answer and the faulty word: `tag` is
+  /// (owner << kOwnerShift) | epoch, `val` the divergent value.
+  struct DivState {
+    std::uint64_t tag;
+    std::uint64_t val;
+  };
+  static constexpr int kOwnerShift = 48;
+  static constexpr std::uint64_t kEpochMask = (1ULL << kOwnerShift) - 1;
+
+  std::vector<DivState> div;               // divergence tag + faulty word
+  std::vector<std::uint64_t> queue_epoch;  // node queued this cycle
+  std::vector<std::uint64_t> site_epoch;   // node is a forced site this pass
+  std::vector<std::vector<netlist::NodeId>> buckets;  // worklist per level
+  std::vector<netlist::NodeId> divergent_pos;  // PO drivers marked this cycle
+  std::vector<netlist::NodeId> captures;       // flops capturing divergence
+  std::vector<DivFlop> div_ffs, next_div_ffs;
+  std::vector<std::uint32_t> lane_cycles;  // k * kLanes mismatch counters
+  std::vector<std::uint64_t> site_sched;   // k per-site divergence bitmasks
+  std::uint64_t epoch = 0;
+  std::uint64_t batch_epoch = 0;
+  std::uint64_t evals = 0;        // nodes re-evaluated (fi.frontier_nodes)
+  std::uint64_t early_exits = 0;  // quiesced fault-cycles (fi.early_exits)
+
+  void ensure(std::size_t n, int max_level) {
+    if (div.size() != n) {
+      div.assign(n, DivState{0, 0});
+      queue_epoch.assign(n, 0);
+      site_epoch.assign(n, 0);
+      epoch = 0;
+      batch_epoch = 0;
+    }
+    if (static_cast<int>(buckets.size()) < max_level + 1)
+      buckets.resize(static_cast<std::size_t>(max_level) + 1);
+  }
+};
+
+void FaultCampaign::run_frontier_pass(std::span<const Fault> batch,
+                                      FrontierScratch& s,
+                                      FaultResult* out) const {
+  const std::size_t k = batch.size();
+  s.ensure(num_nodes_, lev_.max_level);
+  const std::uint64_t bep = ++s.batch_epoch;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = FaultResult{};
+    out[i].fault = batch[i];
+    s.site_epoch[batch[i].node] = bep;
+  }
+  s.lane_cycles.assign(k * static_cast<std::size_t>(sim::kLanes), 0);
+
+  // Per-site divergence schedule, one strided sweep over the golden trace
+  // per site up front: bit t of row i says fault i's stuck word differs
+  // from golden on cycle t. Quiet cycles are then decided from these
+  // bitmasks (plus the carried flop state) without touching the trace,
+  // which is what makes a mostly-quiescent batch nearly free to simulate.
+  const std::size_t sched_words =
+      (static_cast<std::size_t>(config_.cycles) + 63) / 64;
+  s.site_sched.assign(k * sched_words, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId site = batch[i].node;
+    const std::uint64_t w = batch[i].stuck_value ? ~0ULL : 0;
+    std::uint64_t* row = s.site_sched.data() + i * sched_words;
+    for (int t = 0; t < config_.cycles; ++t)
+      if (trace_[static_cast<std::size_t>(t) * num_nodes_ + site] != w)
+        row[static_cast<std::size_t>(t) >> 6] |= 1ULL << (t & 63);
+  }
+
+  std::array<std::uint64_t, netlist::kMaxFanins> ins{};
+
+  // Hot-loop state as raw pointers: the pass must never touch the
+  // string-bearing Node structs or the shared fanout cache (FrontierGraph
+  // is the SoA shadow built once per campaign).
+  const FrontierGraph& g = fgraph_;
+  const std::uint8_t* kind = g.kind.data();
+  const std::uint8_t* fanin_count = g.fanin_count.data();
+  const std::uint32_t* fanin = g.fanin.data();
+  const std::uint32_t* comb_off = g.comb_off.data();
+  const std::uint64_t* comb_edge = g.comb_edge.data();
+  const std::uint32_t* flop_off = g.flop_off.data();
+  const std::uint32_t* flop_edge = g.flop_edge.data();
+  const std::uint8_t* is_po = is_po_driver_.data();
+  FrontierScratch::DivState* div = s.div.data();
+  std::uint64_t* queue_epoch = s.queue_epoch.data();
+  const std::uint64_t* site_epoch = s.site_epoch.data();
+  constexpr int kOwnerShift = FrontierScratch::kOwnerShift;
+  constexpr std::uint64_t kEpochMask = FrontierScratch::kEpochMask;
+  std::uint64_t evals = 0;
+
+  const std::uint64_t* site_sched = s.site_sched.data();
+
+  // Batch members have pairwise disjoint cones and never interact, so the
+  // pass walks them member-major: each member's divergence records,
+  // golden-trace lines, and worklist buckets stay hot across its whole
+  // schedule, and each member skips its own quiet cycles independently
+  // (interleaving scattered cone regions cycle-major measurably defeats
+  // the golden-trace stream prefetcher). The members still share the
+  // pass's schedule prepass, scratch state, and shard slot.
+  for (std::size_t mi = 0; mi < k; ++mi) {
+    const NodeId site = batch[mi].node;
+    const std::uint64_t stuck = batch[mi].stuck_value ? ~0ULL : 0;
+    const std::uint64_t* sched = site_sched + mi * sched_words;
+    const std::uint32_t owner = static_cast<std::uint32_t>(mi);
+    s.div_ffs.clear();
+
+    for (int t = 0; t < config_.cycles; ++t) {
+      const std::size_t tw = static_cast<std::size_t>(t) >> 6;
+      const std::uint64_t tb = 1ULL << (t & 63);
+      if (!(sched[tw] & tb) && s.div_ffs.empty()) {
+        // The fault is indistinguishable from golden this cycle, and no
+        // divergent state survives from the previous one.
+        ++s.early_exits;
+        continue;
+      }
+      const std::uint64_t* golden_row =
+          trace_.data() + static_cast<std::size_t>(t) * num_nodes_;
+      const std::uint64_t ep = ++s.epoch & kEpochMask;
+      int min_lvl = lev_.max_level + 1;
+      int max_lvl = -1;
+      s.divergent_pos.clear();
+      s.captures.clear();
+
+      // Record a node's divergence from golden and schedule its fanout:
+      // combinational consumers join the level-ordered worklist, flip-flops
+      // capture the divergent D on this cycle's clock edge (unless the flop
+      // itself is a forced fault site).
+      auto mark_divergent = [&](NodeId n, std::uint64_t v, std::uint32_t own) {
+        div[n].tag = (static_cast<std::uint64_t>(own) << kOwnerShift) | ep;
+        div[n].val = v;
+        if (is_po[n]) s.divergent_pos.push_back(n);
+        for (std::uint32_t e = comb_off[n]; e < comb_off[n + 1]; ++e) {
+          const std::uint64_t entry = comb_edge[e];
+          const NodeId c = static_cast<NodeId>(entry);
+          if (queue_epoch[c] == ep) continue;
+          queue_epoch[c] = ep;
+          const int lvl = static_cast<int>(entry >> 32);
+          s.buckets[static_cast<std::size_t>(lvl)].push_back(c);
+          if (lvl < min_lvl) min_lvl = lvl;
+          if (lvl > max_lvl) max_lvl = lvl;
+        }
+        for (std::uint32_t e = flop_off[n]; e < flop_off[n + 1]; ++e) {
+          const NodeId c = flop_edge[e];
+          if (site_epoch[c] != bep) s.captures.push_back(c);
+        }
+      };
+
+      // Seed the frontier. The forced site first pre-claims its worklist
+      // slot — a site's value never depends on its fanins, so even when
+      // its own divergence wraps around through flip-flop state it must
+      // not be re-evaluated — then the site (when the schedule says its
+      // stuck word differs from golden this cycle) and flip-flops whose
+      // state diverged on the previous clock edge (DFFs never appear in
+      // the combinational CSR, so they are never queued).
+      queue_epoch[site] = ep;
+      if (sched[tw] & tb) mark_divergent(site, stuck, owner);
+      for (const auto& df : s.div_ffs)
+        mark_divergent(df.ff, df.value, df.owner);
+
+      // Drain the worklist in ascending level order; marking a node only
+      // ever queues strictly deeper levels, so one sweep settles the cycle
+      // and every queued node is evaluated exactly once (queue_epoch dedups
+      // at push time).
+      for (int lvl = min_lvl; lvl <= max_lvl; ++lvl) {
+        auto& bucket = s.buckets[static_cast<std::size_t>(lvl)];
+        for (const NodeId n : bucket) {
+          ++evals;
+          const std::uint32_t* fi =
+              fanin + static_cast<std::size_t>(n) * netlist::kMaxFanins;
+          const std::size_t fc = fanin_count[n];
+          // Branchless gather: whether a fanin is divergent this cycle is
+          // data-dependent and unpredictable, so a select beats a branch
+          // here by a wide margin. Owner attribution rides along the same
+          // mask (within one member's walk every divergent fanin carries
+          // this member's owner tag).
+          std::uint64_t own = ~0ULL;
+          for (std::size_t j = 0; j < fc; ++j) {
+            const NodeId f = fi[j];
+            const std::uint64_t tag = div[f].tag;
+            const std::uint64_t m =
+                static_cast<std::uint64_t>(0) -
+                static_cast<std::uint64_t>((tag & kEpochMask) == ep);
+            ins[j] = (div[f].val & m) | (golden_row[f] & ~m);
+            own = (own & ~m) | ((tag >> kOwnerShift) & m);
+          }
+          const std::uint64_t v =
+              eval_cell(static_cast<CellKind>(kind[n]), ins.data());
+          if (v != golden_row[n])
+            mark_divergent(n, v, static_cast<std::uint32_t>(own));
+        }
+        bucket.clear();
+      }
+
+      // Accumulate this fault's primary-output mismatches (the OR over its
+      // divergent PO drivers — same aggregation as the levelized sweep's
+      // any_mismatch).
+      if (!s.divergent_pos.empty()) {
+        std::uint64_t m = 0;
+        for (const NodeId p : s.divergent_pos)
+          m |= div[p].val ^ golden_row[p];
+        if (m) {
+          FaultResult& r = out[mi];
+          if (r.first_detect_cycle < 0)
+            r.first_detect_cycle = static_cast<std::int32_t>(t);
+          r.detected_lanes |= m;
+          r.mismatch_cycles += static_cast<std::uint32_t>(std::popcount(m));
+          std::uint64_t mm = m;
+          std::uint32_t* lanes =
+              s.lane_cycles.data() + mi * static_cast<std::size_t>(sim::kLanes);
+          while (mm) {
+            ++lanes[std::countr_zero(mm)];
+            mm &= mm - 1;
+          }
+        }
+      }
+
+      // Clock edge: flops whose D diverged carry the divergence into the
+      // next cycle; every other flop matches golden and simply drops out.
+      s.next_div_ffs.clear();
+      for (const NodeId ff : s.captures) {
+        const NodeId d =
+            fanin[static_cast<std::size_t>(ff) * netlist::kMaxFanins];
+        s.next_div_ffs.push_back(
+            {ff, static_cast<std::uint32_t>(div[d].tag >> kOwnerShift),
+             div[d].val});
+      }
+      s.div_ffs.swap(s.next_div_ffs);
+    }
+  }
+  s.evals += evals;
+
+  const auto threshold =
+      static_cast<std::uint32_t>(config_.min_mismatch_cycles());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t* lanes =
+        s.lane_cycles.data() + i * static_cast<std::size_t>(sim::kLanes);
+    for (int lane = 0; lane < sim::kLanes; ++lane) {
+      if (lanes[lane] >= threshold)
+        out[i].dangerous_lanes |= (1ULL << lane);
+    }
+  }
+}
+
+BatchPlan FaultCampaign::plan_batches(std::span<const Fault> faults) const {
+  BatchPlan plan;
+  const std::size_t n = faults.size();
+  plan.sim_as.resize(n);
+  plan.cone_size.resize(n);
+  if (n == 0) return plan;
+
+  // Collapse-equivalence sharing: map every fault onto the first input
+  // occurrence of its class representative when one is present (the
+  // BUF/INV chain rule makes their PO corruption — and so every verdict
+  // field — identical; cone_size stays the member's own).
+  CollapsedFaults collapsed;
+  if (config_.collapse_equivalent) collapsed = collapse_faults(*nl_);
+  std::unordered_map<std::uint64_t, std::uint32_t> first_index;
+  first_index.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i)
+    first_index.emplace(fault_key(faults[i]), static_cast<std::uint32_t>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    Fault rep = faults[i];
+    if (config_.collapse_equivalent) {
+      const Fault& r = collapsed.representative(faults[i]);
+      if (r.node != netlist::kNoNode) rep = r;
+    }
+    const auto it = first_index.find(fault_key(rep));
+    plan.sim_as[i] = it != first_index.end() ? it->second
+                                             : static_cast<std::uint32_t>(i);
+  }
+
+  // One BFS per unique fault site: exact cone size for every input fault
+  // (SA0/SA1 share it) and an exact occupancy bitset for the simulated
+  // ones.
+  const std::size_t sig_words = (num_nodes_ + 63) / 64;
+  struct ConeInfo {
+    std::uint32_t size = 0;
+    ConeSig sig;
+  };
+  std::unordered_map<NodeId, ConeInfo> cones;
+  cones.reserve(n);
+  auto cone_of = [&](NodeId site) -> const ConeInfo& {
+    auto it = cones.find(site);
+    if (it != cones.end()) return it->second;
+    ConeInfo info;
+    info.sig.assign(sig_words, 0);
+    for (const NodeId id : transitive_fanout(site)) {
+      if (is_source_kind(nl_->kind(id))) continue;
+      ++info.size;
+      info.sig[id >> 6] |= 1ULL << (id & 63u);
+    }
+    return cones.emplace(site, std::move(info)).first->second;
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    plan.cone_size[i] = cone_of(faults[i].node).size;
+
+  // Greedy first-fit packing of the simulated faults into cone-disjoint
+  // batches: scan the most recent open batches for one whose accumulated
+  // signature shares no bit with this cone. Deterministic for a given
+  // input order.
+  // Owners ride in the top 16 bits of the divergence tag, so a pass can
+  // attribute at most 2^16 - 1 faults.
+  const std::size_t max_batch = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, config_.max_batch)), 0xFFFF);
+  const bool batching = config_.batch_faults && max_batch > 1;
+  constexpr std::size_t kScanWindow = 32;
+  struct Open {
+    ConeSig sig;
+    std::vector<std::uint32_t> members;
+    std::uint32_t cls = 0;
+  };
+  std::vector<Open> open;
+  // Pack in a deterministic pseudo-shuffled order: the fault list arrives
+  // in node-id order, which clusters structurally overlapping faults (one
+  // region of the design) back to back — every one of them would open its
+  // own batch long before a disjoint partner from another region shows
+  // up inside the scan window. Interleaving by a fixed multiplicative
+  // hash mixes the regions so first-fit actually pairs disjoint cones.
+  //
+  // The shuffle is keyed secondarily; the primary key is an activity
+  // class read off the golden trace (when available): a fault whose stuck
+  // word matches the site's golden word on nearly every cycle only wakes
+  // on the few cycles where they differ, and the frontier engine
+  // early-exits a pass's quiet cycles only when EVERY batch member is
+  // quiescent. Packing quiet faults with quiet faults preserves that;
+  // one always-active member would forfeit it for the whole batch.
+  auto activity_class = [&](const Fault& f) -> std::uint32_t {
+    if (!golden_ready_) return 0;
+    const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0ULL;
+    std::uint32_t differing = 0;
+    for (int t = 0; t < config_.cycles; ++t)
+      differing += golden_value(t, f.node) != stuck ? 1u : 0u;
+    return differing * 8u > static_cast<std::uint32_t>(config_.cycles) ? 1u
+                                                                       : 0u;
+  };
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (plan.sim_as[i] == i) order.push_back(static_cast<std::uint32_t>(i));
+  std::vector<std::uint32_t> cls(n, 0);
+  if (batching) {
+    auto shuffle_key = [&](std::uint32_t i) {
+      return (static_cast<std::uint64_t>(faults[i].node) << 1 |
+              static_cast<std::uint64_t>(faults[i].stuck_value)) *
+             0x9E3779B97F4A7C15ULL;
+    };
+    for (const std::uint32_t i : order) cls[i] = activity_class(faults[i]);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t c) {
+                if (cls[a] != cls[c]) return cls[a] < cls[c];
+                const auto ka = shuffle_key(a), kc = shuffle_key(c);
+                return ka != kc ? ka < kc : a < c;
+              });
+  }
+  for (const std::uint32_t idx : order) {
+    const std::size_t i = idx;
+    if (!batching) {
+      plan.batches.push_back({idx});
+      continue;
+    }
+    const ConeSig& sig = cone_of(faults[i].node).sig;
+    bool placed = false;
+    const std::size_t stop =
+        open.size() > kScanWindow ? open.size() - kScanWindow : 0;
+    for (std::size_t b = open.size(); b-- > stop;) {
+      if (open[b].cls == cls[i] && open[b].members.size() < max_batch &&
+          sig_disjoint(open[b].sig, sig)) {
+        sig_merge(open[b].sig, sig);
+        open[b].members.push_back(idx);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) open.push_back(Open{sig, {idx}, cls[i]});
+  }
+  for (Open& o : open) plan.batches.push_back(std::move(o.members));
+  return plan;
+}
+
+std::vector<FaultResult> FaultCampaign::simulate_batch(
+    std::span<const Fault> faults) const {
+  if (!golden_ready_)
+    throw std::runtime_error("simulate_batch: golden trace not recorded");
+  if (num_nodes_ > 0) nl_->fanouts(0);  // warm the CSR cache
+  const BatchPlan plan = plan_batches(faults);
+  std::vector<FaultResult> out(faults.size());
+  FrontierScratch scratch;
+  std::vector<Fault> group;
+  std::vector<FaultResult> results;
+  for (const auto& batch : plan.batches) {
+    group.clear();
+    for (const std::uint32_t i : batch) group.push_back(faults[i]);
+    results.resize(batch.size());
+    run_frontier_pass(group, scratch, results.data());
+    for (std::size_t j = 0; j < batch.size(); ++j) out[batch[j]] = results[j];
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (plan.sim_as[i] != i) out[i] = out[plan.sim_as[i]];
+    out[i].fault = faults[i];
+    out[i].cone_size = plan.cone_size[i];
+  }
+  return out;
+}
+
+CampaignResult FaultCampaign::run_frontier(const std::vector<Fault>& faults) {
+  CampaignResult out;
+  out.config = config_;
+  out.num_nodes = num_nodes_;
+  util::Timer timer;
+
+  BatchPlan plan;
+  {
+    obs::Span span("fi_plan");
+    plan = plan_batches(faults);
+  }
+
+  auto& reg = obs::registry();
+  auto& evals_counter = reg.counter("fi.frontier_nodes");
+  auto& early_counter = reg.counter("fi.early_exits");
+  auto& batches_counter = reg.counter("fi.batches");
+  auto& batch_size_hist =
+      reg.histogram("fi.batch_size", {1, 2, 4, 8, 16, 32, 64});
+
+  out.faults.resize(faults.size());
+  std::atomic<std::uint64_t> evals{0};
+  std::atomic<std::uint64_t> early{0};
+  {
+    obs::Span span("fi_sim");
+    shard(config_.num_threads,
+          static_cast<std::int64_t>(plan.batches.size()),
+          [&](std::int64_t b0, std::int64_t b1) {
+            FrontierScratch scratch;
+            std::vector<Fault> group;
+            std::vector<FaultResult> results;
+            for (std::int64_t b = b0; b < b1; ++b) {
+              const auto& batch = plan.batches[static_cast<std::size_t>(b)];
+              group.clear();
+              for (const std::uint32_t i : batch) group.push_back(faults[i]);
+              results.resize(batch.size());
+              run_frontier_pass(group, scratch, results.data());
+              for (std::size_t j = 0; j < batch.size(); ++j)
+                out.faults[batch[j]] = results[j];
+              batch_size_hist.observe(static_cast<double>(batch.size()));
+            }
+            evals.fetch_add(scratch.evals, std::memory_order_relaxed);
+            early.fetch_add(scratch.early_exits, std::memory_order_relaxed);
+          });
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (plan.sim_as[i] != i) out.faults[i] = out.faults[plan.sim_as[i]];
+    out.faults[i].fault = faults[i];
+    out.faults[i].cone_size = plan.cone_size[i];
+  }
+
+  out.num_batches = static_cast<std::uint32_t>(plan.batches.size());
+  for (const auto& b : plan.batches)
+    out.simulated_faults += static_cast<std::uint32_t>(b.size());
+  out.frontier_evals = evals.load();
+  out.early_exit_cycles = early.load();
+  evals_counter.add(out.frontier_evals);
+  early_counter.add(out.early_exit_cycles);
+  batches_counter.add(out.num_batches);
+  out.fault_seconds = timer.seconds();
+  return out;
+}
+
+CampaignResult FaultCampaign::run_levelized(const std::vector<Fault>& faults) {
+  CampaignResult out;
+  out.config = config_;
+  out.num_nodes = num_nodes_;
+  util::Timer timer;
+  out.faults.resize(faults.size());
+  shard(config_.num_threads, static_cast<std::int64_t>(faults.size()),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            out.faults[static_cast<std::size_t>(i)] =
+                simulate_fault_levelized(faults[static_cast<std::size_t>(i)]);
+        });
+  out.fault_seconds = timer.seconds();
+  return out;
+}
+
+CampaignResult FaultCampaign::run(const std::vector<Fault>& faults) {
+  if (!golden_ready_) run_golden();
+  // The fanout CSR cache must exist before worker threads race to read it.
+  if (num_nodes_ > 0) nl_->fanouts(0);
+  CampaignResult out = config_.engine == FiEngine::kFrontier
+                           ? run_frontier(faults)
+                           : run_levelized(faults);
+  out.golden_seconds = golden_seconds_;
+  return out;
+}
+
+CampaignResult FaultCampaign::run_all() {
+  return run(full_fault_list(*nl_));
+}
+
 FaultCampaign::TransientResult FaultCampaign::simulate_transient(
     NodeId node, int inject_cycle) const {
   if (!golden_ready_)
@@ -187,9 +844,10 @@ FaultCampaign::TransientResult FaultCampaign::simulate_transient(
   result.node = node;
   result.inject_cycle = inject_cycle;
 
-  // Same cone machinery as simulate_fault; before the injection cycle the
-  // design is exactly golden, so simulation starts at inject_cycle with
-  // golden flop state.
+  // Same cone machinery as the levelized stuck-at sweep; before the
+  // injection cycle the design is exactly golden, so simulation starts at
+  // inject_cycle with golden flop state. (The frontier engine never
+  // applies here: a one-shot flip has no per-cycle forced site.)
   std::vector<std::uint8_t> in_cone(num_nodes_, 0);
   if (config_.use_cone_restriction) {
     for (const NodeId id : transitive_fanout(node)) in_cone[id] = 1;
@@ -197,10 +855,7 @@ FaultCampaign::TransientResult FaultCampaign::simulate_transient(
     std::fill(in_cone.begin(), in_cone.end(), 1);
   }
   for (NodeId id = 0; id < num_nodes_; ++id) {
-    const CellKind k = nl_->kind(id);
-    if (k == CellKind::kInput || k == CellKind::kConst0 ||
-        k == CellKind::kConst1)
-      in_cone[id] = 0;
+    if (is_source_kind(nl_->kind(id))) in_cone[id] = 0;
   }
   // The injected node itself participates even when it is a source (DFF).
   if (nl_->kind(node) == CellKind::kDff) in_cone[node] = 1;
@@ -280,48 +935,6 @@ std::vector<double> FaultCampaign::transient_criticality(
                   (64.0 * static_cast<double>(inject_cycles.size())));
   }
   return out;
-}
-
-CampaignResult FaultCampaign::run(const std::vector<Fault>& faults) {
-  CampaignResult out;
-  out.config = config_;
-  out.num_nodes = num_nodes_;
-  if (!golden_ready_) run_golden();
-  // The fanout CSR cache must exist before worker threads race to read it.
-  if (num_nodes_ > 0) nl_->fanouts(0);
-  out.golden_seconds = golden_seconds_;
-
-  util::Timer timer;
-  out.faults.resize(faults.size());
-  const int requested = config_.num_threads == 0
-                            ? static_cast<int>(
-                                  std::thread::hardware_concurrency())
-                            : config_.num_threads;
-  const int num_threads = std::max(
-      1, std::min<int>(requested, static_cast<int>(faults.size())));
-  if (num_threads == 1) {
-    for (std::size_t i = 0; i < faults.size(); ++i)
-      out.faults[i] = simulate_fault(faults[i]);
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= faults.size()) return;
-        out.faults[i] = simulate_fault(faults[i]);
-      }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(num_threads));
-    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
-  }
-  out.fault_seconds = timer.seconds();
-  return out;
-}
-
-CampaignResult FaultCampaign::run_all() {
-  return run(full_fault_list(*nl_));
 }
 
 }  // namespace fcrit::fault

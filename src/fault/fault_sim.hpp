@@ -1,17 +1,41 @@
 // Fault-injection campaign engine (the paper's Xcelium substitute).
 //
 // One golden pass records a cycle-consistent trace of every node value
-// (64 workload lanes per word). Each fault is then simulated with the
-// *cone-restricted differential* method: only nodes in the fault's static
-// transitive fanout (crossing flip-flops) are re-evaluated; every fanin
-// outside the cone reads the recorded golden value. Per cycle, primary
-// outputs inside the cone are compared against the golden trace, giving a
-// per-lane mismatch mask; a lane whose mismatch-cycle count reaches
-// `min_mismatch_cycles` marks the fault "Dangerous" for that workload —
-// the verdict Algorithm 1 aggregates.
+// (64 workload lanes per word). Faults are then simulated differentially
+// against that trace with one of two engines:
+//
+//   kLevelized — the original cone-restricted sweep: every node in the
+//     fault's static transitive fanout (crossing flip-flops) is
+//     re-evaluated every cycle; fanins outside the cone read the recorded
+//     golden value. `use_cone_restriction=false` degenerates to the naive
+//     full-netlist sweep (benchmark baseline).
+//
+//   kFrontier — event-driven incremental resim: per cycle a worklist is
+//     seeded at the forced fault site and at flip-flops whose state
+//     diverged on the previous edge; only nodes with a divergent fanin
+//     word are re-evaluated, in ascending level order through the fanout
+//     CSR, and propagation stops the moment a node's word matches golden
+//     again (logic masking). A cycle whose seeds produce no divergence
+//     costs O(#faults) and is counted as an early exit. On top of this,
+//     `batch_faults` packs faults whose static cones are provably
+//     disjoint (exact per-node cone bitsets; structural
+//     collapse-equivalence classes share one simulation) into a single
+//     pass, so k faults
+//     amortize one sweep of the golden trace. Batches are sharded across
+//     the process thread pool.
+//
+// Per cycle, primary outputs inside the cone are compared against the
+// golden trace, giving a per-lane mismatch mask; a lane whose
+// mismatch-cycle count reaches `min_mismatch_cycles` marks the fault
+// "Dangerous" for that workload — the verdict Algorithm 1 aggregates.
+// Both engines produce byte-identical FaultResults for every fault in the
+// stuck-at universe, at any thread count and under any batch partition
+// (tests/fault_batch_test.cpp and the `fcrit check` campaign oracle hold
+// this line).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/fault/fault.hpp"
@@ -19,6 +43,12 @@
 #include "src/sim/stimulus.hpp"
 
 namespace fcrit::fault {
+
+/// Campaign simulation engine selection (see file comment).
+enum class FiEngine {
+  kLevelized,  // full cone sweep per cycle (original method)
+  kFrontier,   // event-driven divergence frontier (default)
+};
 
 struct CampaignConfig {
   int cycles = 256;        // workload length in clock cycles
@@ -30,18 +60,39 @@ struct CampaignConfig {
   /// single glitch). 0 degenerates to "any mismatch".
   double dangerous_cycle_fraction = 0.10;
 
-  bool use_cone_restriction = true;  // disable to benchmark the naive method
+  FiEngine engine = FiEngine::kFrontier;
 
-  /// Worker threads for the per-fault loop (the golden trace is shared
-  /// read-only). 0 = hardware concurrency, 1 = serial. Results are
-  /// bit-identical regardless of thread count.
-  int num_threads = 1;
+  /// kLevelized only: disable to benchmark the naive full sweep.
+  bool use_cone_restriction = true;
 
-  /// Effective mismatch-cycle threshold implied by the fraction.
-  int min_mismatch_cycles() const {
-    const int k = static_cast<int>(dangerous_cycle_fraction * cycles);
-    return k < 1 ? 1 : k;
-  }
+  /// kFrontier only: pack cone-disjoint faults into shared passes.
+  bool batch_faults = true;
+
+  /// kFrontier+batch only: simulate one representative per structural
+  /// collapse-equivalence class (BUF/INV chain rule, src/fault/collapse)
+  /// and share its verdict — exact, because equivalent faults corrupt the
+  /// primary outputs identically; each member still reports its own
+  /// cone_size.
+  bool collapse_equivalent = true;
+
+  /// Upper bound on faults per batched pass (owner bookkeeping is O(k)
+  /// per cycle, so unbounded batches stop paying off).
+  int max_batch = 64;
+
+  /// Worker threads for the per-fault/per-batch loop (the golden trace is
+  /// shared read-only). -1 = inherit the process pool configured via
+  /// --jobs / FCRIT_THREADS (util::num_threads), 0 = hardware
+  /// concurrency, N >= 1 = exactly N. Results are bit-identical
+  /// regardless of thread count.
+  int num_threads = -1;
+
+  /// Effective mismatch-cycle threshold implied by the fraction: the
+  /// smallest cycle count whose fraction of `cycles` reaches
+  /// `dangerous_cycle_fraction` — i.e. ceil(fraction * cycles), computed
+  /// with a 1e-9 tolerance so fractions that land exactly on a cycle
+  /// count (0.25 * 256 = 64) are not bumped by FP noise. Clamped to >= 1
+  /// (fraction 0 degenerates to "any mismatch").
+  int min_mismatch_cycles() const;
 };
 
 /// Per-fault campaign outcome.
@@ -50,7 +101,7 @@ struct FaultResult {
   std::uint64_t dangerous_lanes = 0;  // bit L: Dangerous under workload L
   std::uint64_t detected_lanes = 0;   // bit L: any PO mismatch at all
   std::uint32_t mismatch_cycles = 0;  // total mismatching (cycle, lane) pairs
-  std::uint32_t cone_size = 0;        // #nodes re-simulated for this fault
+  std::uint32_t cone_size = 0;        // #nodes in the fault's static cone
   /// First cycle with any PO corruption in any workload (-1: never).
   std::int32_t first_detect_cycle = -1;
 
@@ -64,6 +115,33 @@ struct CampaignResult {
   double golden_seconds = 0.0;
   double fault_seconds = 0.0;
   std::size_t num_nodes = 0;
+
+  // Frontier-engine statistics (zero under kLevelized).
+  std::uint32_t simulated_faults = 0;   // after collapse-equivalence sharing
+  std::uint32_t num_batches = 0;        // packed passes actually run
+  std::uint64_t frontier_evals = 0;     // node re-evaluations across passes
+  std::uint64_t early_exit_cycles = 0;  // fault-cycles skipped as quiescent
+};
+
+/// How a fault list is grouped into shared frontier passes. Produced by
+/// FaultCampaign::plan_batches; indices refer to the input fault list.
+struct BatchPlan {
+  /// Each batch lists input indices of faults simulated together; their
+  /// static cones are pairwise disjoint (proven exactly by per-node cone
+  /// bitsets), so one pass carries per-fault owner attribution with no
+  /// cross-talk. Only representative faults appear in batches.
+  std::vector<std::vector<std::uint32_t>> batches;
+
+  /// Per input fault: the input index whose simulation supplies its
+  /// verdict (itself unless collapse-equivalence sharing mapped it onto a
+  /// representative also present in the list).
+  std::vector<std::uint32_t> sim_as;
+
+  /// Per input fault: exact static cone size (|transitive fanout| of the
+  /// site, flip-flop crossings included), regardless of sharing.
+  std::vector<std::uint32_t> cone_size;
+
+  std::size_t total_faults() const { return sim_as.size(); }
 };
 
 class FaultCampaign {
@@ -90,15 +168,30 @@ class FaultCampaign {
   /// Record the golden trace only (run() does this implicitly).
   void run_golden();
 
-  /// Simulate a single fault against the recorded golden trace.
-  /// Thread-safe once the golden trace is recorded.
+  /// Simulate a single fault against the recorded golden trace using the
+  /// configured engine. Thread-safe once the golden trace is recorded.
   FaultResult simulate_fault(const Fault& fault) const;
+
+  /// Simulate a caller-chosen group of faults through the frontier engine
+  /// (planning cone-disjoint sub-batches internally; the group may
+  /// overlap arbitrarily). Results come back in input order and are
+  /// byte-identical to simulating each fault alone — the property
+  /// tests/fault_batch_test.cpp pins for every partition of the universe.
+  /// Thread-safe once the golden trace is recorded.
+  std::vector<FaultResult> simulate_batch(std::span<const Fault> faults) const;
+
+  /// Group `faults` into cone-disjoint batches (greedy first-fit over
+  /// exact cone bitsets in activity-classed pseudo-shuffled order,
+  /// honoring max_batch and, when enabled, collapse-equivalence
+  /// sharing). Deterministic for a given input.
+  BatchPlan plan_batches(std::span<const Fault> faults) const;
 
   /// Transient (SEU) injection: flip the node's value for exactly one
   /// cycle, then let the fault-free dynamics run on the corrupted state.
   /// Returns the lanes whose primary outputs were ever corrupted and the
-  /// total corrupted (cycle, lane) count. Thread-safe like
-  /// simulate_fault.
+  /// total corrupted (cycle, lane) count. Always uses the levelized cone
+  /// sweep — the frontier machinery does not apply to one-shot flips.
+  /// Thread-safe like simulate_fault.
   struct TransientResult {
     netlist::NodeId node = netlist::kNoNode;
     int inject_cycle = 0;
@@ -115,7 +208,32 @@ class FaultCampaign {
       const std::vector<int>& inject_cycles) const;
 
  private:
+  struct FrontierScratch;  // per-worker frontier state; see fault_sim.cpp
+
+  /// Structure-of-arrays shadow of the netlist for the frontier hot path:
+  /// byte-wide kinds, flat fanin slots, and the fanout CSR split into
+  /// combinational edges (with the consumer's level pre-packed into the
+  /// entry) and flip-flop edges — so the per-cycle worklist never touches
+  /// the string-bearing Node structs or the level table.
+  struct FrontierGraph {
+    std::vector<std::uint8_t> kind;         // CellKind per node
+    std::vector<std::uint8_t> fanin_count;  // per node
+    std::vector<std::uint32_t> fanin;       // kMaxFanins slots per node
+    std::vector<std::uint32_t> comb_off;    // num_nodes + 1 CSR offsets
+    std::vector<std::uint64_t> comb_edge;   // level << 32 | consumer id
+    std::vector<std::uint32_t> flop_off;    // num_nodes + 1 CSR offsets
+    std::vector<std::uint32_t> flop_edge;   // DFF consumers
+  };
+
   std::vector<netlist::NodeId> transitive_fanout(netlist::NodeId src) const;
+  void build_frontier_graph();
+  FaultResult simulate_fault_levelized(const Fault& fault) const;
+  /// One packed frontier pass; `batch` cones must be pairwise disjoint
+  /// (guaranteed by plan_batches). Writes batch.size() results to `out`.
+  void run_frontier_pass(std::span<const Fault> batch, FrontierScratch& s,
+                         FaultResult* out) const;
+  CampaignResult run_frontier(const std::vector<Fault>& faults);
+  CampaignResult run_levelized(const std::vector<Fault>& faults);
 
   const netlist::Netlist* nl_;
   sim::StimulusSpec stimulus_;
@@ -125,6 +243,8 @@ class FaultCampaign {
   bool golden_ready_ = false;
   std::vector<std::uint64_t> trace_;  // cycles × nodes
   double golden_seconds_ = 0.0;
+  std::vector<std::uint8_t> is_po_driver_;  // indexed by NodeId
+  FrontierGraph fgraph_;
 };
 
 }  // namespace fcrit::fault

@@ -49,6 +49,10 @@ class PackedSimulator {
   /// Node output word after the last step()'s combinational evaluation.
   std::uint64_t value(NodeId id) const { return value_[id]; }
 
+  /// All node value words after the last combinational settle, indexed by
+  /// NodeId — the row the fault campaign's golden trace copies per cycle.
+  std::span<const std::uint64_t> values() const { return value_; }
+
   /// Word of primary output `output_idx` (index into netlist().outputs()).
   std::uint64_t output_word(std::size_t output_idx) const {
     return value_[nl_->outputs()[output_idx].driver];

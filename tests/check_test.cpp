@@ -123,6 +123,54 @@ TEST(FaultOracles, AgreeOnRegisteredDesign) {
   EXPECT_EQ(diff_fault_oracles(d, cfg, 10), "");
 }
 
+TEST(CampaignOracle, AgreesOnCounter) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 9;
+  EXPECT_EQ(
+      diff_campaign_equivalence(counter_design(), cfg, /*max_faults=*/0), "");
+}
+
+TEST(CampaignOracle, AgreesOnRandomCircuits) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 32;
+  for (std::uint64_t seed : {5u, 6u}) {
+    cfg.seed = seed;
+    EXPECT_EQ(diff_campaign_equivalence(random_design(seed), cfg, 8), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(CampaignOracle, AgreesOnRegisteredDesign) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 4;
+  const auto d = designs::build_design("or1200_icfsm");
+  EXPECT_EQ(diff_campaign_equivalence(d, cfg, 8), "");
+}
+
+TEST(CampaignOracle, PlantedMismatchDefectIsCaught) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 32;
+  cfg.seed = 5;
+  const auto msg = diff_campaign_equivalence(
+      random_design(5), cfg, 8, CampaignBug::kMismatchOffByOne);
+  ASSERT_NE(msg, "");
+  EXPECT_NE(msg.find("campaign-oracle"), std::string::npos);
+  EXPECT_NE(msg.find("mismatch_cycles"), std::string::npos);
+}
+
+TEST(CampaignOracle, PlantedDetectionDefectIsCaught) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 32;
+  cfg.seed = 5;
+  const auto msg = diff_campaign_equivalence(
+      random_design(5), cfg, 8, CampaignBug::kDropDetection);
+  ASSERT_NE(msg, "");
+  EXPECT_NE(msg.find("campaign-oracle"), std::string::npos);
+  EXPECT_NE(msg.find("detected_lanes"), std::string::npos);
+}
+
 TEST(ServeOracle, MatchesDirectScoring) {
   const std::string scratch =
       (std::filesystem::path(::testing::TempDir()) / "fcrit_check_serve")
@@ -151,7 +199,37 @@ TEST(Harness, DeterministicTrancheRunsClean) {
   EXPECT_EQ(report.trials_run, 4);
   EXPECT_EQ(report.packed_checks, 4);
   EXPECT_EQ(report.fault_checks, 4);
+  EXPECT_EQ(report.campaign_checks, 4);
   EXPECT_EQ(report.serve_checks, 0);
+}
+
+TEST(Harness, PlantedCampaignDefectFailsAndShrinks) {
+  CheckConfig cfg = tranche_config();
+  cfg.campaign_bug = CampaignBug::kMismatchOffByOne;
+  const auto report = run_checks(cfg);
+  ASSERT_FALSE(report.ok());
+  const Divergence& d = report.divergences.front();
+  EXPECT_EQ(d.oracle, "campaign");
+  EXPECT_NE(d.message.find("campaign-oracle"), std::string::npos);
+
+  // The shrunk reproduction recipe must still diverge under the same bug.
+  const auto shrunk = designs::build_random_circuit(d.circuit);
+  fault::CampaignConfig fc;
+  fc.cycles = d.cycles;
+  fc.seed = d.seed;
+  fc.num_threads = 1;
+  EXPECT_NE(diff_campaign_equivalence(shrunk, fc, cfg.max_faults,
+                                      CampaignBug::kMismatchOffByOne),
+            "");
+}
+
+TEST(Harness, CampaignOracleCanBeDisabled) {
+  CheckConfig cfg = tranche_config();
+  cfg.campaign_every = 0;
+  cfg.campaign_bug = CampaignBug::kMismatchOffByOne;  // must never trigger
+  const auto report = run_checks(cfg);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.campaign_checks, 0);
 }
 
 TEST(Harness, PlantedDefectFailsAndShrinksReproducibly) {

@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Registry, AllDesignsTest,
 
 TEST(Registry, NamesAndErrors) {
   EXPECT_EQ(design_names().size(), 3u);   // the paper's evaluation set
-  EXPECT_EQ(all_design_names().size(), 4u);  // + or1200_genpc
+  EXPECT_EQ(all_design_names().size(), 5u);  // + or1200_genpc, ee_zonal
   EXPECT_THROW(build_design("nonexistent"), std::runtime_error);
 }
 

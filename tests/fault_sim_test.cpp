@@ -117,14 +117,50 @@ TEST(FaultCampaign, DeterministicAcrossRuns) {
 }
 
 TEST(FaultCampaign, MinMismatchCyclesFromFraction) {
+  // Ceil semantics: the threshold is the smallest cycle count whose
+  // fraction of the campaign reaches dangerous_cycle_fraction. 0.10 * 256
+  // = 25.6, so 25 corrupted cycles (9.77%) must NOT be Dangerous — 26 is
+  // the first count at or above 10%.
   CampaignConfig cfg;
   cfg.cycles = 256;
   cfg.dangerous_cycle_fraction = 0.10;
-  EXPECT_EQ(cfg.min_mismatch_cycles(), 25);
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 26);
   cfg.dangerous_cycle_fraction = 0.0;
   EXPECT_EQ(cfg.min_mismatch_cycles(), 1);
   cfg.cycles = 10;
   cfg.dangerous_cycle_fraction = 0.01;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 1);
+}
+
+TEST(FaultCampaign, MinMismatchCyclesExactLandingsStayExact) {
+  // Fractions that land exactly on a cycle count must not get bumped to
+  // the next integer by FP representation noise (0.1 is not exactly
+  // representable: 0.1 * 30 evaluates to 3.0000000000000004).
+  CampaignConfig cfg;
+  cfg.cycles = 256;
+  cfg.dangerous_cycle_fraction = 0.25;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 64);
+  cfg.cycles = 30;
+  cfg.dangerous_cycle_fraction = 0.1;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 3);
+  cfg.cycles = 100;
+  cfg.dangerous_cycle_fraction = 0.07;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 7);
+  cfg.cycles = 64;
+  cfg.dangerous_cycle_fraction = 1.0;
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 64);
+}
+
+TEST(FaultCampaign, MinMismatchCyclesRoundsFractionalProductsUp) {
+  CampaignConfig cfg;
+  cfg.cycles = 30;
+  cfg.dangerous_cycle_fraction = 0.11;  // 3.3 -> 4 (3/30 = 10% < 11%)
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 4);
+  cfg.cycles = 3;
+  cfg.dangerous_cycle_fraction = 0.5;  // 1.5 -> 2
+  EXPECT_EQ(cfg.min_mismatch_cycles(), 2);
+  cfg.cycles = 1000000;
+  cfg.dangerous_cycle_fraction = 1e-7;  // 0.1 -> clamped to 1
   EXPECT_EQ(cfg.min_mismatch_cycles(), 1);
 }
 

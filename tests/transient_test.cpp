@@ -73,6 +73,86 @@ TEST(Transient, UnobservedNodeHasNoEffect) {
   EXPECT_EQ(r.mismatch_cycles, 0u);
 }
 
+TEST(Transient, InjectAtCycleZeroCorruptsFromTheStart) {
+  // Flip at cycle 0 on the held register: no golden history before the
+  // injection exists, and the corruption must persist across the whole
+  // window (cycles 0..31 = 32 cycles x 64 lanes).
+  Netlist nl;
+  rtl::Builder b(nl, 1);
+  const NodeId d = b.input("d");
+  const NodeId en = b.input("en");
+  const NodeId q = b.reg_en(d, en);
+  b.output("y", q);
+  nl.validate();
+
+  sim::StimulusSpec s;
+  s.profiles["en"] = {.p1 = 0.0, .hold_cycles = 0, .hold_value = false};
+  s.profiles["d"] = {.p1 = 0.5, .hold_cycles = 0, .hold_value = false};
+  CampaignConfig cfg;
+  cfg.cycles = 32;
+  FaultCampaign campaign(nl, s, cfg);
+  campaign.run_golden();
+  const auto r = campaign.simulate_transient(q, 0);
+  EXPECT_EQ(r.affected_lanes, ~0ULL);
+  EXPECT_EQ(r.mismatch_cycles, 32u * 64u);
+}
+
+TEST(Transient, InjectAtLastCycleIsVisibleExactlyOnce) {
+  // Flip on the final cycle of the window: the corrupted value reaches the
+  // PO that same cycle but there is no later cycle for it to persist into,
+  // so exactly one cycle x 64 lanes mismatches — on both a comb node and a
+  // held register.
+  Netlist nl;
+  rtl::Builder b(nl, 1);
+  const NodeId d = b.input("d");
+  const NodeId en = b.input("en");
+  const NodeId q = b.reg_en(d, en);
+  const NodeId g = b.inv(d);
+  b.output("y", q);
+  b.output("z", g);
+  nl.validate();
+
+  sim::StimulusSpec s;
+  s.profiles["en"] = {.p1 = 0.0, .hold_cycles = 0, .hold_value = false};
+  s.profiles["d"] = {.p1 = 0.5, .hold_cycles = 0, .hold_value = false};
+  CampaignConfig cfg;
+  cfg.cycles = 16;
+  FaultCampaign campaign(nl, s, cfg);
+  campaign.run_golden();
+  for (const NodeId site : {q, g}) {
+    const auto r = campaign.simulate_transient(site, cfg.cycles - 1);
+    EXPECT_EQ(r.affected_lanes, ~0ULL) << nl.node(site).name;
+    EXPECT_EQ(r.mismatch_cycles, 64u) << nl.node(site).name;
+  }
+}
+
+TEST(Transient, IdenticalUnderFrontierCampaignConfig) {
+  // simulate_transient always runs the levelized cone sweep; a campaign
+  // configured for the frontier engine must still produce bit-identical
+  // transient verdicts, including at the cycle-0 and last-cycle edges.
+  const auto d = designs::build_or1200_icfsm();
+  CampaignConfig lev;
+  lev.cycles = 48;
+  lev.engine = FiEngine::kLevelized;
+  CampaignConfig fr = lev;
+  fr.engine = FiEngine::kFrontier;
+  FaultCampaign cl(d.netlist, d.stimulus, lev);
+  FaultCampaign cf(d.netlist, d.stimulus, fr);
+  cl.run_golden();
+  cf.run_golden();
+  for (const NodeId node : fault_sites(d.netlist)) {
+    if (node % 11 != 0) continue;
+    for (const int cycle : {0, 23, 47}) {
+      const auto rl = cl.simulate_transient(node, cycle);
+      const auto rf = cf.simulate_transient(node, cycle);
+      EXPECT_EQ(rl.affected_lanes, rf.affected_lanes)
+          << d.netlist.node(node).name << " @" << cycle;
+      EXPECT_EQ(rl.mismatch_cycles, rf.mismatch_cycles)
+          << d.netlist.node(node).name << " @" << cycle;
+    }
+  }
+}
+
 TEST(Transient, RejectsBadArguments) {
   Netlist nl;
   const NodeId a = nl.add_input("a");
