@@ -89,10 +89,11 @@ constexpr const char* kUsageText =
     "  campaign <design|file> [--cycles N] [--seed S]\n"
     "           [--fraction F] [--threads T] [--report FILE]\n"
     "           [--engine levelized|frontier] [--no-batch] [--no-collapse]\n"
-    "           [--max-batch K]\n"
+    "           [--max-batch K] [--no-static-prune]\n"
     "  analyze <design|file> [--top N] [--no-baselines]\n"
     "           [--explain K] [--save-model FILE] [--csv FILE]\n"
     "           [--cycles N] [--epochs N] [--trace-out FILE]\n"
+    "           [--no-static-prune]\n"
     "  pipeline <design|file> [...]      alias of analyze; --trace-out FILE\n"
     "                                    writes a Chrome trace of the phases\n"
     "  scoap <design|file> [--top N]     testability report\n"
@@ -120,7 +121,8 @@ constexpr const char* kUsageText =
     "                                    SIGHUP or RELOAD hot-swaps bundles\n"
     "  check [--trials N] [--seed S] [--cycles N] [--gates N] [--flops N]\n"
     "        [--inputs N] [--outputs N] [--faults N] [--serve-every K]\n"
-    "        [--campaign-every K] [--no-shrink] [--no-dump] [--self-test]\n"
+    "        [--campaign-every K] [--prune-every K]\n"
+    "        [--no-shrink] [--no-dump] [--self-test]\n"
     "                                    differential-oracle fuzzing harness\n"
     "  help | --help                     this text\n"
     "  version                           print the fcrit version\n"
@@ -338,6 +340,7 @@ int cmd_campaign(const std::string& target,
   }
   if (flags.contains("--no-batch")) cfg.batch_faults = false;
   if (flags.contains("--no-collapse")) cfg.collapse_equivalent = false;
+  if (flags.contains("--no-static-prune")) cfg.static_prune = false;
   if (flags.contains("--max-batch"))
     cfg.max_batch = std::stoi(flags.at("--max-batch"));
 
@@ -353,6 +356,12 @@ int cmd_campaign(const std::string& target,
                 result.simulated_faults, result.num_batches,
                 static_cast<unsigned long long>(result.frontier_evals),
                 static_cast<unsigned long long>(result.early_exit_cycles));
+  if (cfg.static_prune)
+    std::printf("static prune: %u proved benign in %.3fs (%u site-const, "
+                "%u dead-cone, %u constant-blocked)\n",
+                result.pruned_faults, result.triage_seconds,
+                result.prune_site_const, result.prune_dead_cone,
+                result.prune_const_blocked);
   std::printf("%s\n",
               fault::summarize_coverage(result).to_string().c_str());
   if (flags.contains("--report")) {
@@ -374,6 +383,7 @@ int cmd_analyze(const std::string& target,
                 const std::map<std::string, std::string>& flags) {
   core::PipelineConfig cfg;
   if (flags.contains("--no-baselines")) cfg.train_baselines = false;
+  if (flags.contains("--no-static-prune")) cfg.campaign_static_prune = false;
   if (flags.contains("--cycles"))
     cfg.campaign_cycles = std::stoi(flags.at("--cycles"));
   if (flags.contains("--epochs")) {
@@ -575,6 +585,7 @@ int cmd_pack(const std::string& target,
              const std::map<std::string, std::string>& flags) {
   core::PipelineConfig cfg;
   cfg.train_baselines = false;  // the bundle ships only the GCNs
+  if (flags.contains("--no-static-prune")) cfg.campaign_static_prune = false;
   if (flags.contains("--cycles"))
     cfg.campaign_cycles = std::stoi(flags.at("--cycles"));
   if (flags.contains("--prob-cycles"))
@@ -856,14 +867,17 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
     cfg.serve_every = std::stoi(flags.at("--serve-every"));
   if (flags.contains("--campaign-every"))
     cfg.campaign_every = std::stoi(flags.at("--campaign-every"));
+  if (flags.contains("--prune-every"))
+    cfg.prune_every = std::stoi(flags.at("--prune-every"));
   if (flags.contains("--no-shrink")) cfg.shrink = false;
   if (flags.contains("--no-dump")) cfg.dump_netlist = false;
   cfg.scratch_dir =
       (std::filesystem::temp_directory_path() / "fcrit_check").string();
 
-  // Self-test: two phases, each planting one deliberate defect that the
+  // Self-test: three phases, each planting one deliberate defect that the
   // run must CATCH — a wrong-XOR scalar reference (packed-vs-scalar
-  // oracle) and a corrupted batched-campaign verdict (campaign oracle).
+  // oracle), a corrupted batched-campaign verdict (campaign oracle), and
+  // a fabricated static-prune proof (static-prune oracle).
   if (flags.contains("--self-test")) {
     check::CheckConfig scalar_cfg = cfg;
     scalar_cfg.scalar_bug = check::ScalarBug::kXorAsOr;
@@ -871,23 +885,29 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
     check::CheckConfig campaign_cfg = cfg;
     campaign_cfg.campaign_bug = check::CampaignBug::kMismatchOffByOne;
     const auto campaign_report = check::run_checks(campaign_cfg, &std::cerr);
-    if (scalar_report.ok() || campaign_report.ok()) {
+    check::CheckConfig prune_cfg = cfg;
+    prune_cfg.prune_bug = check::PruneBug::kBadProof;
+    const auto prune_report = check::run_checks(prune_cfg, &std::cerr);
+    if (scalar_report.ok() || campaign_report.ok() || prune_report.ok()) {
       std::fprintf(stderr,
                    "check: SELF-TEST FAILED: planted %s defect not caught\n",
-                   scalar_report.ok() ? "scalar" : "campaign");
+                   scalar_report.ok()     ? "scalar"
+                   : campaign_report.ok() ? "campaign"
+                                          : "static-prune");
       return 1;
     }
     std::printf(
-        "check: self-test OK (planted scalar + campaign defects caught)\n");
+        "check: self-test OK (planted scalar + campaign + static-prune "
+        "defects caught)\n");
     return 0;
   }
 
   const auto report = check::run_checks(cfg, &std::cerr);
   std::printf(
       "check: %d trials (%d packed-vs-scalar, %d fault-oracle, %d campaign, "
-      "%d serve)\n",
+      "%d static-prune, %d serve)\n",
       report.trials_run, report.packed_checks, report.fault_checks,
-      report.campaign_checks, report.serve_checks);
+      report.campaign_checks, report.prune_checks, report.serve_checks);
   if (!report.ok()) {
     std::fprintf(stderr, "check: FAILED\n");
     return 1;

@@ -36,6 +36,9 @@ std::string run_oracle(const std::string& oracle,
   if (oracle == "campaign")
     return diff_campaign_equivalence(design, fault_config(cycles, seed),
                                      config.max_faults, config.campaign_bug);
+  if (oracle == "static-prune")
+    return diff_static_prune(design, fault_config(cycles, seed),
+                             config.prune_bug);
   return diff_serve_vs_pipeline(design, config.scratch_dir, seed);
 }
 
@@ -151,6 +154,14 @@ CheckReport run_checks(const CheckConfig& config, std::ostream* log) {
       d.message =
           run_oracle(d.oracle, circuit, config.cycles, trial_seed, config);
       ++report.campaign_checks;
+    }
+
+    if (d.message.empty() && config.prune_every > 0 &&
+        trial % config.prune_every == 0) {
+      d.oracle = "static-prune";
+      d.message =
+          run_oracle(d.oracle, circuit, config.cycles, trial_seed, config);
+      ++report.prune_checks;
     }
 
     if (d.message.empty() && config.serve_every > 0 &&

@@ -1,6 +1,6 @@
 // Randomized differential-oracle harness.
 //
-// run_checks() fuzzes the four oracles of src/check/differential.hpp over
+// run_checks() fuzzes the five oracles of src/check/differential.hpp over
 // random sequential circuits (designs::build_random_circuit). Every trial
 // derives its own seed from CheckConfig::seed via SplitMix64, so a failure
 // report pins down a single reproducible (seed, circuit config, cycles)
@@ -52,6 +52,11 @@ struct CheckConfig {
   /// the second-slowest oracle) on every k-th trial. 0 disables it.
   int campaign_every = 1;
 
+  /// Run the static-prune oracle (certificate + proof verification, full
+  /// unpruned reference campaign, pruned campaign) on every k-th trial.
+  /// 0 disables it.
+  int prune_every = 1;
+
   /// Plants a deliberate defect in the scalar reference so tests can prove
   /// the harness is able to fail. kNone for real checking.
   ScalarBug scalar_bug = ScalarBug::kNone;
@@ -59,13 +64,18 @@ struct CheckConfig {
   /// Plants a deliberate verdict corruption in one leg of the campaign
   /// oracle (see CampaignBug). kNone for real checking.
   CampaignBug campaign_bug = CampaignBug::kNone;
+
+  /// Plants a deliberate defect in the static-prune oracle's triage
+  /// result (see PruneBug). kNone for real checking.
+  PruneBug prune_bug = PruneBug::kNone;
 };
 
 /// One reproducible failure: re-running the named oracle on
 /// build_random_circuit(circuit) with `seed` and `cycles` diverges again.
 struct Divergence {
   int trial = -1;
-  std::string oracle;  // "packed-vs-scalar" | "fault" | "campaign" | "serve"
+  /// "packed-vs-scalar" | "fault" | "campaign" | "static-prune" | "serve"
+  std::string oracle;
   std::string message;
   std::uint64_t seed = 0;
   designs::RandomCircuitConfig circuit;
@@ -82,6 +92,7 @@ struct CheckReport {
   int packed_checks = 0;
   int fault_checks = 0;
   int campaign_checks = 0;
+  int prune_checks = 0;
   int serve_checks = 0;
   std::vector<Divergence> divergences;
 

@@ -83,6 +83,7 @@ PipelineResult FaultCriticalityAnalyzer::analyze(
     cc.engine = config_.campaign_engine;
     cc.batch_faults = config_.campaign_batch_faults;
     cc.collapse_equivalent = config_.campaign_collapse_equivalent;
+    cc.static_prune = config_.campaign_static_prune;
     cc.num_threads = config_.campaign_threads;
     const int batches = std::max(1, config_.workload_batches);
     for (int b = 0; b < batches; ++b) {

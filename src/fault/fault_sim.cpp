@@ -12,6 +12,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/packed_sim.hpp"
+#include "src/sla/triage.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
@@ -818,14 +819,76 @@ CampaignResult FaultCampaign::run_levelized(const std::vector<Fault>& faults) {
   return out;
 }
 
+std::uint32_t FaultCampaign::static_cone_size(NodeId site) const {
+  if (config_.engine == FiEngine::kLevelized && !config_.use_cone_restriction) {
+    // The naive sweep re-evaluates every non-source node for every fault.
+    std::uint32_t count = 0;
+    for (NodeId id = 0; id < num_nodes_; ++id)
+      if (!is_source_kind(nl_->kind(id))) ++count;
+    return count;
+  }
+  std::uint32_t count = 0;
+  for (const NodeId id : transitive_fanout(site))
+    if (!is_source_kind(nl_->kind(id))) ++count;
+  return count;
+}
+
 CampaignResult FaultCampaign::run(const std::vector<Fault>& faults) {
   if (!golden_ready_) run_golden();
   // The fanout CSR cache must exist before worker threads race to read it.
   if (num_nodes_ > 0) nl_->fanouts(0);
+
+  // Static triage: prove faults Benign before paying for simulation.
+  sla::TriageResult triage;
+  double triage_seconds = 0.0;
+  std::vector<Fault> must_sim;
+  const bool prune = config_.static_prune && !faults.empty();
+  if (prune) {
+    obs::Span span("sla_triage");
+    util::Timer timer;
+    const sla::DataflowAnalysis analysis = sla::DataflowAnalysis::run(*nl_);
+    triage = sla::triage_faults(*nl_, analysis, faults);
+    must_sim.reserve(triage.must_simulate);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (triage.records[i].verdict == sla::TriageVerdict::kMustSimulate)
+        must_sim.push_back(faults[i]);
+    triage_seconds = timer.seconds();
+  }
+  const std::vector<Fault>& active = prune ? must_sim : faults;
+
   CampaignResult out = config_.engine == FiEngine::kFrontier
-                           ? run_frontier(faults)
-                           : run_levelized(faults);
+                           ? run_frontier(active)
+                           : run_levelized(active);
   out.golden_seconds = golden_seconds_;
+  if (!prune) return out;
+
+  out.triage_seconds = triage_seconds;
+  out.pruned_faults = static_cast<std::uint32_t>(triage.proved_benign);
+  out.prune_site_const = static_cast<std::uint32_t>(triage.count_site_const);
+  out.prune_dead_cone = static_cast<std::uint32_t>(triage.count_dead_cone);
+  out.prune_const_blocked =
+      static_cast<std::uint32_t>(triage.count_const_blocked);
+  auto& reg = obs::registry();
+  reg.counter("sla.pruned").add(triage.proved_benign);
+  reg.counter("sla.site_const").add(triage.count_site_const);
+  reg.counter("sla.dead_cone").add(triage.count_dead_cone);
+  reg.counter("sla.const_blocked").add(triage.count_const_blocked);
+  reg.counter("sla.must_simulate").add(triage.must_simulate);
+  if (triage.proved_benign == 0) return out;
+
+  // Scatter the simulated subset back and synthesize the proved-Benign
+  // results: zero detections and the cone_size simulation would report.
+  std::vector<FaultResult> full(faults.size());
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (triage.records[i].verdict == sla::TriageVerdict::kMustSimulate) {
+      full[i] = out.faults[cursor++];
+    } else {
+      full[i].fault = faults[i];
+      full[i].cone_size = static_cone_size(faults[i].node);
+    }
+  }
+  out.faults = std::move(full);
   return out;
 }
 

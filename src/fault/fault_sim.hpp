@@ -62,6 +62,16 @@ struct CampaignConfig {
 
   FiEngine engine = FiEngine::kFrontier;
 
+  /// Triage the fault list through the static dataflow engine (src/sla)
+  /// before simulating: faults proved Benign — site already stuck at the
+  /// faulty value in every reachable cycle, dead cone, or every path to an
+  /// output blocked by a controlling constant — are skipped and reported
+  /// with all-zero verdicts, bit-identical to what simulation would have
+  /// produced. Escape hatch: --no-static-prune / set false here. The
+  /// `diff_static_prune` oracle in fcrit check enforces the soundness
+  /// contract by re-simulating every pruned fault.
+  bool static_prune = true;
+
   /// kLevelized only: disable to benchmark the naive full sweep.
   bool use_cone_restriction = true;
 
@@ -121,6 +131,13 @@ struct CampaignResult {
   std::uint32_t num_batches = 0;        // packed passes actually run
   std::uint64_t frontier_evals = 0;     // node re-evaluations across passes
   std::uint64_t early_exit_cycles = 0;  // fault-cycles skipped as quiescent
+
+  // Static-pruning statistics (zero when static_prune is off).
+  std::uint32_t pruned_faults = 0;       // proved Benign, never simulated
+  std::uint32_t prune_site_const = 0;    // site already holds the stuck value
+  std::uint32_t prune_dead_cone = 0;     // site cannot reach any output
+  std::uint32_t prune_const_blocked = 0; // every escape blocked by a constant
+  double triage_seconds = 0.0;           // dataflow analysis + triage time
 };
 
 /// How a fault list is grouped into shared frontier passes. Produced by
@@ -226,6 +243,10 @@ class FaultCampaign {
   };
 
   std::vector<netlist::NodeId> transitive_fanout(netlist::NodeId src) const;
+  /// The cone_size the configured engine would report for a fault at
+  /// `site` — used to fill results of statically pruned faults so the
+  /// campaign output is bit-identical with pruning on or off.
+  std::uint32_t static_cone_size(netlist::NodeId site) const;
   void build_frontier_graph();
   FaultResult simulate_fault_levelized(const Fault& fault) const;
   /// One packed frontier pass; `batch` cones must be pairwise disjoint

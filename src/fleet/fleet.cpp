@@ -81,7 +81,7 @@ Fleet::Fleet(FleetConfig config)
     shards_.push_back(std::move(shard));
   }
   {
-    std::lock_guard<std::mutex> lock(ring_mutex_);
+    util::MutexLock lock(ring_mutex_);
     for (const auto& shard : shards_) ring_.add(shard->name);
   }
   live_shards_gauge_->set(static_cast<std::int64_t>(shards_.size()));
@@ -109,7 +109,7 @@ BundleTable Fleet::scan_bundles(const std::string& dir) {
 }
 
 std::shared_ptr<const BundleTable> Fleet::table() const {
-  std::lock_guard<std::mutex> lock(table_mutex_);
+  util::MutexLock lock(table_mutex_);
   return table_;
 }
 
@@ -138,7 +138,7 @@ std::string Fleet::resolve_bundle(const std::string& token) const {
 }
 
 std::string Fleet::route(const std::string& bundle_path) const {
-  std::lock_guard<std::mutex> lock(ring_mutex_);
+  util::MutexLock lock(ring_mutex_);
   if (ring_.empty())
     throw FleetError(FleetErrorCode::kNoShard,
                      "no live shard (all killed or drained)");
@@ -158,7 +158,7 @@ const Fleet::Shard* Fleet::find_shard(const std::string& name) const {
 }
 
 void Fleet::leave_ring(const std::string& name) {
-  std::lock_guard<std::mutex> lock(ring_mutex_);
+  util::MutexLock lock(ring_mutex_);
   ring_.remove(name);
 }
 
@@ -265,7 +265,7 @@ void Fleet::drain_shard(const std::string& name) {
 }
 
 ReloadStats Fleet::reload() {
-  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  util::MutexLock reload_lock(reload_mutex_);
   auto next = std::make_shared<const BundleTable>(
       scan_bundles(config_.bundle_dir));
   const auto prev = table();
@@ -283,7 +283,7 @@ ReloadStats Fleet::reload() {
     if (next->bundles.find(name) == next->bundles.end()) ++stats.removed;
 
   {
-    std::lock_guard<std::mutex> lock(table_mutex_);
+    util::MutexLock lock(table_mutex_);
     table_ = next;
   }
   stats.generation = generation_.fetch_add(1) + 1;
@@ -393,7 +393,7 @@ std::string Fleet::metrics_json() const {
 void Fleet::shutdown() {
   if (stopped_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(ring_mutex_);
+    util::MutexLock lock(ring_mutex_);
     while (!ring_.empty()) ring_.remove(ring_.shards().front());
   }
   for (const auto& shard : shards_) {

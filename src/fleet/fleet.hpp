@@ -34,7 +34,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -45,6 +44,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/request_trace.hpp"
 #include "src/serve/engine.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::fleet {
 
@@ -217,12 +217,12 @@ class Fleet {
   obs::RequestTraceCollector traces_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex ring_mutex_;
-  HashRing ring_;
+  mutable util::Mutex ring_mutex_;
+  HashRing ring_ GUARDED_BY(ring_mutex_);
 
-  mutable std::mutex table_mutex_;  // guards the snapshot pointer swap
-  std::shared_ptr<const BundleTable> table_;
-  std::mutex reload_mutex_;  // serializes reload() scans
+  mutable util::Mutex table_mutex_;  // guards the snapshot pointer swap
+  std::shared_ptr<const BundleTable> table_ GUARDED_BY(table_mutex_);
+  util::Mutex reload_mutex_;  // serializes reload() scans
   std::atomic<std::uint64_t> generation_{0};
 
   std::atomic<bool> stopped_{false};

@@ -94,15 +94,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"dead-gate", Severity::kWarning,
        "gate with no fanout that drives no primary output"},
       {"dead-cone", Severity::kWarning,
-       "logic cone unreachable from every primary output"},
+       "logic cone unreachable from every primary output, or provably "
+       "blocked by controlling constants (static dataflow)"},
       {"input-unreachable", Severity::kWarning,
        "gate not influenced by any primary input"},
       {"dff-self-loop", Severity::kWarning,
        "flip-flop whose D input is its own output"},
       {"const-fold", Severity::kNote,
-       "gate with constant fanins that simplification would remove"},
+       "gate or flop proved constant by static dataflow analysis, or with "
+       "constant fanins simplification would remove"},
       {"reset-cone", Severity::kNote,
-       "flip-flop never influenced by any reset-like input"},
+       "flip-flop never influenced by any reset-like input (proved via "
+       "the static divergence closure when the netlist is analyzable)"},
       {"graphir-consistency", Severity::kError,
        "graph IR disagrees with the netlist (nodes, edges, features, labels)"},
       {"split-leak", Severity::kError,

@@ -23,7 +23,7 @@ TelemetryExporter::~TelemetryExporter() { stop(); }
 
 void TelemetryExporter::add_source(std::string name,
                                    std::function<std::string()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   sources_.emplace_back(std::move(name), std::move(fn));
 }
 
@@ -34,7 +34,7 @@ void TelemetryExporter::add_registry(std::string name,
 
 bool TelemetryExporter::start(const std::string& path,
                               double interval_seconds) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_ || file_) return false;
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (!f) {
@@ -53,30 +53,37 @@ bool TelemetryExporter::start(const std::string& path,
 
 void TelemetryExporter::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_requested_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   running_ = false;
   file_.reset();
 }
 
 bool TelemetryExporter::running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return running_;
 }
 
 void TelemetryExporter::run(double interval_seconds) {
   const auto interval = std::chrono::duration<double>(interval_seconds);
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (!stop_requested_) {
-    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; }))
-      break;
-    lock.unlock();
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      // Explicit predicate loop (not a wait lambda): the thread-safety
+      // analysis can only see guarded reads made directly in this scope.
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stop_requested_) {
+        if (cv_.wait_until(lock.native(), deadline) ==
+            std::cv_status::timeout)
+          break;
+      }
+      if (stop_requested_) return;
+    }
     snapshot_now();
-    lock.lock();
   }
 }
 
@@ -86,10 +93,12 @@ void TelemetryExporter::snapshot_now() {
   // Copy the source list so producers run outside the exporter mutex;
   // each producer only touches its own registry's name-map mutex.
   std::vector<Source> sources;
+  double interval_seconds = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!file_) return;
     sources = sources_;
+    interval_seconds = interval_seconds_;
   }
 
   const double mono_ms =
@@ -99,7 +108,7 @@ void TelemetryExporter::snapshot_now() {
                                     1);
   line += ",\"mono_ms\":" + json_number(mono_ms);
   line += ",\"wall_unix_ms\":" + std::to_string(wall_unix_ms());
-  line += ",\"interval_seconds\":" + json_number(interval_seconds_);
+  line += ",\"interval_seconds\":" + json_number(interval_seconds);
   line += ",\"registries\":{";
   for (std::size_t i = 0; i < sources.size(); ++i) {
     if (i != 0) line += ",";
@@ -108,7 +117,7 @@ void TelemetryExporter::snapshot_now() {
   line += "}}\n";
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!file_) return;
     std::fwrite(line.data(), 1, line.size(), file_.get());
     std::fflush(file_.get());
@@ -124,7 +133,7 @@ void TelemetryExporter::snapshot_now() {
 TelemetryExporter::Status TelemetryExporter::status() const {
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     s.running = running_;
     s.interval_seconds = interval_seconds_;
   }

@@ -22,11 +22,12 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::obs {
 
@@ -75,16 +76,16 @@ class TelemetryExporter {
  private:
   void run(double interval_seconds);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  std::thread thread_;
-  std::vector<Source> sources_;
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  bool stop_requested_ GUARDED_BY(mutex_) = false;
+  bool running_ GUARDED_BY(mutex_) = false;
+  std::thread thread_;  // started/joined from one controller thread
+  std::vector<Source> sources_ GUARDED_BY(mutex_);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_ GUARDED_BY(mutex_);
 
-  std::chrono::steady_clock::time_point t0_;
-  double interval_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;  // written once, before ticks
+  double interval_seconds_ GUARDED_BY(mutex_) = 0.0;
   std::atomic<std::uint64_t> snapshots_{0};
   std::atomic<double> last_lag_ms_{0.0};
   std::atomic<double> last_mono_ms_{0.0};

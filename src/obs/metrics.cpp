@@ -118,14 +118,14 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -137,7 +137,7 @@ Histogram& Registry::histogram(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
@@ -191,7 +191,7 @@ RegistrySnapshot Registry::snapshot() const {
   std::map<std::string, const Gauge*> gauges;
   std::map<std::string, const Histogram*> histograms;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& [name, c] : counters_) counters[name] = c.get();
     for (const auto& [name, g] : gauges_) gauges[name] = g.get();
     for (const auto& [name, h] : histograms_) histograms[name] = h.get();

@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::obs {
 
@@ -132,10 +133,11 @@ class Registry {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// Histogram summary as a JSON object (shared by Registry::to_json and the

@@ -94,7 +94,7 @@ std::uint64_t RequestTraceCollector::begin(const std::string& bundle,
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (active_.size() >= kMaxActive && !active_.count(id)) return 0;
   active_[id] = std::move(t);  // a reused client id restarts its trace
   return id;
@@ -105,7 +105,7 @@ void RequestTraceCollector::span(std::uint64_t id, const std::string& name,
                                  TraceClock::time_point end,
                                  const std::string& detail) {
   if (!enabled() || id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
   TraceSpan s;
@@ -125,14 +125,14 @@ void RequestTraceCollector::event(std::uint64_t id, const std::string& name,
 void RequestTraceCollector::set_shard(std::uint64_t id,
                                       const std::string& shard) {
   if (!enabled() || id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = active_.find(id);
   if (it != active_.end()) it->second.shard = shard;
 }
 
 void RequestTraceCollector::add_retry(std::uint64_t id) {
   if (!enabled() || id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = active_.find(id);
   if (it != active_.end()) ++it->second.retries;
 }
@@ -140,7 +140,7 @@ void RequestTraceCollector::add_retry(std::uint64_t id) {
 void RequestTraceCollector::add_peers(std::uint64_t id,
                                       const std::vector<std::uint64_t>& batch) {
   if (!enabled() || id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
   for (std::uint64_t peer : batch) {
@@ -156,7 +156,7 @@ void RequestTraceCollector::finish(std::uint64_t id, const std::string& verdict,
   if (!enabled() || id == 0) return;
   RequestTrace done;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = active_.find(id);
     if (it == active_.end()) return;
     done = std::move(it->second);
@@ -177,7 +177,7 @@ void RequestTraceCollector::finish(std::uint64_t id, const std::string& verdict,
 
 std::optional<RequestTrace> RequestTraceCollector::find(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Newest first: a reused client id should resolve to its latest request.
   for (auto it = ring_.rbegin(); it != ring_.rend(); ++it)
     if (it->id == id) return *it;
@@ -185,7 +185,7 @@ std::optional<RequestTrace> RequestTraceCollector::find(
 }
 
 std::vector<RequestTrace> RequestTraceCollector::last(std::size_t n) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::size_t take = std::min(n, ring_.size());
   // Newest first — the order a human paging through TRACE LAST wants.
   std::vector<RequestTrace> out;
@@ -197,12 +197,12 @@ std::vector<RequestTrace> RequestTraceCollector::last(std::size_t n) const {
 }
 
 std::size_t RequestTraceCollector::ring_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.size();
 }
 
 std::size_t RequestTraceCollector::active_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return active_.size();
 }
 
@@ -212,7 +212,7 @@ bool RequestTraceCollector::open_access_log(const std::string& path) {
     logf(LogLevel::kWarn, "cannot open access log %s", path.c_str());
     return false;
   }
-  std::lock_guard<std::mutex> lock(log_mutex_);
+  util::MutexLock lock(log_mutex_);
   log_.reset(f);
   return true;
 }
@@ -223,7 +223,7 @@ void RequestTraceCollector::write_wide_event(const RequestTrace& t) {
       slow >= 0.0 && (t.verdict != "ok" || t.total_ms >= slow);
   std::string line;
   {
-    std::lock_guard<std::mutex> lock(log_mutex_);
+    util::MutexLock lock(log_mutex_);
     if (log_) {
       line = request_trace_json(t);
       line += '\n';

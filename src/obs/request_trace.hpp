@@ -29,11 +29,12 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::obs {
 
@@ -134,12 +135,12 @@ class RequestTraceCollector {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<double> slow_ms_{-1.0};
 
-  mutable std::mutex mutex_;  // active_ + ring_
-  std::unordered_map<std::uint64_t, RequestTrace> active_;
-  std::deque<RequestTrace> ring_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::uint64_t, RequestTrace> active_ GUARDED_BY(mutex_);
+  std::deque<RequestTrace> ring_ GUARDED_BY(mutex_);
 
-  std::mutex log_mutex_;  // access-log file handle
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> log_;
+  util::Mutex log_mutex_;  // access-log file handle
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> log_ GUARDED_BY(log_mutex_);
 };
 
 }  // namespace fcrit::obs

@@ -27,7 +27,7 @@ Tracer& Tracer::instance() {
 
 void Tracer::start() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     events_.clear();
   }
   epoch_ = std::chrono::steady_clock::now();
@@ -35,12 +35,12 @@ void Tracer::start() {
 }
 
 void Tracer::record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_;
 }
 

@@ -14,9 +14,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::obs {
 
@@ -51,8 +52,8 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_{};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
 };
 
 /// RAII phase span against the global Tracer. Records on destruction when

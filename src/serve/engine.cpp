@@ -95,7 +95,7 @@ std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path,
   const std::string bytes = read_file_bytes(path);
   const std::uint64_t key = fnv1a64(bytes);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -109,7 +109,7 @@ std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path,
   // the work, but never block each other behind a cold load.
   std::istringstream is(bytes);
   auto bundle = std::make_shared<const ModelBundle>(load_bundle(is));
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return lru_.front().second;  // another thread won the race
@@ -124,7 +124,7 @@ std::shared_ptr<const ModelBundle> BundleCache::get(const std::string& path,
 }
 
 std::size_t BundleCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lru_.size();
 }
 
@@ -454,20 +454,27 @@ std::future<ScoreResult> ScoringEngine::submit(
   if (opts.trace_id != 0) job.enqueued = obs::TraceClock::now();
   std::future<ScoreResult> future = job.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    const auto room = [this] {
-      return stopping_ || queue_.size() < config_.queue_capacity;
-    };
+    util::MutexLock lock(queue_mutex_);
+    // Explicit predicate loops (not wait lambdas): the thread-safety
+    // analysis can only see guarded reads made directly in this scope.
     if (queue_timeout) {
-      if (!queue_not_full_.wait_for(lock, *queue_timeout, room)) {
-        submit_timeouts_->add();
-        throw EngineError(
-            EngineErrorCode::kQueueTimeout,
-            "queue full (depth " + std::to_string(queue_.size()) + ") for " +
-                std::to_string(queue_timeout->count()) + " ms");
+      const auto deadline = std::chrono::steady_clock::now() + *queue_timeout;
+      while (!stopping_ && queue_.size() >= config_.queue_capacity) {
+        if (queue_not_full_.wait_until(lock.native(), deadline) !=
+            std::cv_status::timeout)
+          continue;
+        if (!stopping_ && queue_.size() >= config_.queue_capacity) {
+          submit_timeouts_->add();
+          throw EngineError(
+              EngineErrorCode::kQueueTimeout,
+              "queue full (depth " + std::to_string(queue_.size()) +
+                  ") for " + std::to_string(queue_timeout->count()) + " ms");
+        }
+        break;
       }
     } else {
-      queue_not_full_.wait(lock, room);
+      while (!stopping_ && queue_.size() >= config_.queue_capacity)
+        queue_not_full_.wait(lock.native());
     }
     if (stopping_)
       throw EngineError(EngineErrorCode::kShutdown,
@@ -486,9 +493,8 @@ void ScoringEngine::worker_loop() {
     // batch below.
     std::vector<Job> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_not_empty_.wait(lock,
-                            [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_not_empty_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and fully drained
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
@@ -638,7 +644,7 @@ void ScoringEngine::run_job_batch(std::vector<Job> batch) {
 
 void ScoringEngine::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
@@ -652,7 +658,7 @@ void ScoringEngine::shutdown() {
 void ScoringEngine::abort() {
   std::deque<Job> discarded;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     stopping_ = true;
     discarded.swap(queue_);
     queue_depth_->set(0);
@@ -671,7 +677,7 @@ void ScoringEngine::prewarm(const std::string& bundle_path) {
 }
 
 std::size_t ScoringEngine::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  util::MutexLock lock(queue_mutex_);
   return queue_.size();
 }
 

@@ -41,7 +41,6 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -54,6 +53,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/request_trace.hpp"
 #include "src/serve/bundle.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::serve {
 
@@ -194,9 +194,10 @@ class BundleCache {
   using Entry = std::pair<std::uint64_t, std::shared_ptr<const ModelBundle>>;
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  mutable util::Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      GUARDED_BY(mutex_);
   obs::Counter own_hits_;
   obs::Counter own_misses_;
   obs::Counter* hits_;
@@ -317,12 +318,12 @@ class ScoringEngine {
   obs::Registry registry_;
   BundleCache cache_;
 
-  mutable std::mutex queue_mutex_;
+  mutable util::Mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::deque<Job> queue_ GUARDED_BY(queue_mutex_);
+  bool stopping_ GUARDED_BY(queue_mutex_) = false;
+  std::vector<std::thread> workers_;  // touched only by the owner thread
 
   std::chrono::steady_clock::time_point started_;
   obs::Counter* requests_;

@@ -165,7 +165,7 @@ void LineServer::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listening socket gone
     }
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     if (stopping_.load()) {
       ::close(fd);
       break;
@@ -196,7 +196,7 @@ void LineServer::connection_loop(int fd) {
     if (should_close(verb) || stopping_.load()) open = false;
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     conn_fds_.erase(fd);
   }
   ::close(fd);
@@ -214,12 +214,12 @@ void LineServer::stop() {
   {
     // Wake connections parked in recv(); their writes still complete, so
     // in-flight requests are answered before the threads exit.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     threads.swap(conn_threads_);
   }
   for (auto& t : threads)

@@ -17,13 +17,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "src/obs/prom.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::obs {
 class RequestTraceCollector;
@@ -108,9 +108,9 @@ class LineServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_;
-  std::unordered_set<int> conn_fds_;
+  util::Mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mutex_);
+  std::unordered_set<int> conn_fds_ GUARDED_BY(conn_mutex_);
 };
 
 }  // namespace fcrit::serve

@@ -1,0 +1,110 @@
+#include "src/sla/dominators.hpp"
+
+#include <cstdint>
+
+namespace fcrit::sla {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+FanoutDominators compute_fanout_dominators(const Netlist& nl) {
+  const std::size_t n = nl.num_nodes();
+  const std::uint32_t exit = static_cast<std::uint32_t>(n);
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+  FanoutDominators out;
+  out.idom.assign(n, netlist::kNoNode);
+  out.reaches_output.assign(n, 0);
+  if (n == 0) return out;
+
+  // Mark primary-output drivers (the exit's predecessors-in-reverse).
+  std::vector<std::uint8_t> is_po(n, 0);
+  for (const auto& port : nl.outputs()) is_po[port.driver] = 1;
+
+  // Depth-first traversal of the reverse graph (exit -> PO drivers,
+  // consumer -> producer) to number reachable nodes in reverse postorder.
+  // A node unreachable here cannot reach any output in the forward graph.
+  std::vector<std::uint32_t> rpo_num(n + 1, kUnvisited);
+  std::vector<std::uint32_t> by_rpo;  // node index per RPO position
+  {
+    std::vector<std::uint32_t> post;
+    post.reserve(n + 1);
+    // Iterative DFS with an explicit (node, child-cursor) stack.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+    std::vector<std::uint8_t> seen(n + 1, 0);
+    stack.emplace_back(exit, 0);
+    seen[exit] = 1;
+    while (!stack.empty()) {
+      auto& [u, cursor] = stack.back();
+      std::uint32_t next = kUnvisited;
+      if (u == exit) {
+        for (NodeId v = static_cast<NodeId>(cursor); v < n; ++v) {
+          if (is_po[v] && !seen[v]) {
+            cursor = v + 1;
+            next = v;
+            break;
+          }
+        }
+      } else {
+        const netlist::Node& node = nl.node(u);
+        while (cursor < node.fanin_count) {
+          const NodeId f = node.fanin[cursor++];
+          if (!seen[f]) {
+            next = f;
+            break;
+          }
+        }
+      }
+      if (next == kUnvisited) {
+        post.push_back(u);
+        stack.pop_back();
+      } else {
+        seen[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    }
+    by_rpo.assign(post.rbegin(), post.rend());
+    for (std::uint32_t i = 0; i < by_rpo.size(); ++i) rpo_num[by_rpo[i]] = i;
+  }
+  for (NodeId id = 0; id < n; ++id)
+    out.reaches_output[id] = rpo_num[id] != kUnvisited ? 1 : 0;
+
+  // Cooper–Harvey–Kennedy iteration. idoms live in node-index space with
+  // the virtual exit as root; intersection walks up by RPO number.
+  std::vector<std::uint32_t> idom(n + 1, kUnvisited);
+  idom[exit] = exit;
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_num[a] > rpo_num[b]) a = idom[a];
+      while (rpo_num[b] > rpo_num[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t u : by_rpo) {
+      if (u == exit) continue;
+      // Predecessors in the reverse graph: consumers of u, plus the exit
+      // when u drives a primary output.
+      std::uint32_t new_idom = kUnvisited;
+      auto consider = [&](std::uint32_t p) {
+        if (rpo_num[p] == kUnvisited || idom[p] == kUnvisited) return;
+        new_idom = new_idom == kUnvisited ? p : intersect(p, new_idom);
+      };
+      if (is_po[u]) consider(exit);
+      for (const NodeId c : nl.fanouts(static_cast<NodeId>(u))) consider(c);
+      if (new_idom != kUnvisited && idom[u] != new_idom) {
+        idom[u] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (rpo_num[id] != kUnvisited && idom[id] != kUnvisited && idom[id] != exit)
+      out.idom[id] = static_cast<NodeId>(idom[id]);
+  }
+  return out;
+}
+
+}  // namespace fcrit::sla

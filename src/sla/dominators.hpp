@@ -1,0 +1,37 @@
+// Fanout (post-)dominators of a netlist toward its primary outputs.
+//
+// Treat the netlist as a flow graph whose edges run producer -> consumer
+// (flip-flop crossings included) with one virtual exit fed by every
+// primary-output driver. Node d post-dominates node n when every path
+// from n to the exit passes through d — i.e. d is a funnel every fault
+// effect originating at n must squeeze through before it can reach an
+// output. Composed with the constant lattice this yields the
+// observability argument of the triage pass: once the divergence
+// frontier dies below a post-dominator, no output can ever differ.
+//
+// Computed with the Cooper–Harvey–Kennedy iterative algorithm on the
+// reverse graph; cycles through flip-flops are handled like any loop in
+// a flow graph.
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace fcrit::sla {
+
+struct FanoutDominators {
+  /// Immediate post-dominator per node; kNoNode for nodes that cannot
+  /// reach any primary output (dead cones) and for nodes whose only
+  /// dominator is the virtual exit itself.
+  std::vector<netlist::NodeId> idom;
+
+  /// True when the node can reach some primary-output driver (through
+  /// any number of gates and flip-flops). Faults on unreachable nodes
+  /// are trivially benign.
+  std::vector<std::uint8_t> reaches_output;
+};
+
+FanoutDominators compute_fanout_dominators(const netlist::Netlist& nl);
+
+}  // namespace fcrit::sla

@@ -1,0 +1,87 @@
+#include "src/sla/ternary.hpp"
+
+#include <cassert>
+
+namespace fcrit::sla {
+
+namespace {
+
+using netlist::CellKind;
+
+/// Enumerate the concrete input assignments of an arity-n cell consistent
+/// with the abstract inputs (and, when `lits` is non-empty, with the
+/// pairwise equal/opposite relations the literals encode) and fold `fn`
+/// over them. Arity <= 4, so at most 16 assignments.
+template <typename Fn>
+void for_each_consistent(std::span<const Ternary> ins,
+                         std::span<const std::uint64_t> lits, Fn&& fn) {
+  const int arity = static_cast<int>(ins.size());
+  for (unsigned a = 0; a < (1u << arity); ++a) {
+    bool ok = true;
+    for (int i = 0; ok && i < arity; ++i) {
+      const bool vi = (a >> i) & 1u;
+      if (is_definite(ins[i]) && vi != definite_value(ins[i])) ok = false;
+    }
+    if (ok && !lits.empty()) {
+      for (int i = 0; ok && i < arity; ++i) {
+        for (int j = i + 1; ok && j < arity; ++j) {
+          if ((lits[i] >> 1) != (lits[j] >> 1)) continue;
+          const bool vi = (a >> i) & 1u;
+          const bool vj = (a >> j) & 1u;
+          // Same representative: values must differ exactly when the
+          // phases differ.
+          if ((vi != vj) != (((lits[i] ^ lits[j]) & 1u) != 0)) ok = false;
+        }
+      }
+    }
+    if (ok) fn(a);
+  }
+}
+
+}  // namespace
+
+Ternary eval_ternary_related(CellKind kind, std::span<const Ternary> ins,
+                             std::span<const std::uint64_t> lits) {
+  assert(static_cast<int>(ins.size()) == netlist::spec(kind).arity);
+  const std::uint16_t tt = netlist::truth_table(kind);
+  bool seen0 = false, seen1 = false;
+  for_each_consistent(ins, lits, [&](unsigned a) {
+    ((tt >> a) & 1u) ? seen1 = true : seen0 = true;
+  });
+  if (seen0 && seen1) return Ternary::kX;
+  if (seen1) return Ternary::kOne;
+  if (seen0) return Ternary::kZero;
+  // No consistent assignment: contradictory constraints. Unreachable for
+  // sound inputs; X is the safe answer.
+  return Ternary::kX;
+}
+
+Ternary eval_ternary(CellKind kind, std::span<const Ternary> ins) {
+  return eval_ternary_related(kind, ins, {});
+}
+
+int learn_equivalence(CellKind kind, std::span<const Ternary> ins,
+                      std::span<const std::uint64_t> lits) {
+  const int arity = static_cast<int>(ins.size());
+  const std::uint16_t tt = netlist::truth_table(kind);
+  // candidate bit j: out == in_j everywhere; bit (arity + j): out == !in_j.
+  unsigned candidates = (1u << (2 * arity)) - 1u;
+  bool any = false;
+  for_each_consistent(ins, lits, [&](unsigned a) {
+    any = true;
+    const bool out = (tt >> a) & 1u;
+    for (int j = 0; j < arity; ++j) {
+      const bool vj = (a >> j) & 1u;
+      if (out != vj) candidates &= ~(1u << j);
+      if (out == vj) candidates &= ~(1u << (arity + j));
+    }
+  });
+  if (!any) return -1;
+  for (int j = 0; j < arity; ++j) {
+    if (candidates & (1u << j)) return 2 * j;
+    if (candidates & (1u << (arity + j))) return 2 * j + 1;
+  }
+  return -1;
+}
+
+}  // namespace fcrit::sla

@@ -1,0 +1,64 @@
+// Ternary (0 / 1 / X) value domain of the static dataflow engine.
+//
+// A Ternary abstracts the set of boolean values a net can carry across all
+// cycles of all workloads: kZero = {0}, kOne = {1}, kX = {0, 1}. Transfer
+// functions are derived from the cell library's truth tables by exhaustive
+// enumeration of the concrete assignments consistent with the abstract
+// inputs, so every CellKind is covered by construction — including the
+// complex AOI/OAI cells and the mux — and the unit tests can check each
+// kind against the concrete evaluator directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/netlist/cell_library.hpp"
+
+namespace fcrit::sla {
+
+enum class Ternary : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline Ternary from_bool(bool b) { return b ? Ternary::kOne : Ternary::kZero; }
+inline bool is_definite(Ternary t) { return t != Ternary::kX; }
+inline bool definite_value(Ternary t) { return t == Ternary::kOne; }
+
+/// Least upper bound: the smallest set containing both operands.
+inline Ternary join(Ternary a, Ternary b) { return a == b ? a : Ternary::kX; }
+
+inline Ternary negate(Ternary t) {
+  if (t == Ternary::kX) return Ternary::kX;
+  return t == Ternary::kZero ? Ternary::kOne : Ternary::kZero;
+}
+
+inline char to_char(Ternary t) {
+  return t == Ternary::kX ? 'X' : (t == Ternary::kOne ? '1' : '0');
+}
+
+/// Abstract transfer function of a combinational cell: the join of the
+/// concrete outputs over every input assignment consistent with `ins`.
+/// `ins.size()` must equal the cell arity; kDff behaves as a transparent
+/// buffer (like eval_packed), kInput is not evaluable.
+Ternary eval_ternary(netlist::CellKind kind, std::span<const Ternary> ins);
+
+/// Like eval_ternary, but assignments are additionally constrained by
+/// known same-cycle relations between the inputs: `lits[i]` is the literal
+/// (class-representative id * 2 + phase) input i is proved equal to. Two
+/// inputs whose literals share a representative must take equal (same
+/// phase) or opposite (differing phase) values in any concrete cycle, which
+/// resolves patterns the plain transfer function cannot — XOR(a, a) = 0,
+/// AND(a, !a) = 0, MUX(a, a, s) = a. Inputs with no known relation should
+/// carry a literal no other input shares.
+Ternary eval_ternary_related(netlist::CellKind kind,
+                             std::span<const Ternary> ins,
+                             std::span<const std::uint64_t> lits);
+
+/// Equivalence learner: if, over every consistent assignment, the cell
+/// output equals input `j` (phase 0) or its negation (phase 1), returns
+/// j * 2 + phase; returns -1 when the output is pinned to no single input.
+/// Used by the implication engine to learn out ≡ ±in facts (a gate whose
+/// other fanins are controlled by constants degenerates to a buffer or an
+/// inverter of the remaining input).
+int learn_equivalence(netlist::CellKind kind, std::span<const Ternary> ins,
+                      std::span<const std::uint64_t> lits);
+
+}  // namespace fcrit::sla

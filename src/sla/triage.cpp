@@ -1,0 +1,318 @@
+#include "src/sla/triage.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace fcrit::sla {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+const char* proof_kind_name(ProofKind kind) {
+  switch (kind) {
+    case ProofKind::kNone: return "none";
+    case ProofKind::kSiteHoldsStuckValue: return "site-holds-stuck-value";
+    case ProofKind::kDeadCone: return "dead-cone";
+    case ProofKind::kConstantBlocked: return "constant-blocked";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Worklist engine for the constant-transparency closure, with
+/// epoch-stamped marks so one instance serves every site of a triage run.
+class ClosureEngine {
+ public:
+  ClosureEngine(const Netlist& nl, const DataflowAnalysis& analysis)
+      : nl_(&nl),
+        analysis_(&analysis),
+        n_(nl.num_nodes()),
+        is_po_(nl.num_nodes(), 0),
+        mark_(nl.num_nodes(), 0),
+        lits_(nl.num_nodes()) {
+    for (const auto& port : nl.outputs()) is_po_[port.driver] = 1;
+    for (NodeId id = 0; id < n_; ++id) lits_[id] = analysis.literal(id);
+  }
+
+  /// See divergence_closure() in the header.
+  std::optional<std::vector<NodeId>> run(std::span<const NodeId> seeds,
+                                        bool stop_at_output) {
+    ++epoch_;
+    queue_.clear();
+    bool hit_output = false;
+    auto mark = [&](NodeId id) {
+      mark_[id] = epoch_;
+      queue_.push_back(id);
+      if (stop_at_output && is_po_[id]) hit_output = true;
+    };
+    for (const NodeId s : seeds)
+      if (!divergent(s)) mark(s);
+
+    std::array<Ternary, netlist::kMaxFanins> ins{};
+    std::array<std::uint64_t, netlist::kMaxFanins> in_lits{};
+    for (std::size_t head = 0; head < queue_.size() && !hit_output; ++head) {
+      const NodeId u = queue_[head];
+      for (const NodeId c : nl_->fanouts(u)) {
+        if (divergent(c)) continue;
+        const netlist::Node& node = nl_->node(c);
+        if (node.kind == CellKind::kDff) {
+          // State loads the (divergent) D on the next edge; registers are
+          // never transparent to blocking.
+          mark(c);
+          if (hit_output) break;
+          continue;
+        }
+        for (std::size_t i = 0; i < node.fanin_count; ++i) {
+          const NodeId f = node.fanin[i];
+          if (divergent(f)) {
+            // The corrupted net carries an unknown value; two pins fed by
+            // the same corrupted net still carry equal values, so the
+            // synthetic literal is keyed by the net.
+            ins[i] = Ternary::kX;
+            in_lits[i] = static_cast<std::uint64_t>(n_ + f) * 2;
+          } else {
+            ins[i] = analysis_->value(f);
+            in_lits[i] = lits_[f];
+          }
+        }
+        const Ternary v = eval_ternary_related(
+            node.kind, std::span<const Ternary>(ins.data(), node.fanin_count),
+            std::span<const std::uint64_t>(in_lits.data(), node.fanin_count));
+        if (!is_definite(v)) {
+          mark(c);
+          if (hit_output) break;
+        }
+      }
+    }
+    if (hit_output) return std::nullopt;
+    std::vector<NodeId> result(queue_.begin(), queue_.end());
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+  bool divergent(NodeId id) const { return mark_[id] == epoch_; }
+
+ private:
+  const Netlist* nl_;
+  const DataflowAnalysis* analysis_;
+  std::size_t n_;
+  std::vector<std::uint8_t> is_po_;
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint64_t> lits_;
+  std::vector<NodeId> queue_;
+};
+
+/// Structural transitive fanout (flip-flop crossings included), seed
+/// included — the divergence set of a dead-cone proof.
+std::vector<NodeId> structural_cone(const Netlist& nl, NodeId src) {
+  std::vector<std::uint8_t> seen(nl.num_nodes(), 0);
+  std::vector<NodeId> queue{src};
+  seen[src] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head)
+    for (const NodeId c : nl.fanouts(queue[head]))
+      if (!seen[c]) {
+        seen[c] = 1;
+        queue.push_back(c);
+      }
+  std::sort(queue.begin(), queue.end());
+  return queue;
+}
+
+}  // namespace
+
+TriageResult triage_faults(const Netlist& nl, const DataflowAnalysis& analysis,
+                           std::span<const fault::Fault> faults) {
+  return triage_faults(nl, analysis, compute_fanout_dominators(nl), faults);
+}
+
+TriageResult triage_faults(const Netlist& nl, const DataflowAnalysis& analysis,
+                           const FanoutDominators& dom,
+                           std::span<const fault::Fault> faults) {
+  TriageResult out;
+  out.records.resize(faults.size());
+  ClosureEngine engine(nl, analysis);
+
+  // Per-site closure memo (shared by the SA0/SA1 pair): the closure index
+  // when unobservable, kObservable when the walk reached an output.
+  constexpr std::int32_t kObservable = -2;
+  constexpr std::int32_t kUncached = -3;
+  std::unordered_map<NodeId, std::int32_t> site_memo;
+  site_memo.reserve(faults.size());
+
+  auto blocked_dominator = [&](NodeId site,
+                               const std::vector<NodeId>& closure) {
+    NodeId d = dom.idom[site];
+    while (d != netlist::kNoNode &&
+           std::binary_search(closure.begin(), closure.end(), d))
+      d = dom.idom[d];
+    return d;
+  };
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const fault::Fault f = faults[i];
+    TriageRecord& rec = out.records[i];
+
+    // Proof 1: the site already holds the stuck value in every cycle.
+    const Ternary site_value = analysis.value(f.node);
+    if (is_definite(site_value) && definite_value(site_value) == f.stuck_value) {
+      ProofRecord proof;
+      proof.fault = f;
+      proof.kind = ProofKind::kSiteHoldsStuckValue;
+      proof.site_value = site_value;
+      rec.verdict = TriageVerdict::kProvedBenign;
+      rec.kind = proof.kind;
+      rec.proof = static_cast<std::int32_t>(out.proofs.size());
+      out.proofs.push_back(proof);
+      ++out.count_site_const;
+      ++out.proved_benign;
+      continue;
+    }
+
+    // Proofs 2 and 3: the site's divergence cannot reach an output.
+    std::int32_t memo = kUncached;
+    if (const auto it = site_memo.find(f.node); it != site_memo.end())
+      memo = it->second;
+    ProofKind kind = ProofKind::kNone;
+    if (memo == kUncached) {
+      if (!dom.reaches_output[f.node]) {
+        memo = static_cast<std::int32_t>(out.closures.size());
+        out.closures.push_back(structural_cone(nl, f.node));
+        kind = ProofKind::kDeadCone;
+      } else {
+        const NodeId seed[1] = {f.node};
+        auto closure = engine.run(seed, /*stop_at_output=*/true);
+        if (closure.has_value()) {
+          memo = static_cast<std::int32_t>(out.closures.size());
+          out.closures.push_back(std::move(*closure));
+          kind = ProofKind::kConstantBlocked;
+        } else {
+          memo = kObservable;
+        }
+      }
+      site_memo.emplace(f.node, memo);
+    } else if (memo >= 0) {
+      // Re-derive the kind for the memoized pair fault.
+      kind = dom.reaches_output[f.node] ? ProofKind::kConstantBlocked
+                                        : ProofKind::kDeadCone;
+    }
+
+    if (memo == kObservable) {
+      rec.verdict = TriageVerdict::kMustSimulate;
+      ++out.must_simulate;
+      continue;
+    }
+    ProofRecord proof;
+    proof.fault = f;
+    proof.kind = kind;
+    proof.closure = memo;
+    proof.blocked_dominator =
+        blocked_dominator(f.node, out.closures[static_cast<std::size_t>(memo)]);
+    rec.verdict = TriageVerdict::kProvedBenign;
+    rec.kind = kind;
+    rec.proof = static_cast<std::int32_t>(out.proofs.size());
+    out.proofs.push_back(proof);
+    (kind == ProofKind::kDeadCone ? out.count_dead_cone
+                                  : out.count_const_blocked)++;
+    ++out.proved_benign;
+  }
+  return out;
+}
+
+bool verify_proof(const Netlist& nl, const DataflowAnalysis& analysis,
+                  const TriageResult& triage, std::size_t proof_index,
+                  std::string* why) {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (proof_index >= triage.proofs.size())
+    return fail("proof index out of range");
+  const ProofRecord& proof = triage.proofs[proof_index];
+  const NodeId site = proof.fault.node;
+  if (site >= nl.num_nodes()) return fail("proof site out of range");
+
+  if (proof.kind == ProofKind::kSiteHoldsStuckValue) {
+    const Ternary v = analysis.value(site);
+    if (!is_definite(v))
+      return fail("site " + nl.node(site).name + " is not proved constant");
+    if (definite_value(v) != proof.fault.stuck_value)
+      return fail("site " + nl.node(site).name +
+                  " holds the opposite of the stuck value");
+    if (proof.site_value != v)
+      return fail("recorded site value disagrees with the lattice");
+    return true;
+  }
+  if (proof.kind != ProofKind::kDeadCone &&
+      proof.kind != ProofKind::kConstantBlocked)
+    return fail("unknown proof kind");
+  if (proof.closure < 0 ||
+      static_cast<std::size_t>(proof.closure) >= triage.closures.size())
+    return fail("proof references no divergence closure");
+  const std::vector<NodeId>& closure =
+      triage.closures[static_cast<std::size_t>(proof.closure)];
+
+  // The closure must contain the seed and be sorted/unique for the
+  // membership tests below.
+  if (!std::is_sorted(closure.begin(), closure.end()) ||
+      std::adjacent_find(closure.begin(), closure.end()) != closure.end())
+    return fail("divergence closure is not a sorted set");
+  if (!std::binary_search(closure.begin(), closure.end(), site))
+    return fail("divergence closure does not contain the fault site");
+
+  std::vector<std::uint8_t> in_closure(nl.num_nodes(), 0);
+  for (const NodeId id : closure) {
+    if (id >= nl.num_nodes()) return fail("closure node out of range");
+    in_closure[id] = 1;
+  }
+
+  // No primary output may be divergent.
+  for (const auto& port : nl.outputs())
+    if (in_closure[port.driver])
+      return fail("closure contains primary-output driver " +
+                  nl.node(port.driver).name);
+
+  // Every escape edge must be provably blocked: a consumer outside the
+  // closure is a combinational cell whose output is pinned by its clean
+  // fanins no matter what values the divergent ones take.
+  std::array<Ternary, netlist::kMaxFanins> ins{};
+  std::array<std::uint64_t, netlist::kMaxFanins> in_lits{};
+  for (const NodeId u : closure) {
+    for (const NodeId c : nl.fanouts(u)) {
+      if (in_closure[c]) continue;
+      const netlist::Node& node = nl.node(c);
+      if (node.kind == CellKind::kDff)
+        return fail("flip-flop " + node.name +
+                    " consumes a divergent net outside the closure");
+      for (std::size_t i = 0; i < node.fanin_count; ++i) {
+        const NodeId f = node.fanin[i];
+        if (in_closure[f]) {
+          ins[i] = Ternary::kX;
+          in_lits[i] = static_cast<std::uint64_t>(nl.num_nodes() + f) * 2;
+        } else {
+          ins[i] = analysis.value(f);
+          in_lits[i] = analysis.literal(f);
+        }
+      }
+      const Ternary v = eval_ternary_related(
+          node.kind, std::span<const Ternary>(ins.data(), node.fanin_count),
+          std::span<const std::uint64_t>(in_lits.data(), node.fanin_count));
+      if (!is_definite(v))
+        return fail("escape edge " + nl.node(u).name + " -> " + node.name +
+                    " is not blocked by a controlling constant");
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<NodeId>> divergence_closure(
+    const Netlist& nl, const DataflowAnalysis& analysis,
+    std::span<const NodeId> seeds, bool stop_at_output) {
+  ClosureEngine engine(nl, analysis);
+  return engine.run(seeds, stop_at_output);
+}
+
+}  // namespace fcrit::sla

@@ -67,7 +67,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -82,14 +82,14 @@ void ThreadPool::run_chunk(Region& region, std::int64_t begin,
     try {
       (*region.body)(begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region.mutex);
+      MutexLock lock(region.mutex);
       if (!region.error) region.error = std::current_exception();
     }
   }
   // The final decrement + notify happen under the region mutex so the
   // caller cannot observe pending == 0, return, and destroy the region
   // while a runner still holds it.
-  std::lock_guard<std::mutex> lock(region.mutex);
+  MutexLock lock(region.mutex);
   if (--region.pending == 0) region.done.notify_all();
 }
 
@@ -97,8 +97,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedChunk chunk;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and fully drained
       chunk = queue_.front();
       queue_.pop_front();
@@ -125,14 +125,19 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
 
   Region region;
   region.body = &body;
-  region.pending = chunks;
+  {
+    // No runner exists yet; locking here only satisfies the thread-safety
+    // analysis (pending is guarded for the runners' sake).
+    MutexLock lock(region.mutex);
+    region.pending = chunks;
+  }
 
   // Static partition: chunk c covers base rows plus one of the remainder.
   const std::int64_t base = n / chunks;
   const std::int64_t rem = n % chunks;
   const std::int64_t first_end = begin + base + (rem > 0 ? 1 : 0);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::int64_t s = first_end;
     for (int c = 1; c < chunks; ++c) {
       const std::int64_t len = base + (c < rem ? 1 : 0);
@@ -152,7 +157,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     QueuedChunk chunk;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->region == &region) {
           chunk = *it;
@@ -166,11 +171,13 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     run_chunk(region, chunk.begin, chunk.end);
   }
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(region.mutex);
-    region.done.wait(lock, [&region] { return region.pending == 0; });
+    MutexLock lock(region.mutex);
+    while (region.pending != 0) region.done.wait(lock.native());
+    error = region.error;
   }
-  if (region.error) std::rethrow_exception(region.error);
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {

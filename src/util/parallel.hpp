@@ -32,9 +32,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.hpp"
 
 namespace fcrit::util {
 
@@ -72,10 +73,10 @@ class ThreadPool {
   /// outlive its parallel_for call.
   struct Region {
     const ChunkFn* body = nullptr;
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable done;
-    int pending = 0;                  // guarded by mutex
-    std::exception_ptr error;         // guarded by mutex; first one wins
+    int pending GUARDED_BY(mutex) = 0;
+    std::exception_ptr error GUARDED_BY(mutex);  // first one wins
   };
 
   struct QueuedChunk {
@@ -88,11 +89,11 @@ class ThreadPool {
   void worker_loop();
 
   int lanes_ = 1;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_ready_;
-  std::deque<QueuedChunk> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::deque<QueuedChunk> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // touched only by ctor/dtor
 };
 
 /// Hardware concurrency, clamped to >= 1.

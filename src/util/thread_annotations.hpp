@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis shim: capability-annotated mutex wrappers
+// that compile to plain std::mutex / std::unique_lock everywhere, and to
+// statically-checked capabilities under clang -Wthread-safety.
+//
+// Usage contract:
+//   - Declare lockable state as `util::Mutex m_;` and the data it guards
+//     as `T field_ GUARDED_BY(m_);`.
+//   - Take the lock with `util::MutexLock lock(m_);` (RAII, scoped).
+//   - Condition variables wait on `lock.native()`; write the predicate as
+//     an explicit `while` loop in the locking scope, NOT a lambda — the
+//     analysis cannot see that a predicate lambda runs under the lock.
+//   - A function that must be entered with the lock held takes
+//     `REQUIRES(m_)`; one that must NOT hold it takes `EXCLUDES(m_)`.
+//
+// GCC (the container toolchain) defines none of the attributes, so every
+// macro expands to nothing and the wrappers are zero-cost aliases; the CI
+// clang leg builds with -Werror=thread-safety and is where violations die.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FCRIT_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef FCRIT_TSA
+#define FCRIT_TSA(x)  // non-clang: annotations vanish
+#endif
+
+#define CAPABILITY(x) FCRIT_TSA(capability(x))
+#define SCOPED_CAPABILITY FCRIT_TSA(scoped_lockable)
+#define GUARDED_BY(x) FCRIT_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) FCRIT_TSA(pt_guarded_by(x))
+#define ACQUIRE(...) FCRIT_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) FCRIT_TSA(release_capability(__VA_ARGS__))
+#define REQUIRES(...) FCRIT_TSA(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) FCRIT_TSA(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) FCRIT_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS FCRIT_TSA(no_thread_safety_analysis)
+
+namespace fcrit::util {
+
+/// std::mutex as a TSA capability. native() exposes the wrapped mutex for
+/// APIs that demand the std type (none on the lock path — MutexLock's
+/// native() handle is what condition variables wait on).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII scoped lock over a util::Mutex, analysis-visible. Wraps
+/// std::unique_lock so `cv.wait(lock.native())` works; the capability is
+/// considered held for the wrapper's whole scope (condition-variable waits
+/// release and reacquire the same capability, which the analysis models as
+/// continuously held — the standard scoped-capability convention).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : lock_(m.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For condition_variable::wait(_for/_until) only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fcrit::util

@@ -67,7 +67,7 @@ designs::Design counter_design() {
 }
 
 TEST(ScalarVsPacked, AgreesOnRegisteredDesigns) {
-  for (const char* name : {"or1200_icfsm", "or1200_genpc"}) {
+  for (const char* name : {"or1200_icfsm", "or1200_genpc", "ee_zonal"}) {
     const auto d = designs::build_design(name);
     EXPECT_EQ(diff_packed_vs_scalar(d, 48, 42), "") << name;
   }

@@ -1,0 +1,283 @@
+// Fault triage tests: each proof shape produced on a crafted netlist,
+// proof records surviving independent re-verification (and tampered ones
+// rejected), the soundness property — every fault the triage proves
+// Benign really simulates Benign — fuzzed over random sequential
+// circuits, campaign bit-identity with pruning on vs off, and the
+// diff_static_prune oracle including its planted-defect self-tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/differential.hpp"
+#include "src/designs/designs.hpp"
+#include "src/designs/random_circuit.hpp"
+#include "src/fault/fault.hpp"
+#include "src/fault/fault_sim.hpp"
+#include "src/sla/dataflow.hpp"
+#include "src/sla/triage.hpp"
+
+namespace fcrit::sla {
+namespace {
+
+using netlist::CellKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+designs::Design random_design(std::uint64_t seed) {
+  designs::RandomCircuitConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_gates = 70;
+  cfg.num_flops = 7;
+  cfg.num_outputs = 4;
+  cfg.seed = seed;
+  return designs::build_random_circuit(cfg);
+}
+
+const TriageRecord& record_for(const TriageResult& triage,
+                               const std::vector<fault::Fault>& faults,
+                               NodeId node, bool stuck) {
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (faults[i].node == node && faults[i].stuck_value == stuck)
+      return triage.records[i];
+  ADD_FAILURE() << "fault not in universe";
+  static TriageRecord none;
+  return none;
+}
+
+TEST(Triage, SiteConstProofOnStuckConstantNode) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c0 = nl.add_const(false);
+  const NodeId g = nl.add_gate(CellKind::kAnd2, {a, c0}, "g");  // == 0
+  const NodeId h = nl.add_gate(CellKind::kOr2, {g, a}, "h");
+  nl.add_output("y", h);
+  nl.validate();
+
+  const auto df = DataflowAnalysis::run(nl);
+  const auto faults = fault::full_fault_list(nl);
+  const auto triage = triage_faults(nl, df, faults);
+
+  // g holds 0 forever: SA0 at g is a no-op, SA1 flips an observable net.
+  const auto& sa0 = record_for(triage, faults, g, false);
+  EXPECT_EQ(sa0.verdict, TriageVerdict::kProvedBenign);
+  EXPECT_EQ(sa0.kind, ProofKind::kSiteHoldsStuckValue);
+  const auto& sa1 = record_for(triage, faults, g, true);
+  EXPECT_EQ(sa1.verdict, TriageVerdict::kMustSimulate);
+
+  for (std::size_t p = 0; p < triage.proofs.size(); ++p) {
+    std::string why;
+    EXPECT_TRUE(verify_proof(nl, df, triage, p, &why)) << why;
+  }
+}
+
+TEST(Triage, DeadConeProofOnUnobservableNode) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId dead = nl.add_gate(CellKind::kInv, {a}, "dead");
+  const NodeId dead2 = nl.add_gate(CellKind::kBuf, {dead}, "dead2");
+  const NodeId live = nl.add_gate(CellKind::kBuf, {a}, "live");
+  nl.add_output("y", live);
+  nl.validate();
+
+  const auto df = DataflowAnalysis::run(nl);
+  const auto faults = fault::full_fault_list(nl);
+  const auto triage = triage_faults(nl, df, faults);
+
+  for (const NodeId n : {dead, dead2}) {
+    for (const bool stuck : {false, true}) {
+      const auto& r = record_for(triage, faults, n, stuck);
+      EXPECT_EQ(r.verdict, TriageVerdict::kProvedBenign);
+      EXPECT_EQ(r.kind, ProofKind::kDeadCone);
+    }
+  }
+  EXPECT_EQ(record_for(triage, faults, live, false).verdict,
+            TriageVerdict::kMustSimulate);
+  EXPECT_EQ(triage.count_dead_cone, 4u);
+}
+
+TEST(Triage, ConstantBlockedProofWhenEveryPathIsPinned) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c0 = nl.add_const(false);
+  // g structurally reaches the output through k, but k = AND(g, 0) is
+  // pinned at 0 whatever g does: not a dead cone, a blocked one.
+  const NodeId g = nl.add_gate(CellKind::kInv, {a}, "g");
+  const NodeId k = nl.add_gate(CellKind::kAnd2, {g, c0}, "k");
+  const NodeId out = nl.add_gate(CellKind::kOr2, {k, a}, "out");
+  nl.add_output("y", out);
+  nl.validate();
+
+  const auto df = DataflowAnalysis::run(nl);
+  const auto faults = fault::full_fault_list(nl);
+  const auto triage = triage_faults(nl, df, faults);
+
+  for (const bool stuck : {false, true}) {
+    const auto& r = record_for(triage, faults, g, stuck);
+    EXPECT_EQ(r.verdict, TriageVerdict::kProvedBenign);
+    EXPECT_EQ(r.kind, ProofKind::kConstantBlocked);
+    ASSERT_GE(r.proof, 0);
+    const ProofRecord& proof =
+        triage.proofs[static_cast<std::size_t>(r.proof)];
+    ASSERT_GE(proof.closure, 0);
+    // The divergence died inside {g}: k never corrupts.
+    EXPECT_EQ(triage.closures[static_cast<std::size_t>(proof.closure)],
+              std::vector<NodeId>{g});
+  }
+  EXPECT_GE(triage.count_const_blocked, 2u);
+
+  for (std::size_t p = 0; p < triage.proofs.size(); ++p) {
+    std::string why;
+    EXPECT_TRUE(verify_proof(nl, df, triage, p, &why)) << why;
+  }
+}
+
+TEST(Triage, VerifyProofRejectsTamperedRecords) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c0 = nl.add_const(false);
+  const NodeId g = nl.add_gate(CellKind::kInv, {a}, "g");
+  const NodeId k = nl.add_gate(CellKind::kAnd2, {g, c0}, "k");
+  const NodeId out = nl.add_gate(CellKind::kOr2, {k, a}, "out");
+  nl.add_output("y", out);
+  nl.validate();
+
+  const auto df = DataflowAnalysis::run(nl);
+  const auto faults = fault::full_fault_list(nl);
+  auto triage = triage_faults(nl, df, faults);
+  ASSERT_FALSE(triage.proofs.empty());
+
+  std::size_t blocked = triage.proofs.size();
+  for (std::size_t p = 0; p < triage.proofs.size(); ++p)
+    if (triage.proofs[p].kind == ProofKind::kConstantBlocked) blocked = p;
+  ASSERT_LT(blocked, triage.proofs.size());
+
+  std::string why;
+  ASSERT_TRUE(verify_proof(nl, df, triage, blocked, &why)) << why;
+
+  // Grow the closure to swallow the primary-output driver: rejected.
+  {
+    auto tampered = triage;
+    auto& closure = tampered.closures[static_cast<std::size_t>(
+        tampered.proofs[blocked].closure)];
+    closure.push_back(out);
+    EXPECT_FALSE(verify_proof(nl, df, tampered, blocked, &why));
+  }
+  // Shrink the closure below its own seed: rejected.
+  {
+    auto tampered = triage;
+    tampered.closures[static_cast<std::size_t>(
+                          tampered.proofs[blocked].closure)]
+        .clear();
+    EXPECT_FALSE(verify_proof(nl, df, tampered, blocked, &why));
+  }
+  // Claim site-const with a value the lattice does not prove: rejected.
+  {
+    auto tampered = triage;
+    tampered.proofs[blocked].kind = ProofKind::kSiteHoldsStuckValue;
+    tampered.proofs[blocked].site_value = Ternary::kOne;
+    EXPECT_FALSE(verify_proof(nl, df, tampered, blocked, &why));
+  }
+}
+
+TEST(Triage, ProvedBenignFaultsSimulateBenign) {
+  for (std::uint64_t seed : {3u, 14u, 15u, 92u}) {
+    const auto d = random_design(seed);
+    const auto df = DataflowAnalysis::run(d.netlist);
+    std::string why;
+    ASSERT_TRUE(verify_facts(d.netlist, df, &why))
+        << "seed " << seed << ": " << why;
+
+    const auto faults = fault::full_fault_list(d.netlist);
+    const auto triage = triage_faults(d.netlist, df, faults);
+    for (std::size_t p = 0; p < triage.proofs.size(); ++p)
+      EXPECT_TRUE(verify_proof(d.netlist, df, triage, p, &why))
+          << "seed " << seed << ": " << why;
+
+    fault::CampaignConfig cfg;
+    cfg.cycles = 48;
+    cfg.seed = seed;
+    cfg.static_prune = false;  // the reference must actually simulate
+    fault::FaultCampaign campaign(d.netlist, d.stimulus, cfg);
+    campaign.run_golden();
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (triage.records[i].verdict != TriageVerdict::kProvedBenign)
+        continue;
+      const auto r = campaign.simulate_fault(faults[i]);
+      EXPECT_EQ(r.detected_lanes, 0u)
+          << "seed " << seed << " fault "
+          << fault::fault_name(d.netlist, faults[i]);
+      EXPECT_EQ(r.dangerous_lanes, 0u);
+      EXPECT_EQ(r.mismatch_cycles, 0u);
+      EXPECT_LT(r.first_detect_cycle, 0);
+    }
+  }
+}
+
+TEST(Triage, CampaignBitIdenticalWithPruningOnAndOff) {
+  const auto d = designs::build_design("or1200_icfsm");
+  fault::CampaignConfig on;
+  on.cycles = 48;
+  on.seed = 11;
+  on.static_prune = true;
+  fault::CampaignConfig off = on;
+  off.static_prune = false;
+
+  fault::FaultCampaign cam_on(d.netlist, d.stimulus, on);
+  fault::FaultCampaign cam_off(d.netlist, d.stimulus, off);
+  const auto r_on = cam_on.run_all();
+  const auto r_off = cam_off.run_all();
+
+  EXPECT_GT(r_on.pruned_faults, 0u);
+  ASSERT_EQ(r_on.faults.size(), r_off.faults.size());
+  for (std::size_t i = 0; i < r_on.faults.size(); ++i) {
+    const auto& a = r_on.faults[i];
+    const auto& b = r_off.faults[i];
+    EXPECT_EQ(a.dangerous_lanes, b.dangerous_lanes) << i;
+    EXPECT_EQ(a.detected_lanes, b.detected_lanes) << i;
+    EXPECT_EQ(a.mismatch_cycles, b.mismatch_cycles) << i;
+    EXPECT_EQ(a.cone_size, b.cone_size) << i;
+    EXPECT_EQ(a.first_detect_cycle, b.first_detect_cycle) << i;
+  }
+}
+
+TEST(StaticPruneOracle, CleanOnRegisteredAndRandomDesigns) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 4;
+  EXPECT_EQ(check::diff_static_prune(designs::build_design("or1200_icfsm"),
+                                     cfg),
+            "");
+  cfg.cycles = 32;
+  for (std::uint64_t seed : {5u, 6u}) {
+    cfg.seed = seed;
+    EXPECT_EQ(check::diff_static_prune(random_design(seed), cfg), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(StaticPruneOracle, PlantedBadProofIsCaught) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 32;
+  cfg.seed = 5;
+  const auto msg =
+      check::diff_static_prune(designs::build_design("sdram_ctrl"), cfg,
+                               check::PruneBug::kBadProof);
+  ASSERT_NE(msg, "");
+  EXPECT_NE(msg.find("static-prune"), std::string::npos);
+}
+
+TEST(StaticPruneOracle, PlantedObservablePruneIsCaught) {
+  fault::CampaignConfig cfg;
+  cfg.cycles = 48;
+  cfg.seed = 5;
+  const auto msg =
+      check::diff_static_prune(designs::build_design("sdram_ctrl"), cfg,
+                               check::PruneBug::kPruneObservable);
+  ASSERT_NE(msg, "");
+  EXPECT_NE(msg.find("static-prune"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcrit::sla
